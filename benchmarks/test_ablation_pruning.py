@@ -1,0 +1,68 @@
+"""Experiment E8 -- ablation of the EMI pruning strategies (paper section 7.4).
+
+The paper reports that the novel *lift* strategy is slightly less effective
+than *leaf* and *compound* at inducing defects.  This harness measures, for a
+set of EMI bases, how much each strategy perturbs the program (statements
+removed or restructured inside EMI blocks) and whether pruned variants remain
+semantically equivalent to their base -- the precondition for any of them to
+be usable for EMI testing at all.
+"""
+
+from conftest import BENCH_OPTIONS, MAX_STEPS
+
+from repro.emi.pruning import PruningConfig, count_emi_statements, prune_program
+from repro.runtime.device import run_program
+from repro.testing.campaign import generate_emi_bases
+
+_STRATEGIES = {
+    "leaf-only": PruningConfig(p_leaf=0.6, p_compound=0.0, p_lift=0.0),
+    "compound-only": PruningConfig(p_leaf=0.0, p_compound=0.6, p_lift=0.0),
+    "lift-only": PruningConfig(p_leaf=0.0, p_compound=0.0, p_lift=0.6),
+    "combined": PruningConfig(p_leaf=0.3, p_compound=0.3, p_lift=0.3),
+    "delete-all": PruningConfig(p_leaf=1.0, p_compound=1.0, p_lift=0.0),
+}
+
+
+def _run_ablation():
+    bases = generate_emi_bases(3, seed=23, options=BENCH_OPTIONS, max_steps=MAX_STEPS,
+                               filter_dead_placement=False)
+    rows = {}
+    for label, config in _STRATEGIES.items():
+        removed_total = 0
+        equivalent = 0
+        trials = 0
+        for base_index, base in enumerate(bases):
+            baseline = run_program(base, max_steps=MAX_STEPS).outputs
+            before = count_emi_statements(base)
+            for seed in range(3):
+                variant = prune_program(base, config, seed=seed + base_index * 100)
+                after = count_emi_statements(variant)
+                removed_total += max(0, before - after)
+                trials += 1
+                if run_program(variant, max_steps=MAX_STEPS).outputs == baseline:
+                    equivalent += 1
+        rows[label] = {
+            "avg statements removed": removed_total / trials,
+            "equivalent variants": equivalent,
+            "trials": trials,
+        }
+    return rows
+
+
+def test_pruning_strategy_ablation(benchmark):
+    rows = benchmark.pedantic(_run_ablation, iterations=1, rounds=1)
+    print("\nPruning-strategy ablation (paper section 7.4)")
+    print(f"{'strategy':<15}{'avg stmts removed':>20}{'equivalent':>12}{'trials':>8}")
+    for label, row in rows.items():
+        print(f"{label:<15}{row['avg statements removed']:>20.2f}"
+              f"{row['equivalent variants']:>12}{row['trials']:>8}")
+
+    # Every variant of every strategy must stay equivalent to its base
+    # (EMI precondition).
+    for label, row in rows.items():
+        assert row["equivalent variants"] == row["trials"], label
+    # Leaf pruning at p=0.6 removes statements; lift-only restructures but
+    # removes fewer statements than deleting everything.
+    assert rows["leaf-only"]["avg statements removed"] > 0
+    assert rows["delete-all"]["avg statements removed"] >= \
+        rows["lift-only"]["avg statements removed"]

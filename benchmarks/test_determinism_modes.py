@@ -1,0 +1,57 @@
+"""Experiment E10 -- determinism of the communicating generator modes
+(paper section 4.2 and section 2.4 "We did not find communication-related
+bugs").
+
+The claim underpinning the whole CLsmith design is that BARRIER,
+ATOMIC SECTION and ATOMIC REDUCTION kernels produce results that do not
+depend on the thread interleaving or the optimisation level.  This harness
+stresses that claim across many seeds and schedules and measures generation
+plus execution throughput.
+"""
+
+from conftest import BENCH_OPTIONS, MAX_STEPS
+
+from repro.compiler import compile_program
+from repro.generator import Mode, generate_kernel
+from repro.runtime.device import run_program
+from repro.runtime.scheduler import ScheduleOrder
+
+_MODES = (Mode.BARRIER, Mode.ATOMIC_SECTION, Mode.ATOMIC_REDUCTION, Mode.ALL)
+_KERNELS_PER_MODE = 4
+_SCHEDULES = ((ScheduleOrder.ROUND_ROBIN, 0), (ScheduleOrder.REVERSED, 0),
+              (ScheduleOrder.RANDOM, 17), (ScheduleOrder.RANDOM, 99))
+
+
+def _check_determinism():
+    summary = {}
+    for mode in _MODES:
+        deterministic = 0
+        race_free = 0
+        for seed in range(_KERNELS_PER_MODE):
+            program = generate_kernel(mode, seed=seed, options=BENCH_OPTIONS)
+            results = [
+                run_program(program, schedule_order=order, schedule_seed=sched_seed,
+                            max_steps=MAX_STEPS).outputs
+                for order, sched_seed in _SCHEDULES
+            ]
+            optimised = compile_program(program).run(max_steps=MAX_STEPS).outputs
+            if all(r == results[0] for r in results) and optimised == results[0]:
+                deterministic += 1
+            checked = run_program(program, check_races=True, max_steps=MAX_STEPS)
+            if not checked.race_reports:
+                race_free += 1
+        summary[mode.value] = {"deterministic": deterministic, "race_free": race_free,
+                               "kernels": _KERNELS_PER_MODE}
+    return summary
+
+
+def test_communicating_modes_are_deterministic(benchmark):
+    summary = benchmark.pedantic(_check_determinism, iterations=1, rounds=1)
+    print("\nDeterminism of communicating modes (4 schedules x opt levels)")
+    print(f"{'mode':<20}{'deterministic':>15}{'race free':>11}{'kernels':>9}")
+    for mode, row in summary.items():
+        print(f"{mode:<20}{row['deterministic']:>15}{row['race_free']:>11}{row['kernels']:>9}")
+
+    for mode, row in summary.items():
+        assert row["deterministic"] == row["kernels"], mode
+        assert row["race_free"] == row["kernels"], mode

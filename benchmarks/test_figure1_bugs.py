@@ -1,0 +1,59 @@
+"""Experiment E2 -- Figure 1: the six bug exemplars for configurations below
+the reliability threshold.  Each exemplar must (a) produce the paper's correct
+value on the reference compiler and (b) reproduce the reported defect class on
+every configuration the paper lists as affected.
+"""
+
+from conftest import MAX_STEPS
+
+from repro.compiler import compile_program
+from repro.platforms import get_configuration
+from repro.testing.figures import FIGURE_EXPECTATIONS
+from repro.testing.outcomes import Outcome, classify_exception
+
+_FIGURE1 = [e for e in FIGURE_EXPECTATIONS if e.figure.startswith("1")]
+
+
+def _run_exemplars():
+    rows = []
+    for expectation in _FIGURE1:
+        program = expectation.builder()
+        correct = compile_program(program, optimisations=False).run(max_steps=MAX_STEPS)
+        correct_value = correct.outputs["out"][0]
+        for config_id, opt in expectation.affected:
+            for optimisations in ([opt] if opt is not None else [False, True]):
+                config = get_configuration(config_id)
+                try:
+                    buggy = compile_program(program, config=config,
+                                            optimisations=optimisations).run(max_steps=MAX_STEPS)
+                    observed = f"result {buggy.outputs['out'][0]:#x}"
+                    reproduced = (expectation.defect_class == "wrong_code"
+                                  and buggy.outputs["out"][0] != correct_value)
+                except Exception as error:  # noqa: BLE001 - classified below
+                    outcome = classify_exception(error)
+                    observed = outcome.value
+                    reproduced = {
+                        "build_failure": Outcome.BUILD_FAILURE,
+                        "timeout": Outcome.TIMEOUT,
+                        "crash": Outcome.RUNTIME_CRASH,
+                    }.get(expectation.defect_class) is outcome
+                rows.append({
+                    "figure": expectation.figure,
+                    "configuration": f"config{config_id}{'+' if optimisations else '-'}",
+                    "correct": correct_value,
+                    "observed": observed,
+                    "defect class": expectation.defect_class,
+                    "reproduced": reproduced,
+                })
+    return rows
+
+
+def test_figure1_bug_exemplars(benchmark):
+    rows = benchmark.pedantic(_run_exemplars, iterations=1, rounds=1)
+    print("\nFigure 1 (reproduced): bugs in below-threshold configurations")
+    for row in rows:
+        print(f"  Fig 1({row['figure'][1]}) on {row['configuration']:<10} "
+              f"expected {row['defect class']:<13} observed {row['observed']:<18} "
+              f"reproduced={row['reproduced']}")
+    assert all(row["reproduced"] for row in rows)
+    assert len({row["figure"] for row in rows}) == 6

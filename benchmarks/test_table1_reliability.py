@@ -1,0 +1,51 @@
+"""Experiment E1 -- Table 1: classify every configuration against the
+reliability threshold using a set of initial CLsmith kernels.
+
+The paper uses 600 initial kernels (100 per mode); this harness uses
+``KERNELS_PER_MODE`` per mode across a subset of modes, which is enough to
+separate the reliable configurations (NVIDIA, anon GPU 1c, Intel CPUs,
+Oclgrind) from the unreliable ones (AMD, Intel GPUs, older anon drivers,
+Xeon Phi, Altera).
+"""
+
+from conftest import BENCH_OPTIONS, KERNELS_PER_MODE, MAX_STEPS
+
+from repro.generator.options import Mode
+from repro.platforms import all_configurations
+from repro.testing.reliability import ReliabilityClassifier
+
+
+def _classify():
+    classifier = ReliabilityClassifier(
+        all_configurations(),
+        kernels_per_mode=max(2, KERNELS_PER_MODE // 3),
+        modes=(Mode.BASIC, Mode.VECTOR, Mode.BARRIER),
+        options=BENCH_OPTIONS,
+        max_steps=MAX_STEPS,
+    )
+    return classifier.classify()
+
+
+def test_table1_reliability_classification(benchmark):
+    report = benchmark.pedantic(_classify, iterations=1, rounds=1)
+
+    print("\nTable 1 (reproduced): configuration classification")
+    header = (f"{'conf':>4} {'device':<34} {'type':<12} {'fail frac':>10} "
+              f"{'measured':>9} {'paper':>6}")
+    print(header)
+    matches = 0
+    for entry in report.per_config:
+        row = entry.config.table_row()
+        measured = "above" if entry.above_threshold else "below"
+        paper = "above" if entry.config.expected_above_threshold else "below"
+        matches += measured == paper
+        print(f"{row['conf']:>4} {row['device']:<34} {row['type']:<12} "
+              f"{entry.failure_fraction:>10.2f} {measured:>9} {paper:>6}")
+    print(f"agreement with the paper's classification: {matches}/21")
+
+    # Shape check: the classification must agree with Table 1 for at least
+    # 17 of the 21 configurations at this reduced scale.
+    assert matches >= 17
+    classification = report.classification()
+    assert classification[1] is True, "GTX Titan must classify as reliable"
+    assert classification[21] is False, "the Altera FPGA must classify as unreliable"

@@ -1,0 +1,58 @@
+"""Experiment E6 -- Table 4: CLsmith random differential testing across the
+six generator modes and the configurations above the reliability threshold.
+
+The paper runs ~10 000 kernels per mode; this harness runs KERNELS_PER_MODE
+per mode (see conftest) with the same structure: tests are curated on the GTX
+Titan with optimisations (discarding kernels that fail to build there), every
+above-threshold configuration runs each kernel with and without optimisations,
+and wrong-code verdicts come from majority voting.
+"""
+
+from conftest import BENCH_OPTIONS, KERNELS_PER_MODE, MAX_STEPS
+
+from repro.generator.options import ALL_MODES, Mode
+from repro.platforms import configurations_above_threshold, get_configuration
+from repro.testing.campaign import run_clsmith_campaign
+
+
+def _run_campaign():
+    configs = configurations_above_threshold()
+    return run_clsmith_campaign(
+        configs,
+        kernels_per_mode=KERNELS_PER_MODE,
+        modes=ALL_MODES,
+        options=BENCH_OPTIONS,
+        curate_on=get_configuration(1),
+        max_steps=MAX_STEPS,
+    )
+
+
+def test_table4_clsmith_campaign(benchmark):
+    result = benchmark.pedantic(_run_campaign, iterations=1, rounds=1)
+    print("\nTable 4 (reproduced, scaled): CLsmith differential testing")
+    print(result.render())
+
+    # Shape checks against the paper's headline observations.
+    total_wrong = sum(c.wrong_code for c in result.counts.values())
+    total_pass = sum(c.passed for c in result.counts.values())
+    assert total_pass > 0
+    assert total_wrong >= 1, "the campaign must find at least one wrong-code result"
+
+    # Oclgrind (config 19) must show a clearly higher wrong-code percentage
+    # than the NVIDIA configurations (paper: ~11% vs ~0.3%), and its opt-/opt+
+    # data must be practically identical because it does not optimise.
+    def aggregate(config_name, optimisations):
+        merged = None
+        for mode in ALL_MODES:
+            cell = result.cell(mode, config_name, optimisations)
+            merged = cell if merged is None else merged.merge(cell)
+        return merged
+
+    oclgrind = aggregate("config19", True)
+    nvidia = aggregate("config1", True)
+    assert oclgrind.wrong_code_percentage >= nvidia.wrong_code_percentage
+    assert aggregate("config19", False).wrong_code == aggregate("config19", True).wrong_code
+
+    # Test curation: configuration 1+ must show zero build failures.
+    for mode in ALL_MODES:
+        assert result.cell(mode, "config1", True).build_failure == 0

@@ -1,0 +1,56 @@
+"""Experiment E7 -- Table 5: CLsmith+EMI testing on the configurations above
+the reliability threshold.
+
+ALL-mode base kernels with 1-5 EMI blocks are generated and filtered with the
+dead-array inversion check; each surviving base is expanded into pruned
+variants; a configuration is charged with a wrong-code result for a base if
+two variants terminate with different values (no cross-configuration voting,
+which is the whole point of EMI testing).
+"""
+
+from conftest import BENCH_OPTIONS, EMI_BASES, EMI_VARIANTS_PER_BASE, MAX_STEPS
+
+from repro.platforms import configurations_above_threshold
+from repro.testing.campaign import generate_emi_bases, run_emi_campaign
+
+#: The subset of Table 5 columns used by default (one per vendor family).
+_CONFIG_IDS = (1, 3, 9, 12, 14, 15, 19)
+
+
+def _run_campaign():
+    configs = [c for c in configurations_above_threshold() if c.config_id in _CONFIG_IDS]
+    bases = generate_emi_bases(EMI_BASES, seed=11, options=BENCH_OPTIONS,
+                               max_steps=MAX_STEPS)
+    return run_emi_campaign(
+        configs,
+        variants_per_base=EMI_VARIANTS_PER_BASE,
+        optimisation_levels=(False, True),
+        options=BENCH_OPTIONS,
+        max_steps=MAX_STEPS,
+        bases=bases,
+    )
+
+
+def test_table5_clsmith_emi_campaign(benchmark):
+    result = benchmark.pedantic(_run_campaign, iterations=1, rounds=1)
+    print("\nTable 5 (reproduced, scaled): CLsmith+EMI testing")
+    print(f"bases: {result.n_bases}, variants per base (incl. base): {result.n_variants}")
+    print(result.render())
+
+    assert result.n_bases >= 1
+
+    def wrong(config_name):
+        return sum(result.row(config_name, opt)["w"] for opt in (False, True))
+
+    def stable(config_name):
+        return sum(result.row(config_name, opt)["stable"] for opt in (False, True))
+
+    # Shape checks per the paper's section 7.4 discussion:
+    #   - EMI testing is totally ineffective at exposing wrong code on
+    #     Oclgrind, whose miscompilations are not optimisation-sensitive;
+    #   - most bases are stable for the NVIDIA configuration;
+    #   - no configuration reports more wrong-code bases than there are bases.
+    assert wrong("config19") == 0
+    assert stable("config1") >= result.n_bases  # over both optimisation levels
+    for (config_name, _), row in result.rows.items():
+        assert row["w"] <= result.n_bases

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Replay the paper's Figure 1 and Figure 2 bug exemplars.
+
+Each exemplar kernel is printed as OpenCL C, executed on the conformant
+reference compiler, and then compiled for the configurations the paper lists
+as affected -- reproducing the reported wrong values, build failures,
+compile-time hangs and crashes.
+
+Run with:  python examples/bug_gallery.py            # all twelve exemplars
+           python examples/bug_gallery.py 2a 2f      # just those figures
+"""
+
+import sys
+
+from repro.compiler import compile_program
+from repro.kernel_lang.printer import print_program
+from repro.platforms import get_configuration
+from repro.testing.figures import FIGURE_EXPECTATIONS
+from repro.testing.outcomes import classify_exception
+
+
+def replay(expectation) -> None:
+    program = expectation.builder()
+    print("=" * 72)
+    print(f"Figure {expectation.figure}  (defect class: {expectation.defect_class})")
+    print("=" * 72)
+    print(print_program(program))
+
+    reference = compile_program(program, optimisations=False).run()
+    print(f"reference result: {reference.outputs['out'][0]:#x}")
+
+    for config_id, opt in expectation.affected:
+        for optimisations in ([opt] if opt is not None else [False, True]):
+            config = get_configuration(config_id)
+            label = f"config{config_id}{'+' if optimisations else '-'} ({config.device})"
+            try:
+                buggy = compile_program(program, config=config,
+                                        optimisations=optimisations).run()
+                print(f"  {label}: result {buggy.outputs['out'][0]:#x}")
+            except Exception as error:  # noqa: BLE001 - reported to the user
+                outcome = classify_exception(error)
+                print(f"  {label}: {outcome.value} ({error})")
+    print()
+
+
+def main() -> None:
+    wanted = set(sys.argv[1:])
+    for expectation in FIGURE_EXPECTATIONS:
+        if wanted and expectation.figure not in wanted:
+            continue
+        replay(expectation)
+
+
+if __name__ == "__main__":
+    main()

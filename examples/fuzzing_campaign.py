@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A miniature version of the paper's testing campaign (sections 7.1 and 7.3).
+
+The script (1) classifies every Table 1 configuration against the reliability
+threshold using a batch of generated kernels, then (2) runs a CLsmith
+differential-testing campaign over the configurations that lie above the
+threshold and prints a Table 4 style summary.
+
+Run with:  python examples/fuzzing_campaign.py
+Scale up with: python examples/fuzzing_campaign.py --kernels-per-mode 20
+"""
+
+import argparse
+
+from repro.generator.options import GeneratorOptions, Mode
+from repro.platforms import all_configurations, get_configuration
+from repro.testing.campaign import run_clsmith_campaign
+from repro.testing.reliability import ReliabilityClassifier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels-per-mode", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    options = GeneratorOptions(min_total_threads=4, max_total_threads=24,
+                               max_group_size=8, max_statements=8)
+
+    # --- Phase 1: initial classification (Table 1) -------------------------
+    print("Phase 1: classifying configurations against the reliability threshold")
+    classifier = ReliabilityClassifier(
+        all_configurations(),
+        kernels_per_mode=max(2, args.kernels_per_mode // 2),
+        modes=(Mode.BASIC, Mode.BARRIER),
+        options=options,
+        seed=args.seed,
+    )
+    report = classifier.classify()
+    above = []
+    for entry in report.per_config:
+        marker = "above" if entry.above_threshold else "below"
+        print(f"  config{entry.config.config_id:<3} {entry.config.device:<34} "
+              f"failure fraction {entry.failure_fraction:.2f}  -> {marker}")
+        if entry.above_threshold:
+            above.append(entry.config)
+
+    # --- Phase 2: intensive CLsmith testing (Table 4) ----------------------
+    print("\nPhase 2: CLsmith differential testing on the reliable configurations")
+    result = run_clsmith_campaign(
+        above,
+        kernels_per_mode=args.kernels_per_mode,
+        modes=(Mode.BASIC, Mode.VECTOR, Mode.BARRIER, Mode.ALL),
+        options=options,
+        curate_on=get_configuration(1),
+        seed=args.seed,
+    )
+    print(result.render())
+
+    total_wrong = sum(c.wrong_code for c in result.counts.values())
+    print(f"\nwrong-code results found: {total_wrong}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This ``setup.py``
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``python setup.py develop``) fall back to the legacy editable-install path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Many-Core Compiler Fuzzing' (PLDI 2015): CLsmith-style "
+        "OpenCL kernel fuzzing, EMI testing, and a simulated many-core OpenCL substrate"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,22 @@
+"""Compiler substrate: an optimising pipeline over kernel-language ASTs.
+
+The paper's experiments hinge on the single optimisation toggle OpenCL
+exposes (``-cl-opt-disable``, section 3.2).  This package provides that
+toggle for the simulated platform: a front end (validation), a pass manager
+with semantics-preserving optimisation passes, and a driver that also applies
+the per-configuration *bug models* of :mod:`repro.platforms` so that
+particular configurations miscompile particular programs -- exactly the raw
+material differential and EMI testing are designed to detect.
+"""
+
+from repro.compiler.driver import CompiledKernel, CompilerDriver, compile_program
+from repro.compiler.pipeline import OptimisationLevel, Pipeline, default_pipeline
+
+__all__ = [
+    "CompiledKernel",
+    "CompilerDriver",
+    "compile_program",
+    "OptimisationLevel",
+    "Pipeline",
+    "default_pipeline",
+]

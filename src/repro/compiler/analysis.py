@@ -1,0 +1,161 @@
+"""Lightweight analyses used by the optimisation passes.
+
+All analyses are conservative: when in doubt they report "has side effects"
+or "is used", so that passes relying on them stay semantics-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.kernel_lang import ast, builtins
+
+
+def expr_has_side_effects(expr: ast.Expr) -> bool:
+    """True if evaluating ``expr`` may write memory or synchronise.
+
+    Calls to ``safe_*`` and the other scalar builtins are pure; atomic
+    builtins and calls to user-defined functions are treated as effectful
+    (user functions may write through pointer parameters, as the Figure 1(d)
+    and 2(c) kernels do).
+    """
+    for node in expr.walk():
+        if isinstance(node, ast.AssignExpr):
+            return True
+        if isinstance(node, ast.Call):
+            if node.name in builtins.ATOMIC_BUILTINS:
+                return True
+            if node.name not in builtins.SCALAR_BUILTINS:
+                return True
+    return False
+
+
+def stmt_has_side_effects(stmt: ast.Stmt) -> bool:
+    """True if executing ``stmt`` may affect state observable after it.
+
+    Declarations count as effect-free (their effect is purely local and a
+    dead declaration can be removed once its uses are gone); assignments,
+    barriers, returns, breaks and effectful expressions count.
+    """
+    for node in stmt.walk():
+        if isinstance(node, (ast.AssignStmt, ast.BarrierStmt, ast.ReturnStmt,
+                             ast.BreakStmt, ast.ContinueStmt)):
+            return True
+        if isinstance(node, ast.ExprStmt) and expr_has_side_effects(node.expr):
+            return True
+        if isinstance(node, ast.Expr) and isinstance(node, ast.AssignExpr):
+            return True
+        if isinstance(node, ast.Expr) and isinstance(node, ast.Call):
+            if node.name in builtins.ATOMIC_BUILTINS or (
+                node.name not in builtins.SCALAR_BUILTINS
+            ):
+                return True
+        if isinstance(node, ast.DeclStmt) and node.init is not None:
+            if expr_has_side_effects(node.init):
+                return True
+    return False
+
+
+def variables_read(node: ast.Node) -> Set[str]:
+    """Names of all variables referenced anywhere under ``node``."""
+    return {n.name for n in node.walk() if isinstance(n, ast.VarRef)}
+
+
+def variables_assigned(node: ast.Node) -> Set[str]:
+    """Names of variables that appear as the base of an assignment target
+    or have their address taken (conservatively counted as assigned)."""
+    names: Set[str] = set()
+    for n in node.walk():
+        if isinstance(n, (ast.AssignStmt, ast.AssignExpr)):
+            base = _target_base(n.target)
+            if base is not None:
+                names.add(base)
+        if isinstance(n, ast.AddressOf):
+            base = _target_base(n.operand)
+            if base is not None:
+                names.add(base)
+    return names
+
+
+def _target_base(expr: ast.Expr):
+    while isinstance(expr, (ast.FieldAccess, ast.IndexAccess, ast.VectorComponent)):
+        expr = expr.base
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Deref):
+        inner = expr.operand
+        if isinstance(inner, ast.VarRef):
+            return inner.name
+    return None
+
+
+def contains_barrier(node: ast.Node) -> bool:
+    """True if any barrier statement appears under ``node``."""
+    return any(isinstance(n, ast.BarrierStmt) for n in node.walk())
+
+
+def contains_loop_control(node: ast.Node) -> bool:
+    """True if a break or continue appears directly under ``node``'s loops'
+    scope (conservative: any break/continue at all)."""
+    return any(isinstance(n, (ast.BreakStmt, ast.ContinueStmt)) for n in node.walk())
+
+
+def called_functions(node: ast.Node) -> Set[str]:
+    """Names of user functions (non-builtins) called under ``node``."""
+    return {
+        n.name
+        for n in node.walk()
+        if isinstance(n, ast.Call) and not builtins.is_builtin(n.name)
+    }
+
+
+def uses_vectors(program: ast.Program) -> bool:
+    """True if the program declares or constructs any vector value."""
+    from repro.kernel_lang import types as ty
+
+    for node in _all_nodes(program):
+        if isinstance(node, ast.VectorLiteral):
+            return True
+        if isinstance(node, ast.DeclStmt) and isinstance(node.type, ty.VectorType):
+            return True
+    for st in program.structs:
+        for f in st.fields:
+            if isinstance(f.type, ty.VectorType):
+                return True
+    return False
+
+
+def uses_barriers(program: ast.Program) -> bool:
+    return any(isinstance(n, ast.BarrierStmt) for n in _all_nodes(program))
+
+
+def uses_atomics(program: ast.Program) -> bool:
+    return any(
+        isinstance(n, ast.Call) and n.name in builtins.ATOMIC_BUILTINS
+        for n in _all_nodes(program)
+    )
+
+
+def uses_structs(program: ast.Program) -> bool:
+    return bool(program.structs)
+
+
+def _all_nodes(program: ast.Program) -> Iterable[ast.Node]:
+    for fn in program.functions:
+        if fn.body is not None:
+            yield from fn.body.walk()
+
+
+__all__ = [
+    "expr_has_side_effects",
+    "stmt_has_side_effects",
+    "variables_read",
+    "variables_assigned",
+    "contains_barrier",
+    "contains_loop_control",
+    "called_functions",
+    "uses_vectors",
+    "uses_barriers",
+    "uses_atomics",
+    "uses_structs",
+]

@@ -1,0 +1,37 @@
+"""Optimisation passes.
+
+Every pass is a callable object mapping a :class:`~repro.kernel_lang.ast.Program`
+to a new, semantically-equivalent program.  The passes are deliberately in the
+style of the scalar optimisations real OpenCL compilers run (constant folding,
+algebraic simplification, dead-code elimination, inlining, loop unrolling):
+the EMI experiments of the paper target exactly this class of transformation,
+because pruning dynamically-dead code changes what these passes can prove.
+
+Semantic preservation of every pass is checked by differential property tests
+in ``tests/compiler/test_pass_semantics.py``.
+"""
+
+from repro.compiler.passes.base import Pass
+from repro.compiler.passes.constant_fold import ConstantFoldPass
+from repro.compiler.passes.dce import DeadCodeEliminationPass
+from repro.compiler.passes.inline import InlinePass
+from repro.compiler.passes.simplify import SimplifyPass
+from repro.compiler.passes.unroll import LoopUnrollPass
+
+ALL_PASSES = [
+    ConstantFoldPass,
+    SimplifyPass,
+    DeadCodeEliminationPass,
+    InlinePass,
+    LoopUnrollPass,
+]
+
+__all__ = [
+    "Pass",
+    "ConstantFoldPass",
+    "SimplifyPass",
+    "DeadCodeEliminationPass",
+    "InlinePass",
+    "LoopUnrollPass",
+    "ALL_PASSES",
+]

@@ -1,0 +1,145 @@
+"""Constant folding.
+
+Folds operators, casts, conditionals and pure builtins whose operands are
+integer literals.  Folding is *refused* whenever the operation's semantics
+would be undefined (division by zero, signed overflow, out-of-range shift,
+``clamp`` with ``min > max``): in that case the expression is left in place
+so that runtime behaviour -- including the undefined-behaviour report -- is
+unchanged.  This mirrors how production compilers must treat potential UB
+when folding, and is exactly the kind of logic the Intel ``rotate``
+mis-fold of Figure 2(b) gets wrong.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.compiler import rewrite
+from repro.compiler.passes.base import Pass
+from repro.kernel_lang import ast, builtins, types as ty
+
+
+def _promote(type_: ty.IntType) -> ty.IntType:
+    """Integer promotion: sub-int types promote to int."""
+    if type_.bits < 32:
+        return ty.INT
+    return type_
+
+
+def _fold_unary(op: str, operand: ast.IntLiteral) -> Optional[ast.IntLiteral]:
+    if op == "!":
+        return ast.IntLiteral(0 if operand.value else 1, ty.INT)
+    result_type = _promote(operand.type)
+    value = operand.value
+    if op == "+":
+        return ast.IntLiteral(result_type.wrap(value), result_type)
+    if op == "-":
+        result = -value
+        if result_type.signed and not result_type.contains(result):
+            return None
+        return ast.IntLiteral(result_type.wrap(result), result_type)
+    if op == "~":
+        return ast.IntLiteral(result_type.wrap(~value), result_type)
+    return None
+
+
+def _fold_binary(op: str, left: ast.IntLiteral, right: ast.IntLiteral) -> Optional[ast.IntLiteral]:
+    a, b = left.value, right.value
+    if op in ast.COMPARISON_OPERATORS:
+        table = {
+            "==": a == b,
+            "!=": a != b,
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+        }
+        return ast.IntLiteral(1 if table[op] else 0, ty.INT)
+    if op in ("&&", "||"):
+        truth = (a != 0 and b != 0) if op == "&&" else (a != 0 or b != 0)
+        return ast.IntLiteral(1 if truth else 0, ty.INT)
+    if op == ",":
+        return ast.IntLiteral(b, right.type)
+    result_type = ty.common_scalar_type(left.type, right.type)
+    if op == "+":
+        result = a + b
+    elif op == "-":
+        result = a - b
+    elif op == "*":
+        result = a * b
+    elif op == "/":
+        if b == 0:
+            return None
+        result = builtins._c_div(a, b)
+    elif op == "%":
+        if b == 0:
+            return None
+        result = builtins._c_mod(a, b)
+    elif op == "<<":
+        if b < 0 or b >= result_type.bits:
+            return None
+        result = a << b
+    elif op == ">>":
+        if b < 0 or b >= result_type.bits:
+            return None
+        result = a >> b
+    elif op == "&":
+        result = a & b
+    elif op == "|":
+        result = a | b
+    elif op == "^":
+        result = a ^ b
+    else:
+        return None
+    if op in ("+", "-", "*", "<<") and result_type.signed and not result_type.contains(result):
+        return None
+    return ast.IntLiteral(result_type.wrap(result), result_type)
+
+
+def _fold_call(call: ast.Call) -> Optional[ast.IntLiteral]:
+    spec = builtins.SCALAR_BUILTINS.get(call.name)
+    if spec is None:
+        return None
+    if not all(isinstance(a, ast.IntLiteral) for a in call.args):
+        return None
+    literals: List[ast.IntLiteral] = call.args  # type: ignore[assignment]
+    result_type = literals[0].type
+    try:
+        result = spec.fn(*[a.value for a in literals], result_type)
+    except builtins.BuiltinUndefined:
+        return None
+    return ast.IntLiteral(result_type.wrap(result), result_type)
+
+
+class ConstantFoldPass(Pass):
+    """Fold literal-operand expressions into literals."""
+
+    name = "constant-fold"
+
+    def run(self, program: ast.Program) -> ast.Program:
+        return rewrite.rewrite_program(program, expr_fn=self._fold)
+
+    def _fold(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.operand, ast.IntLiteral):
+            folded = _fold_unary(expr.op, expr.operand)
+            return folded if folded is not None else expr
+        if (
+            isinstance(expr, ast.BinaryOp)
+            and isinstance(expr.left, ast.IntLiteral)
+            and isinstance(expr.right, ast.IntLiteral)
+        ):
+            folded = _fold_binary(expr.op, expr.left, expr.right)
+            return folded if folded is not None else expr
+        if isinstance(expr, ast.Cast) and isinstance(expr.type, ty.IntType) and isinstance(
+            expr.operand, ast.IntLiteral
+        ):
+            return ast.IntLiteral(expr.type.wrap(expr.operand.value), expr.type)
+        if isinstance(expr, ast.Conditional) and isinstance(expr.cond, ast.IntLiteral):
+            return expr.then if expr.cond.value != 0 else expr.otherwise
+        if isinstance(expr, ast.Call):
+            folded = _fold_call(expr)
+            return folded if folded is not None else expr
+        return expr
+
+
+__all__ = ["ConstantFoldPass"]

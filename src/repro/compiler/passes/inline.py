@@ -1,0 +1,82 @@
+"""Function inlining.
+
+Inlines calls to *simple* user-defined functions: functions whose body is a
+single ``return`` of an expression that only references the function's own
+parameters, contains no calls to other user functions, no assignments and no
+barriers.  Arguments must be side-effect free (they may be duplicated if a
+parameter is used more than once).
+
+Inlining is the optimisation the paper's Figure 2(c) discussion calls out:
+the Intel miscompilation disappears when the function is inlined by hand or
+when optimisations (which force inlining) are enabled.  Our correct inliner
+preserves semantics; the corresponding *bug models* interact with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.compiler import analysis, rewrite
+from repro.compiler.passes.base import Pass
+from repro.kernel_lang import ast, builtins
+
+
+def _inlinable_body(fn: ast.FunctionDecl) -> Optional[ast.Expr]:
+    """Return the single returned expression if ``fn`` is simple enough."""
+    if fn.body is None or fn.is_kernel:
+        return None
+    statements = fn.body.statements
+    if len(statements) != 1 or not isinstance(statements[0], ast.ReturnStmt):
+        return None
+    expr = statements[0].value
+    if expr is None:
+        return None
+    if analysis.expr_has_side_effects(expr):
+        return None
+    param_names = {p.name for p in fn.params}
+    if not analysis.variables_read(expr) <= param_names:
+        return None
+    if analysis.called_functions(expr):
+        return None
+    return expr
+
+
+def _substitute(expr: ast.Expr, mapping: Dict[str, ast.Expr]) -> ast.Expr:
+    def replace(e: ast.Expr) -> ast.Expr:
+        if isinstance(e, ast.VarRef) and e.name in mapping:
+            return mapping[e.name].clone()
+        return e
+
+    return rewrite.map_expr(expr.clone(), replace)
+
+
+class InlinePass(Pass):
+    """Inline calls to single-return, parameter-only functions."""
+
+    name = "inline"
+
+    def run(self, program: ast.Program) -> ast.Program:
+        inlinable: Dict[str, ast.FunctionDecl] = {}
+        for fn in program.functions:
+            if fn.body is not None and _inlinable_body(fn) is not None:
+                inlinable[fn.name] = fn
+        if not inlinable:
+            return program
+
+        def rewrite_call(expr: ast.Expr) -> ast.Expr:
+            if not isinstance(expr, ast.Call) or expr.name not in inlinable:
+                return expr
+            callee = inlinable[expr.name]
+            if len(expr.args) != len(callee.params):
+                return expr
+            if any(analysis.expr_has_side_effects(a) for a in expr.args):
+                return expr
+            body_expr = _inlinable_body(callee)
+            assert body_expr is not None
+            mapping = {p.name: a for p, a in zip(callee.params, expr.args)}
+            return _substitute(body_expr, mapping)
+
+        return rewrite.rewrite_program(program, expr_fn=rewrite_call)
+
+
+__all__ = ["InlinePass"]

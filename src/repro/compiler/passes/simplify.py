@@ -1,0 +1,138 @@
+"""Algebraic simplification.
+
+Rewrites value-preserving identities such as ``x + 0 -> x``,
+``safe_mul(x, 1) -> x`` and ``x ^ x -> 0`` (the latter only for side-effect
+free, repeatable operands).  Simplification never changes the *value* an
+expression produces; it may change the static type of a sub-expression (e.g.
+``char`` instead of ``int`` after dropping a ``+ 0``), which is harmless
+because values are preserved under the integer promotions the interpreter
+applies at each consumer.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import analysis, rewrite
+from repro.compiler.passes.base import Pass
+from repro.kernel_lang import ast, types as ty
+
+
+def _is_zero(e: ast.Expr) -> bool:
+    return isinstance(e, ast.IntLiteral) and e.value == 0
+
+
+def _is_one(e: ast.Expr) -> bool:
+    return isinstance(e, ast.IntLiteral) and e.value == 1
+
+
+def _pure(e: ast.Expr) -> bool:
+    return not analysis.expr_has_side_effects(e)
+
+
+class SimplifyPass(Pass):
+    """Apply value-preserving algebraic identities."""
+
+    name = "simplify"
+
+    def run(self, program: ast.Program) -> ast.Program:
+        return rewrite.rewrite_program(program, expr_fn=self._simplify)
+
+    def _simplify(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BinaryOp):
+            return self._simplify_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._simplify_call(expr)
+        if isinstance(expr, ast.UnaryOp):
+            # Unary plus is the identity (after promotion, which preserves the
+            # value).  !!x is NOT simplified to x because the values differ.
+            if expr.op == "+":
+                return expr.operand
+        if isinstance(expr, ast.Conditional):
+            # cond ? x : x  ->  x   when cond is pure.
+            if _pure(expr.cond) and _exprs_identical(expr.then, expr.otherwise):
+                return expr.then
+        return expr
+
+    def _simplify_binary(self, expr: ast.BinaryOp) -> ast.Expr:
+        op, left, right = expr.op, expr.left, expr.right
+        if op == "+":
+            if _is_zero(right):
+                return left
+            if _is_zero(left):
+                return right
+        elif op == "-":
+            if _is_zero(right):
+                return left
+        elif op == "*":
+            if _is_one(right):
+                return left
+            if _is_one(left):
+                return right
+        elif op in ("|", "^"):
+            if _is_zero(right):
+                return left
+            if _is_zero(left):
+                return right
+        elif op in ("<<", ">>"):
+            if _is_zero(right):
+                return left
+        elif op == ",":
+            if _pure(left):
+                return right
+        return expr
+
+    def _simplify_call(self, expr: ast.Call) -> ast.Expr:
+        name, args = expr.name, expr.args
+        if name in ("safe_add", "safe_sub", "safe_lshift", "safe_rshift") and len(args) == 2:
+            if _is_zero(args[1]):
+                return args[0]
+            if name == "safe_add" and _is_zero(args[0]):
+                return args[1]
+        if name == "safe_mul" and len(args) == 2:
+            if _is_one(args[1]):
+                return args[0]
+            if _is_one(args[0]):
+                return args[1]
+        if name in ("safe_div", "safe_mod") and len(args) == 2:
+            # Dividing by zero returns the dividend under safe semantics.
+            if _is_zero(args[1]):
+                return args[0] if name == "safe_div" else args[0]
+        if name == "safe_clamp" and len(args) == 3:
+            lo, hi = args[1], args[2]
+            if (
+                isinstance(lo, ast.IntLiteral)
+                and isinstance(hi, ast.IntLiteral)
+                and lo.value > hi.value
+            ):
+                # min > max: the safe wrapper returns x unchanged.
+                return args[0]
+        return expr
+
+
+def _exprs_identical(a: ast.Expr, b: ast.Expr) -> bool:
+    """Structural equality of two expressions (conservative)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.IntLiteral):
+        return a.value == b.value and a.type == b.type
+    if isinstance(a, ast.VarRef):
+        return a.name == b.name
+    if isinstance(a, ast.WorkItemExpr):
+        return a.function == b.function and a.dimension == b.dimension
+    if isinstance(a, ast.BinaryOp):
+        return (
+            a.op == b.op
+            and _exprs_identical(a.left, b.left)
+            and _exprs_identical(a.right, b.right)
+        )
+    if isinstance(a, ast.UnaryOp):
+        return a.op == b.op and _exprs_identical(a.operand, b.operand)
+    if isinstance(a, ast.Call):
+        return (
+            a.name == b.name
+            and len(a.args) == len(b.args)
+            and all(_exprs_identical(x, y) for x, y in zip(a.args, b.args))
+        )
+    return False
+
+
+__all__ = ["SimplifyPass"]

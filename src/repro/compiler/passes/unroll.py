@@ -1,0 +1,144 @@
+"""Loop unrolling.
+
+Fully unrolls counted ``for`` loops of the shape the generator produces::
+
+    for (T i = <start>; i < <bound>; i += <step>) { ... }
+
+when the trip count is small (``max_trip_count``), the induction variable is
+not written inside the body, and the body contains no ``break``/``continue``
+or barriers (barriers could legally be unrolled, but keeping them out keeps
+the divergence argument trivial).  The loop variable is re-declared with the
+iteration's constant value in front of each unrolled copy, so semantics --
+including the variable being out of scope afterwards when the original loop
+declared it -- are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.compiler import analysis
+from repro.compiler.passes.base import Pass
+from repro.kernel_lang import ast, types as ty
+
+
+class LoopUnrollPass(Pass):
+    """Fully unroll small counted loops."""
+
+    name = "unroll"
+
+    def __init__(self, max_trip_count: int = 8):
+        self.max_trip_count = max_trip_count
+
+    def run(self, program: ast.Program) -> ast.Program:
+        from repro.compiler import rewrite
+
+        def stmt_fn(stmt: ast.Stmt) -> Optional[List[ast.Stmt]]:
+            if isinstance(stmt, ast.ForStmt):
+                unrolled = self._try_unroll(stmt)
+                if unrolled is not None:
+                    return unrolled
+            return None
+
+        return rewrite.rewrite_program(program, stmt_fn=stmt_fn)
+
+    # ------------------------------------------------------------------
+
+    def _try_unroll(self, loop: ast.ForStmt) -> Optional[List[ast.Stmt]]:
+        plan = self._analyse(loop)
+        if plan is None:
+            return None
+        var_name, var_type, declares, values = plan
+        body_template = loop.body
+        if analysis.contains_loop_control(body_template) or analysis.contains_barrier(
+            body_template
+        ):
+            return None
+        if var_name in analysis.variables_assigned(body_template):
+            return None
+        out: List[ast.Stmt] = []
+        for value in values:
+            iteration = ast.Block(
+                [ast.DeclStmt(var_name, var_type, ast.IntLiteral(value, var_type))]
+                + [s.clone() for s in body_template.statements]
+            )
+            out.append(iteration)
+        if not declares:
+            # The variable outlives the loop: give it its final value.
+            final = values[-1] + self._step_of(loop) if values else self._start_of(loop)
+            exit_value = final if values else self._start_of(loop)
+            out.append(
+                ast.AssignStmt(ast.VarRef(var_name), ast.IntLiteral(exit_value, var_type))
+            )
+        return out
+
+    def _analyse(
+        self, loop: ast.ForStmt
+    ) -> Optional[Tuple[str, ty.IntType, bool, List[int]]]:
+        # init: either "T i = start" or "i = start"
+        if isinstance(loop.init, ast.DeclStmt) and isinstance(loop.init.init, ast.IntLiteral):
+            if not isinstance(loop.init.type, ty.IntType):
+                return None
+            name = loop.init.name
+            var_type = loop.init.type
+            start = loop.init.init.value
+            declares = True
+        elif (
+            isinstance(loop.init, ast.AssignStmt)
+            and loop.init.op == "="
+            and isinstance(loop.init.target, ast.VarRef)
+            and isinstance(loop.init.value, ast.IntLiteral)
+        ):
+            name = loop.init.target.name
+            var_type = ty.INT
+            start = loop.init.value.value
+            declares = False
+        else:
+            return None
+        # cond: "i < bound" or "i <= bound"
+        cond = loop.cond
+        if (
+            not isinstance(cond, ast.BinaryOp)
+            or cond.op not in ("<", "<=")
+            or not isinstance(cond.left, ast.VarRef)
+            or cond.left.name != name
+            or not isinstance(cond.right, ast.IntLiteral)
+        ):
+            return None
+        bound = cond.right.value
+        inclusive = cond.op == "<="
+        # update: "i += step"
+        update = loop.update
+        if (
+            not isinstance(update, ast.AssignStmt)
+            or update.op != "+="
+            or not isinstance(update.target, ast.VarRef)
+            or update.target.name != name
+            or not isinstance(update.value, ast.IntLiteral)
+        ):
+            return None
+        step = update.value.value
+        if step <= 0:
+            return None
+        values: List[int] = []
+        i = start
+        while (i <= bound if inclusive else i < bound):
+            values.append(i)
+            if len(values) > self.max_trip_count:
+                return None
+            i += step
+        # Guard against exit-value overflow for declared-outside variables.
+        if values and not var_type.contains(values[-1] + step):
+            return None
+        self._cached_step = step
+        self._cached_start = start
+        return name, var_type, declares, values
+
+    def _step_of(self, loop: ast.ForStmt) -> int:
+        return getattr(self, "_cached_step", 1)
+
+    def _start_of(self, loop: ast.ForStmt) -> int:
+        return getattr(self, "_cached_start", 0)
+
+
+__all__ = ["LoopUnrollPass"]

@@ -1,0 +1,33 @@
+"""EMI testing via injection of dead-by-construction code (paper section 5).
+
+Three pieces:
+
+* :mod:`repro.emi.injector` -- equip a kernel (CLsmith-generated or a
+  "real-world" workload) with a ``dead`` array and inject EMI blocks whose
+  guards are false by construction, with or without *substitutions* of the
+  blocks' free variables by live variables of the host kernel.
+* :mod:`repro.emi.pruning` -- the *leaf*, *compound* and novel *lift*
+  pruning strategies that derive variants from a base program.
+* :mod:`repro.emi.variants` -- the probability grid the paper sweeps
+  (40 variants per base) and dead-array inversion used to filter bases.
+"""
+
+from repro.emi.injector import EmiInjector, inject_emi_blocks
+from repro.emi.pruning import PruningConfig, prune_program
+from repro.emi.variants import (
+    PRUNING_GRID,
+    generate_variants,
+    invert_dead_array,
+    mark_base_fingerprint,
+)
+
+__all__ = [
+    "EmiInjector",
+    "inject_emi_blocks",
+    "PruningConfig",
+    "prune_program",
+    "PRUNING_GRID",
+    "generate_variants",
+    "invert_dead_array",
+    "mark_base_fingerprint",
+]

@@ -1,0 +1,102 @@
+"""EMI variant enumeration and the dead-array inversion filter.
+
+The paper derives 40 variants per base program by sweeping
+``p_leaf, p_compound, p_lift`` over ``{0, 0.3, 0.6, 1}`` subject to
+``p_compound + p_lift <= 1`` (section 7.4).  :data:`PRUNING_GRID` enumerates
+exactly that grid (4 x 10 = 40 configurations).
+
+``invert_dead_array`` flips the host initialisation of the ``dead`` array so
+that EMI guards become *true*; the paper uses this to discard base programs
+whose EMI blocks were all placed in code that is already dead (inverting the
+array would then not change the result).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.emi.pruning import PruningConfig, prune_program
+from repro.kernel_lang import ast
+from repro.platforms.calibration import program_fingerprint
+
+_PROBABILITIES = (0.0, 0.3, 0.6, 1.0)
+
+
+def _build_grid() -> List[PruningConfig]:
+    grid: List[PruningConfig] = []
+    for p_leaf in _PROBABILITIES:
+        for p_compound in _PROBABILITIES:
+            for p_lift in _PROBABILITIES:
+                if p_compound + p_lift <= 1.0 + 1e-9:
+                    grid.append(PruningConfig(p_leaf, p_compound, p_lift))
+    return grid
+
+
+#: The paper's 40-point pruning grid.
+PRUNING_GRID: List[PruningConfig] = _build_grid()
+
+
+def mark_base_fingerprint(program: ast.Program) -> ast.Program:
+    """Record the base program's fingerprint in its metadata.
+
+    EMI variants inherit the value, which lets configuration defect models
+    with ``stable_wrong_code`` behave identically across all variants of a
+    base (see :mod:`repro.platforms.calibration`).
+    """
+    program.metadata.setdefault("emi_base_fingerprint", program_fingerprint(program))
+    return program
+
+
+def generate_variants(
+    base: ast.Program,
+    grid: Optional[Sequence[PruningConfig]] = None,
+    seed: int = 0,
+) -> List[ast.Program]:
+    """Produce one pruned variant per grid point (the base is not included)."""
+    mark_base_fingerprint(base)
+    variants: List[ast.Program] = []
+    for index, config in enumerate(grid if grid is not None else PRUNING_GRID):
+        variant = prune_program(base, config, seed=seed + index)
+        variant.metadata["emi_base_fingerprint"] = base.metadata["emi_base_fingerprint"]
+        variant.metadata["emi_variant_index"] = index
+        variants.append(variant)
+    return variants
+
+
+def invert_dead_array(program: ast.Program, dead_name: str = "dead") -> ast.Program:
+    """Return a copy whose ``dead`` array initialisation is inverted.
+
+    With ``dead[j] = size - j`` every ``dead[i] < dead[j]`` guard with
+    ``j < i`` becomes true, so the EMI blocks execute.  Comparing the results
+    of the normal and inverted programs tells whether the blocks were placed
+    in live code (results differ) or in already-dead code (results equal);
+    the paper discards bases of the latter kind when building Table 5.
+    """
+    clone = program.clone()
+    new_buffers = []
+    for spec in clone.buffers:
+        if spec.name == dead_name:
+            new_buffers.append(
+                ast.BufferSpec(
+                    spec.name,
+                    spec.element_type,
+                    spec.size,
+                    spec.address_space,
+                    init="iota_inverted",
+                    is_output=spec.is_output,
+                )
+            )
+        else:
+            new_buffers.append(spec)
+    clone.buffers = new_buffers
+    clone.metadata = dict(clone.metadata)
+    clone.metadata["dead_array_inverted"] = True
+    return clone
+
+
+__all__ = [
+    "PRUNING_GRID",
+    "generate_variants",
+    "invert_dead_array",
+    "mark_base_fingerprint",
+]

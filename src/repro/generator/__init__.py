@@ -1,0 +1,28 @@
+"""CLsmith reproduction: random generation of deterministic OpenCL kernels.
+
+The generator follows the design of section 4 of the paper:
+
+* ``BASIC`` mode produces embarrassingly-parallel kernels built around a
+  "globals struct" (OpenCL has no program-scope variables, section 4.1);
+* ``VECTOR`` mode adds vector-typed variables and type-correct vector
+  expressions using the safe-math wrappers;
+* ``BARRIER`` mode adds permutation-based shared-array communication with
+  barrier synchronisation;
+* ``ATOMIC_SECTION`` mode adds ``if (atomic_inc(c) == K)`` guarded sections;
+* ``ATOMIC_REDUCTION`` mode adds commutative atomic reductions;
+* ``ALL`` mode combines everything.
+
+The entry point is :class:`repro.generator.clsmith.CLsmithGenerator` (or the
+:func:`repro.generator.clsmith.generate_kernel` convenience function).
+"""
+
+from repro.generator.clsmith import CLsmithGenerator, generate_kernel, generate_batch
+from repro.generator.options import GeneratorOptions, Mode
+
+__all__ = [
+    "CLsmithGenerator",
+    "generate_kernel",
+    "generate_batch",
+    "GeneratorOptions",
+    "Mode",
+]

@@ -1,0 +1,314 @@
+"""The CLsmith-style kernel generator (paper section 4).
+
+:class:`CLsmithGenerator` assembles a complete, deterministic
+:class:`~repro.kernel_lang.ast.Program` from the pieces provided by the other
+generator modules: random NDRange geometry, a globals struct (standing in for
+the program-scope variables OpenCL C lacks), helper functions, a random
+statement body, the mode machineries (barriers / atomic sections / atomic
+reductions), optional dead-by-construction EMI blocks, and the final result
+computation ``out[tlinear] = result``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.generator import grid
+from repro.generator.context import GenContext, SCALAR_POOL, VECTOR_POOL
+from repro.generator.exprgen import ExpressionGenerator
+from repro.generator.modes import (
+    AtomicReductionMachinery,
+    AtomicSectionMachinery,
+    BarrierMachinery,
+    EmiMachinery,
+    ModeMachinery,
+)
+from repro.generator.options import GeneratorOptions, Mode
+from repro.generator.rng import GeneratorRandom
+from repro.generator.stmtgen import StatementGenerator
+from repro.kernel_lang import ast, types as ty
+
+
+class CLsmithGenerator:
+    """Generates random deterministic OpenCL kernels in one of six modes."""
+
+    def __init__(self, options: Optional[GeneratorOptions] = None, seed: int = 0) -> None:
+        self.options = options or GeneratorOptions()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> ast.Program:
+        """Generate one program (kernel + helpers + launch description)."""
+        rng = GeneratorRandom(self.seed)
+        launch = grid.choose_launch(rng.fork("grid"), self.options)
+        ctx = GenContext(self.options, rng, launch)
+        exprs = ExpressionGenerator(ctx)
+        stmts = StatementGenerator(ctx, exprs)
+
+        self._make_globals_struct(ctx, rng.fork("globals"))
+        self._make_helpers(ctx, rng.fork("helpers"))
+
+        machineries = self._make_machineries(ctx, exprs, stmts)
+        emi = EmiMachinery(ctx, stmts) if self.options.emi_blocks > 0 else None
+
+        body: List[ast.Stmt] = []
+        body.extend(self._globals_declaration(ctx))
+        body.extend(stmts.declare_locals())
+        for machinery in machineries:
+            body.extend(machinery.setup())
+
+        body.extend(self._main_body(ctx, rng.fork("layout"), stmts, machineries, emi))
+        body.extend(self._result_computation(ctx, exprs, machineries))
+
+        buffers = self._collect_buffers(ctx, machineries, emi)
+        params = [
+            ast.ParamDecl(buf.name, ty.PointerType(buf.element_type, buf.address_space))
+            for buf in buffers
+        ]
+        kernel = ast.FunctionDecl("entry", ty.VOID, params, ast.Block(body), is_kernel=True)
+
+        metadata: Dict[str, object] = {
+            "mode": ctx.mode.value,
+            "seed": self.seed,
+            "emi_blocks": self.options.emi_blocks,
+        }
+        program = ast.Program(
+            structs=list(ctx.structs),
+            functions=list(ctx.helpers) + [kernel],
+            kernel_name="entry",
+            buffers=buffers,
+            launch=launch,
+            metadata=metadata,
+        )
+        return program
+
+    # ------------------------------------------------------------------
+    # Globals struct (paper section 4.1)
+    # ------------------------------------------------------------------
+
+    def _make_globals_struct(self, ctx: GenContext, rng: GeneratorRandom) -> None:
+        n_fields = rng.randint(self.options.min_global_fields, self.options.max_global_fields)
+        fields: List[ty.FieldDecl] = []
+        init: Dict[str, int] = {}
+        for i in range(n_fields):
+            type_ = rng.choice(list(SCALAR_POOL))
+            name = f"g{i}"
+            fields.append(ty.FieldDecl(name, type_))
+            init[name] = type_.wrap(rng.literal_value())
+        if ctx.mode.uses_vectors:
+            for j in range(self.options.vector_global_fields):
+                vtype = rng.choice(list(VECTOR_POOL))
+                name = f"gv{j}"
+                fields.append(ty.FieldDecl(name, vtype))
+                init[name] = vtype.element.wrap(rng.literal_value())
+        struct = ty.StructType("Globals", tuple(fields))
+        ctx.structs.append(struct)
+        ctx.globals_struct = struct
+        ctx.globals_init = init
+
+    def _globals_declaration(self, ctx: GenContext) -> List[ast.Stmt]:
+        assert ctx.globals_struct is not None
+        elements: List[ast.Expr] = []
+        for f in ctx.globals_struct.fields:
+            value = ctx.globals_init.get(f.name, 0)
+            if isinstance(f.type, ty.VectorType):
+                elements.append(
+                    ast.VectorLiteral(
+                        f.type, [ast.IntLiteral(value, f.type.element)] * f.type.length
+                    )
+                )
+            else:
+                assert isinstance(f.type, ty.IntType)
+                elements.append(ast.IntLiteral(value, f.type))
+        return [ast.DeclStmt(ctx.globals_var, ctx.globals_struct, ast.InitList(elements))]
+
+    # ------------------------------------------------------------------
+    # Helper functions
+    # ------------------------------------------------------------------
+
+    def _make_helpers(self, ctx: GenContext, rng: GeneratorRandom) -> None:
+        assert ctx.globals_struct is not None
+        n_helpers = rng.randint(
+            self.options.min_helper_functions, self.options.max_helper_functions
+        )
+        for k in range(n_helpers):
+            ctx.in_helper = True
+            saved_scalars = ctx.scalar_vars
+            saved_vectors = ctx.vector_vars
+            ctx.scalar_vars = []
+            ctx.vector_vars = []
+
+            helper_exprs = ExpressionGenerator(ctx)
+            helper_exprs.rng = rng.fork(f"helper-expr-{k}")
+            helper_stmts = StatementGenerator(ctx, helper_exprs)
+            helper_stmts.rng = rng.fork(f"helper-stmt-{k}")
+
+            param_type = rng.choice([ty.INT, ty.UINT, ty.SHORT])
+            ctx.add_scalar("p0", param_type)
+            body: List[ast.Stmt] = []
+            n_locals = rng.randint(1, 2)
+            for _ in range(n_locals):
+                type_ = rng.choice(list(SCALAR_POOL))
+                name = ctx.fresh_name("h")
+                body.append(ast.DeclStmt(name, type_, helper_exprs.literal(type_)))
+                ctx.add_scalar(name, type_)
+            body.extend(helper_stmts.block(rng.randint(1, 3), 1))
+            if rng.coin(self.options.probability_helper_write_global):
+                field = rng.choice(
+                    [f for f in ctx.globals_struct.fields if isinstance(f.type, ty.IntType)]
+                )
+                body.append(
+                    ast.AssignStmt(
+                        ast.FieldAccess(ast.VarRef(ctx.globals_param), field.name, arrow=True),
+                        helper_exprs.scalar(field.type, 1),
+                    )
+                )
+            return_type = rng.choice([ty.INT, ty.UINT, ty.LONG, ty.ULONG])
+            body.append(ast.ReturnStmt(helper_exprs.scalar(return_type, 2)))
+
+            helper = ast.FunctionDecl(
+                name=f"func_{k}",
+                return_type=return_type,
+                params=[
+                    ast.ParamDecl(ctx.globals_param, ty.PointerType(ctx.globals_struct)),
+                    ast.ParamDecl("p0", param_type),
+                ],
+                body=ast.Block(body),
+            )
+            ctx.helpers.append(helper)
+
+            ctx.scalar_vars = saved_scalars
+            ctx.vector_vars = saved_vectors
+            ctx.in_helper = False
+
+    # ------------------------------------------------------------------
+    # Mode machineries and body layout
+    # ------------------------------------------------------------------
+
+    def _make_machineries(
+        self, ctx: GenContext, exprs: ExpressionGenerator, stmts: StatementGenerator
+    ) -> List[ModeMachinery]:
+        machineries: List[ModeMachinery] = []
+        if ctx.mode.uses_barriers and ctx.group_linear_size >= 1:
+            machineries.append(BarrierMachinery(ctx, exprs))
+        if ctx.mode.uses_atomic_sections:
+            machineries.append(AtomicSectionMachinery(ctx, exprs))
+        if ctx.mode.uses_atomic_reductions:
+            machineries.append(AtomicReductionMachinery(ctx, exprs))
+        return machineries
+
+    def _main_body(
+        self,
+        ctx: GenContext,
+        rng: GeneratorRandom,
+        stmts: StatementGenerator,
+        machineries: Sequence[ModeMachinery],
+        emi: Optional[EmiMachinery],
+    ) -> List[ast.Stmt]:
+        """Generate the main statement sequence and interleave mode fragments.
+
+        Fragments that contain barriers are only ever placed at the top level
+        of the kernel body (between whole statements), so work-group
+        uniformity of barrier execution is immediate.
+        """
+        n_statements = rng.randint(
+            max(2, self.options.max_statements // 2), self.options.max_statements
+        )
+        main = stmts.block(n_statements, self.options.max_block_depth)
+
+        fragments: List[List[ast.Stmt]] = []
+        for machinery in machineries:
+            for _ in range(machinery.fragment_count()):
+                fragments.append(machinery.fragment())
+        if emi is not None:
+            for _ in range(emi.fragment_count()):
+                fragments.append(emi.fragment())
+
+        positions = [rng.randint(0, len(main)) for _ in fragments]
+        # Insert from the highest position down so earlier indices stay valid.
+        for fragment, position in sorted(
+            zip(fragments, positions), key=lambda pair: pair[1], reverse=True
+        ):
+            main[position:position] = fragment
+        return main
+
+    # ------------------------------------------------------------------
+    # Result computation
+    # ------------------------------------------------------------------
+
+    def _result_computation(
+        self,
+        ctx: GenContext,
+        exprs: ExpressionGenerator,
+        machineries: Sequence[ModeMachinery],
+    ) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = [ast.DeclStmt("result", ty.ULONG, ast.IntLiteral(0, ty.ULONG))]
+        contributions: List[ast.Expr] = []
+        for info in ctx.scalar_vars:
+            if info.name not in ctx.forbidden_names:
+                contributions.append(ast.VarRef(info.name))
+        assert ctx.globals_struct is not None
+        for f in ctx.globals_struct.fields:
+            access = ast.FieldAccess(ast.VarRef(ctx.globals_var), f.name)
+            if isinstance(f.type, ty.VectorType):
+                contributions.append(ast.VectorComponent(access, 0))
+            else:
+                contributions.append(access)
+        for info in ctx.vector_vars:
+            contributions.append(ast.VectorComponent(ast.VarRef(info.name), 0))
+        stmts.extend(exprs.fold_into_result("result", contributions))
+        for machinery in machineries:
+            stmts.extend(machinery.finalise("result"))
+        stmts.append(ast.out_write(ast.VarRef("result")))
+        return stmts
+
+    # ------------------------------------------------------------------
+    # Kernel assembly
+    # ------------------------------------------------------------------
+
+    def _collect_buffers(
+        self,
+        ctx: GenContext,
+        machineries: Sequence[ModeMachinery],
+        emi: Optional[EmiMachinery],
+    ) -> List[ast.BufferSpec]:
+        buffers: List[ast.BufferSpec] = [
+            ast.BufferSpec("out", ty.ULONG, ctx.launch.total_threads, is_output=True)
+        ]
+        for machinery in machineries:
+            buffers.extend(machinery.buffers())
+        if emi is not None:
+            buffers.extend(emi.buffers())
+        buffers.extend(ctx.buffers)
+        return buffers
+
+    # ------------------------------------------------------------------
+    # Batch helpers
+    # ------------------------------------------------------------------
+
+
+def generate_kernel(
+    mode: Mode = Mode.BASIC,
+    seed: int = 0,
+    options: Optional[GeneratorOptions] = None,
+    emi_blocks: int = 0,
+) -> ast.Program:
+    """Generate a single kernel with the given mode and seed."""
+    opts = options or GeneratorOptions()
+    opts = GeneratorOptions(**{**opts.__dict__, "mode": mode, "emi_blocks": emi_blocks})
+    program = CLsmithGenerator(opts, seed).generate()
+    return program
+
+
+def generate_batch(
+    mode: Mode,
+    count: int,
+    start_seed: int = 0,
+    options: Optional[GeneratorOptions] = None,
+) -> List[ast.Program]:
+    """Generate ``count`` kernels with consecutive seeds."""
+    return [generate_kernel(mode, start_seed + i, options) for i in range(count)]
+
+
+__all__ = ["CLsmithGenerator", "generate_kernel", "generate_batch"]

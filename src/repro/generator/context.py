@@ -1,0 +1,158 @@
+"""Shared generation context.
+
+The context tracks everything the expression/statement generators and the
+mode machineries need: the globals struct (the paper's replacement for
+program-scope variables), the variables currently in scope, the helper
+functions generated so far, the buffers the kernel will need, and fresh-name
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.generator.options import GeneratorOptions, Mode
+from repro.generator.rng import GeneratorRandom
+from repro.kernel_lang import ast, types as ty
+
+#: Scalar types the generator draws from (size_t is excluded: it only enters
+#: programs through work-item functions).
+SCALAR_POOL = (ty.CHAR, ty.UCHAR, ty.SHORT, ty.USHORT, ty.INT, ty.UINT, ty.LONG, ty.ULONG)
+
+#: Vector types used by VECTOR/ALL modes (kept small for interpretation speed).
+VECTOR_POOL = (
+    ty.VectorType(ty.INT, 2),
+    ty.VectorType(ty.UINT, 2),
+    ty.VectorType(ty.INT, 4),
+    ty.VectorType(ty.UINT, 4),
+    ty.VectorType(ty.SHORT, 4),
+    ty.VectorType(ty.UCHAR, 8),
+)
+
+
+@dataclass
+class VariableInfo:
+    """A scalar or vector variable visible to the generators."""
+
+    name: str
+    type: ty.Type
+    mutable: bool = True
+    is_global_field: bool = False
+
+
+class GenContext:
+    """Mutable state threaded through one kernel generation."""
+
+    def __init__(
+        self,
+        options: GeneratorOptions,
+        rng: GeneratorRandom,
+        launch: ast.LaunchSpec,
+    ) -> None:
+        options.validate()
+        self.options = options
+        self.mode: Mode = options.mode
+        self.rng = rng
+        self.launch = launch
+
+        self._fresh: Dict[str, int] = {}
+
+        #: Struct/union definitions of the program (globals struct and any
+        #: extra structs the generator decides to add).
+        self.structs: List[ty.StructType] = []
+        #: The globals struct type and its field initial values.
+        self.globals_struct: Optional[ty.StructType] = None
+        self.globals_init: Dict[str, int] = {}
+        #: Name of the globals-struct variable inside the kernel and of the
+        #: pointer parameter helpers receive.
+        self.globals_var = "g"
+        self.globals_param = "gp"
+
+        #: Variables in scope while generating the kernel body.
+        self.scalar_vars: List[VariableInfo] = []
+        self.vector_vars: List[VariableInfo] = []
+        #: Loop induction variables currently in scope (never assigned).
+        self.forbidden_names: Set[str] = set()
+
+        #: Helper functions generated so far.
+        self.helpers: List[ast.FunctionDecl] = []
+        #: Host-visible / local buffers required by the kernel.
+        self.buffers: List[ast.BufferSpec] = []
+        #: True while generating inside a helper function (changes how the
+        #: globals struct is addressed: ``gp->field`` instead of ``g.field``).
+        self.in_helper = False
+        #: Extra expressions to fold into the final result (set by modes).
+        self.result_contributions: List[ast.Expr] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def group_linear_size(self) -> int:
+        return self.launch.group_size
+
+    @property
+    def total_groups(self) -> int:
+        return self.launch.total_groups
+
+    def fresh_name(self, prefix: str) -> str:
+        n = self._fresh.get(prefix, 0)
+        self._fresh[prefix] = n + 1
+        return f"{prefix}_{n}"
+
+    # -- variable bookkeeping -------------------------------------------------
+
+    def add_scalar(self, name: str, type_: ty.IntType, mutable: bool = True) -> VariableInfo:
+        info = VariableInfo(name, type_, mutable)
+        self.scalar_vars.append(info)
+        return info
+
+    def add_vector(self, name: str, type_: ty.VectorType, mutable: bool = True) -> VariableInfo:
+        info = VariableInfo(name, type_, mutable)
+        self.vector_vars.append(info)
+        return info
+
+    def remove_variable(self, name: str) -> None:
+        self.scalar_vars = [v for v in self.scalar_vars if v.name != name]
+        self.vector_vars = [v for v in self.vector_vars if v.name != name]
+
+    def readable_scalars(self) -> List[VariableInfo]:
+        """Scalar variables usable as operands (locals plus globals fields)."""
+        out = list(self.scalar_vars)
+        if self.globals_struct is not None:
+            for f in self.globals_struct.fields:
+                if isinstance(f.type, ty.IntType):
+                    out.append(VariableInfo(f.name, f.type, True, is_global_field=True))
+        return out
+
+    def writable_scalars(self) -> List[VariableInfo]:
+        return [
+            v
+            for v in self.readable_scalars()
+            if v.mutable and v.name not in self.forbidden_names
+        ]
+
+    def readable_vectors(self) -> List[VariableInfo]:
+        out = list(self.vector_vars)
+        if self.globals_struct is not None:
+            for f in self.globals_struct.fields:
+                if isinstance(f.type, ty.VectorType):
+                    out.append(VariableInfo(f.name, f.type, True, is_global_field=True))
+        return out
+
+    # -- globals struct access -------------------------------------------------
+
+    def reference_variable(self, info: VariableInfo) -> ast.Expr:
+        """Build the expression that reads ``info`` in the current scope."""
+        if not info.is_global_field:
+            return ast.VarRef(info.name)
+        if self.in_helper:
+            return ast.FieldAccess(ast.VarRef(self.globals_param), info.name, arrow=True)
+        return ast.FieldAccess(ast.VarRef(self.globals_var), info.name)
+
+    def lvalue_variable(self, info: VariableInfo) -> ast.Expr:
+        """Build the assignable expression for ``info`` (same shape as reads)."""
+        return self.reference_variable(info)
+
+
+__all__ = ["GenContext", "VariableInfo", "SCALAR_POOL", "VECTOR_POOL"]

@@ -1,0 +1,208 @@
+"""Type-directed random expression generation.
+
+All arithmetic that could exhibit undefined behaviour is emitted through the
+``safe_*`` wrappers (paper section 4.1, "safe math"); raw operators are used
+only where they are always defined (bitwise and/or/xor, comparisons, logical
+operators).  Thread-local and global ids never appear (paper section 4.2,
+"Avoiding barrier divergence"); *group* ids may appear with low probability --
+they are uniform within a work-group, so control flow stays convergent, and
+they are the ingredient of the configuration-9 bug of Figure 2(e) and of the
+``int``/``size_t`` front-end defect of configuration 15.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.generator.context import GenContext, VariableInfo
+from repro.kernel_lang import ast, types as ty
+
+#: Safe wrappers usable as binary scalar combinators.
+_SAFE_BINARY = ("safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod",
+                "safe_lshift", "safe_rshift")
+#: Raw operators that are defined for all operand values.
+_RAW_BINARY = ("&", "|", "^")
+
+
+class ExpressionGenerator:
+    """Generates well-defined random expressions against a context."""
+
+    def __init__(self, ctx: GenContext) -> None:
+        self.ctx = ctx
+        self.rng = ctx.rng.fork("expr")
+        self.options = ctx.options
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+
+    def literal(self, type_: ty.IntType) -> ast.IntLiteral:
+        value = self.rng.literal_value()
+        return ast.IntLiteral(type_.wrap(value), type_)
+
+    def scalar(self, type_: ty.IntType, depth: Optional[int] = None) -> ast.Expr:
+        """A random expression of (convertible-to) the requested scalar type."""
+        if depth is None:
+            depth = self.options.max_expr_depth
+        if depth <= 0:
+            return self._scalar_leaf(type_)
+        choices = [
+            (self._scalar_leaf, 3.0),
+            (self._scalar_safe_binary, 4.0),
+            (self._scalar_raw_bitwise, 2.0),
+            (self._scalar_conditional, 1.0),
+            (self._scalar_builtin, 1.5),
+            (self._scalar_comparison, 1.0),
+        ]
+        if self.ctx.mode.uses_vectors and self.ctx.readable_vectors():
+            choices.append((self._scalar_from_vector, 1.0))
+        if self.rng.coin(self.options.probability_comma_expr):
+            return self._scalar_comma(type_, depth)
+        producer = self.rng.weighted_choice(choices)
+        return producer(type_, depth)
+
+    def _scalar_leaf(self, type_: ty.IntType, depth: int = 0) -> ast.Expr:
+        candidates = self.ctx.readable_scalars()
+        if self.rng.coin(self.options.probability_group_id_expr):
+            return self._group_id_expr(type_)
+        if candidates and self.rng.coin(0.65):
+            info = self.rng.choice(candidates)
+            expr = self.ctx.reference_variable(info)
+            if info.type != type_:
+                expr = ast.Cast(type_, expr)
+            return expr
+        return self.literal(type_)
+
+    def _group_id_expr(self, type_: ty.IntType) -> ast.Expr:
+        fn = self.rng.choice(["get_group_id", "get_num_groups", "get_linear_group_id"])
+        dim = self.rng.randint(0, 2)
+        return ast.Cast(type_, ast.WorkItemExpr(fn, dim))
+
+    def _scalar_safe_binary(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        name = self.rng.choice(_SAFE_BINARY)
+        left = self.scalar(type_, depth - 1)
+        right = self.scalar(type_, depth - 1)
+        return ast.Call(name, [left, right])
+
+    def _scalar_raw_bitwise(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        op = self.rng.choice(_RAW_BINARY)
+        return ast.BinaryOp(op, self.scalar(type_, depth - 1), self.scalar(type_, depth - 1))
+
+    def _scalar_conditional(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        return ast.Conditional(
+            self.boolean(depth - 1),
+            self.scalar(type_, depth - 1),
+            self.scalar(type_, depth - 1),
+        )
+
+    def _scalar_builtin(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        name = self.rng.choice(["min", "max", "safe_clamp", "safe_rotate", "hadd", "mul_hi"])
+        if name == "safe_clamp":
+            args = [self.scalar(type_, depth - 1) for _ in range(3)]
+        else:
+            args = [self.scalar(type_, depth - 1) for _ in range(2)]
+        return ast.Call(name, args)
+
+    def _scalar_comparison(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        return ast.Cast(type_, self.boolean(depth - 1))
+
+    def _scalar_comma(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        # The left operand is pure; the value is that of the right operand.
+        return ast.BinaryOp(
+            ",", self.scalar(type_, max(depth - 2, 0)), self.scalar(type_, depth - 1)
+        )
+
+    def _scalar_from_vector(self, type_: ty.IntType, depth: int) -> ast.Expr:
+        vectors = self.ctx.readable_vectors()
+        info = self.rng.choice(vectors)
+        component = self.rng.randint(0, info.type.length - 1)
+        expr = ast.VectorComponent(self.ctx.reference_variable(info), component)
+        return ast.Cast(type_, expr)
+
+    # ------------------------------------------------------------------
+    # Booleans (scalar int-valued conditions)
+    # ------------------------------------------------------------------
+
+    def boolean(self, depth: Optional[int] = None) -> ast.Expr:
+        if depth is None:
+            depth = self.options.max_expr_depth
+        if depth <= 0:
+            return ast.BinaryOp(
+                self.rng.choice(list(ast.COMPARISON_OPERATORS)),
+                self._scalar_leaf(ty.INT),
+                self.literal(ty.INT),
+            )
+        kind = self.rng.weighted_choice(
+            [("comparison", 4.0), ("logical", 2.0), ("negation", 1.0)]
+        )
+        if kind == "comparison":
+            type_ = self.rng.choice([ty.INT, ty.UINT, ty.SHORT, ty.LONG])
+            return ast.BinaryOp(
+                self.rng.choice(list(ast.COMPARISON_OPERATORS)),
+                self.scalar(type_, depth - 1),
+                self.scalar(type_, depth - 1),
+            )
+        if kind == "logical":
+            return ast.BinaryOp(
+                self.rng.choice(["&&", "||"]),
+                self.boolean(depth - 1),
+                self.boolean(depth - 1),
+            )
+        return ast.UnaryOp("!", self.boolean(depth - 1))
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def vector(self, vtype: ty.VectorType, depth: Optional[int] = None) -> ast.Expr:
+        """A random vector-typed expression (VECTOR/ALL modes)."""
+        if depth is None:
+            depth = self.options.max_expr_depth
+        if depth <= 0:
+            return self._vector_leaf(vtype)
+        kind = self.rng.weighted_choice(
+            [("leaf", 2.0), ("safe", 3.0), ("bitwise", 1.5), ("builtin", 1.5)]
+        )
+        if kind == "leaf":
+            return self._vector_leaf(vtype)
+        if kind == "safe":
+            name = self.rng.choice(["safe_add", "safe_sub", "safe_mul"])
+            return ast.Call(name, [self.vector(vtype, depth - 1), self.vector(vtype, depth - 1)])
+        if kind == "bitwise":
+            op = self.rng.choice(_RAW_BINARY)
+            return ast.BinaryOp(op, self.vector(vtype, depth - 1), self.vector(vtype, depth - 1))
+        name = self.rng.choice(["min", "max", "safe_rotate", "safe_clamp"])
+        arity = 3 if name == "safe_clamp" else 2
+        return ast.Call(name, [self.vector(vtype, depth - 1) for _ in range(arity)])
+
+    def _vector_leaf(self, vtype: ty.VectorType) -> ast.Expr:
+        same_type = [v for v in self.ctx.readable_vectors() if v.type == vtype]
+        if same_type and self.rng.coin(0.5):
+            return self.ctx.reference_variable(self.rng.choice(same_type))
+        elements: List[ast.Expr] = [
+            ast.IntLiteral(vtype.element.wrap(self.rng.literal_value()), vtype.element)
+            for _ in range(vtype.length)
+        ]
+        return ast.VectorLiteral(vtype, elements)
+
+    # ------------------------------------------------------------------
+    # Result folding
+    # ------------------------------------------------------------------
+
+    def fold_into_result(self, result_var: str, contributions: List[ast.Expr]) -> List[ast.Stmt]:
+        """``result = safe_add(result, (ulong)contribution);`` for each item."""
+        stmts: List[ast.Stmt] = []
+        for contribution in contributions:
+            stmts.append(
+                ast.AssignStmt(
+                    ast.VarRef(result_var),
+                    ast.Call(
+                        "safe_add",
+                        [ast.VarRef(result_var), ast.Cast(ty.ULONG, contribution)],
+                    ),
+                )
+            )
+        return stmts
+
+
+__all__ = ["ExpressionGenerator"]

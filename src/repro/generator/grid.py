@@ -1,0 +1,54 @@
+"""Random NDRange geometry selection (paper section 4.1, "Randomizing grid
+and group dimensions").
+
+The paper selects a total thread count, then random divisors for the three
+dimensions of the global size ~N, then a work-group size ~W dividing ~N
+component-wise with ``Wx * Wy * Wz`` bounded by the smallest maximum group
+size across the tested devices (256).  Degenerate 1D/2D kernels arise
+naturally when a dimension gets size 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.generator.options import GeneratorOptions
+from repro.generator.rng import GeneratorRandom
+from repro.kernel_lang.ast import LaunchSpec
+
+
+def _divisors(n: int) -> List[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def _random_factorisation(rng: GeneratorRandom, total: int) -> Tuple[int, int, int]:
+    """Split ``total`` into three factors (x, y, z)."""
+    x = rng.choice(_divisors(total))
+    rest = total // x
+    y = rng.choice(_divisors(rest))
+    z = rest // y
+    return x, y, z
+
+
+def choose_launch(rng: GeneratorRandom, options: GeneratorOptions) -> LaunchSpec:
+    """Choose a random global size and a dividing work-group size."""
+    total = rng.randrange(options.min_total_threads, options.max_total_threads)
+    global_size = _random_factorisation(rng, total)
+
+    local_size = []
+    for n in global_size:
+        local_size.append(rng.choice(_divisors(n)))
+    # Enforce the work-group size limit by shrinking dimensions until the
+    # product fits (mirrors the paper's Wx*Wy*Wz <= 256 constraint).
+    lx, ly, lz = local_size
+    while lx * ly * lz > options.max_group_size:
+        if lx > 1:
+            lx = max(d for d in _divisors(global_size[0]) if d < lx)
+        elif ly > 1:
+            ly = max(d for d in _divisors(global_size[1]) if d < ly)
+        else:
+            lz = max(d for d in _divisors(global_size[2]) if d < lz)
+    return LaunchSpec(global_size, (lx, ly, lz))
+
+
+__all__ = ["choose_launch"]

@@ -1,0 +1,129 @@
+"""Generator modes and tunable options."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class Mode(enum.Enum):
+    """The six CLsmith generation modes (paper section 4)."""
+
+    BASIC = "BASIC"
+    VECTOR = "VECTOR"
+    BARRIER = "BARRIER"
+    ATOMIC_SECTION = "ATOMIC_SECTION"
+    ATOMIC_REDUCTION = "ATOMIC_REDUCTION"
+    ALL = "ALL"
+
+    @property
+    def uses_vectors(self) -> bool:
+        return self in (Mode.VECTOR, Mode.ALL)
+
+    @property
+    def uses_barriers(self) -> bool:
+        return self in (Mode.BARRIER, Mode.ALL)
+
+    @property
+    def uses_atomic_sections(self) -> bool:
+        return self in (Mode.ATOMIC_SECTION, Mode.ALL)
+
+    @property
+    def uses_atomic_reductions(self) -> bool:
+        return self in (Mode.ATOMIC_REDUCTION, Mode.ALL)
+
+
+ALL_MODES: Tuple[Mode, ...] = (
+    Mode.BASIC,
+    Mode.VECTOR,
+    Mode.BARRIER,
+    Mode.ATOMIC_SECTION,
+    Mode.ATOMIC_REDUCTION,
+    Mode.ALL,
+)
+
+
+@dataclass
+class GeneratorOptions:
+    """Tunable knobs of the generator.
+
+    The defaults are scaled down from the paper's settings so that a pure
+    Python interpreter can execute campaign-sized batches: the paper selects
+    a total thread count in [100, 10000) and work-group sizes up to 256
+    (section 4.1); we default to [8, 48) threads and groups of up to 8.
+    ``permutation_count`` corresponds to the paper's ``d`` (10 in the paper).
+    All paper-scale values can be restored by passing larger numbers.
+    """
+
+    mode: Mode = Mode.BASIC
+
+    # NDRange geometry (paper: 100 <= total < 10000, group size <= 256).
+    min_total_threads: int = 8
+    max_total_threads: int = 48
+    max_group_size: int = 8
+
+    # Globals struct.
+    min_global_fields: int = 4
+    max_global_fields: int = 8
+    vector_global_fields: int = 1
+
+    # Helper functions.
+    min_helper_functions: int = 1
+    max_helper_functions: int = 3
+
+    # Statement / expression budgets.
+    max_statements: int = 10
+    max_block_depth: int = 2
+    max_expr_depth: int = 3
+    max_loop_trip_count: int = 5
+
+    # Local variables.
+    min_locals: int = 2
+    max_locals: int = 5
+    max_vector_locals: int = 2
+
+    # Feature probabilities.
+    probability_group_id_expr: float = 0.08
+    probability_comma_expr: float = 0.08
+    probability_helper_write_global: float = 0.2
+    probability_if_else: float = 0.4
+    probability_compound_assign: float = 0.3
+
+    # BARRIER mode (paper section 4.2): d permutations, array in local or
+    # global memory, number of synchronisation points.
+    permutation_count: int = 4
+    min_barrier_syncs: int = 2
+    max_barrier_syncs: int = 4
+    probability_array_in_local: float = 0.5
+
+    # ATOMIC SECTION mode: number of (counter, special value) pairs per group
+    # (paper: 1..99), number of sections.
+    min_atomic_counters: int = 1
+    max_atomic_counters: int = 6
+    min_atomic_sections: int = 1
+    max_atomic_sections: int = 3
+    max_atomic_section_vars: int = 3
+
+    # ATOMIC REDUCTION mode: number of reduction locations / reductions.
+    min_reductions: int = 1
+    max_reductions: int = 3
+
+    # EMI (paper section 5): number of dead-by-construction blocks and the
+    # length of the ``dead`` array.
+    emi_blocks: int = 0
+    emi_dead_array_size: int = 16
+    emi_block_statements: int = 4
+
+    def validate(self) -> None:
+        if self.min_total_threads < 1 or self.max_total_threads <= self.min_total_threads:
+            raise ValueError("invalid thread-count range")
+        if self.max_group_size < 1:
+            raise ValueError("invalid group size")
+        if self.emi_blocks < 0:
+            raise ValueError("emi_blocks must be non-negative")
+        if self.emi_blocks > 0 and self.emi_dead_array_size < 2:
+            raise ValueError("the dead array needs at least two elements")
+
+
+__all__ = ["Mode", "ALL_MODES", "GeneratorOptions"]

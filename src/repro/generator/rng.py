@@ -1,0 +1,80 @@
+"""Deterministic random-number helpers for the generator.
+
+A thin wrapper over :class:`random.Random` adding the selection helpers the
+generator uses (weighted choice, biased coins, ranges) and *splitting*:
+``fork(label)`` derives an independent stream from the parent seed and a
+label, so that adding a new random decision in one part of the generator does
+not perturb the decisions made elsewhere (important for reproducible test
+corpora across code changes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class GeneratorRandom:
+    """Seeded RNG with generator-friendly helpers."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- derivation -------------------------------------------------------
+
+    def fork(self, label: str) -> "GeneratorRandom":
+        """Derive an independent stream keyed on ``label``."""
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return GeneratorRandom(int.from_bytes(digest[:8], "big"))
+
+    # -- primitives ---------------------------------------------------------
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        return self._rng.randint(lo, hi)
+
+    def randrange(self, lo: int, hi: int) -> int:
+        """Uniform integer in the half-open range [lo, hi)."""
+        return self._rng.randrange(lo, hi)
+
+    def coin(self, probability: float = 0.5) -> bool:
+        """Biased coin flip."""
+        return self._rng.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._rng.choice(list(items))
+
+    def weighted_choice(self, items: Sequence[Tuple[T, float]]) -> T:
+        """Choose among ``(item, weight)`` pairs proportionally to weight."""
+        values = [item for item, _ in items]
+        weights = [max(w, 0.0) for _, w in items]
+        if not any(weights):
+            return self._rng.choice(values)
+        return self._rng.choices(values, weights=weights, k=1)[0]
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        return self._rng.sample(list(items), k)
+
+    def shuffle(self, items: List[T]) -> List[T]:
+        """Return a shuffled copy (the input list is not modified)."""
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def permutation(self, n: int) -> List[int]:
+        """A random permutation of 0..n-1 (the paper's permutation arrays)."""
+        return self.shuffle(list(range(n)))
+
+    def literal_value(self, max_magnitude: int = 64) -> int:
+        """A small literal constant, biased toward interesting values."""
+        pool = [0, 1, 2, -1, 7, 8, 15, 16, 31, 32, 63, 255]
+        if self.coin(0.5):
+            return self.choice(pool)
+        return self.randint(-max_magnitude, max_magnitude)
+
+
+__all__ = ["GeneratorRandom"]

@@ -1,0 +1,147 @@
+"""Random statement and control-flow generation.
+
+The statement generator produces the Csmith-style body of a kernel or helper
+function: assignments to locals and globals-struct fields, ``if`` statements,
+bounded ``for`` loops, and calls to helper functions.  Loops always have
+literal bounds and an induction variable that is never assigned in the body,
+so termination is guaranteed by construction; combined with the safe-math
+expression generator this keeps every generated program deterministic and
+free of undefined behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.generator.context import GenContext, SCALAR_POOL, VECTOR_POOL, VariableInfo
+from repro.generator.exprgen import ExpressionGenerator
+from repro.kernel_lang import ast, types as ty
+
+#: Compound assignment operators that are defined for every operand value.
+_SAFE_COMPOUND_OPS = ("^=", "|=", "&=")
+
+
+class StatementGenerator:
+    """Generates random statements against a context."""
+
+    def __init__(self, ctx: GenContext, exprs: ExpressionGenerator) -> None:
+        self.ctx = ctx
+        self.exprs = exprs
+        self.rng = ctx.rng.fork("stmt")
+        self.options = ctx.options
+
+    # ------------------------------------------------------------------
+
+    def block(self, n_statements: int, depth: int) -> List[ast.Stmt]:
+        """A sequence of ``n_statements`` random statements."""
+        return [self.statement(depth) for _ in range(n_statements)]
+
+    def statement(self, depth: int) -> ast.Stmt:
+        choices = [
+            (self._assignment, 5.0),
+            (self._vector_assignment, 1.5 if self.ctx.mode.uses_vectors else 0.0),
+            (self._if_statement, 2.0 if depth > 0 else 0.0),
+            (self._for_loop, 1.5 if depth > 0 else 0.0),
+            (self._helper_call, 1.5 if self.ctx.helpers and not self.ctx.in_helper else 0.0),
+        ]
+        producer = self.rng.weighted_choice(choices)
+        return producer(depth)
+
+    # ------------------------------------------------------------------
+
+    def _assignment(self, depth: int) -> ast.Stmt:
+        writable = self.ctx.writable_scalars()
+        if not writable:
+            return ast.ExprStmt(self.exprs.scalar(ty.INT, 1))
+        info = self.rng.choice(writable)
+        assert isinstance(info.type, ty.IntType)
+        target = self.ctx.lvalue_variable(info)
+        if self.rng.coin(self.options.probability_compound_assign):
+            op = self.rng.choice(_SAFE_COMPOUND_OPS)
+            return ast.AssignStmt(target, self.exprs.scalar(info.type, depth), op)
+        return ast.AssignStmt(target, self.exprs.scalar(info.type, depth))
+
+    def _vector_assignment(self, depth: int) -> ast.Stmt:
+        vectors = [
+            v
+            for v in self.ctx.readable_vectors()
+            if v.mutable and v.name not in self.ctx.forbidden_names
+        ]
+        if not vectors:
+            return self._assignment(depth)
+        info = self.rng.choice(vectors)
+        assert isinstance(info.type, ty.VectorType)
+        return ast.AssignStmt(
+            self.ctx.lvalue_variable(info), self.exprs.vector(info.type, depth)
+        )
+
+    def _if_statement(self, depth: int) -> ast.Stmt:
+        cond = self.exprs.boolean(depth)
+        n_then = self.rng.randint(1, max(2, self.options.max_statements // 3))
+        then_block = ast.Block(self.block(n_then, depth - 1))
+        else_block = None
+        if self.rng.coin(self.options.probability_if_else):
+            n_else = self.rng.randint(1, 2)
+            else_block = ast.Block(self.block(n_else, depth - 1))
+        return ast.IfStmt(cond, then_block, else_block)
+
+    def _for_loop(self, depth: int) -> ast.Stmt:
+        name = self.ctx.fresh_name("i")
+        trip = self.rng.randint(2, self.options.max_loop_trip_count)
+        init = ast.DeclStmt(name, ty.INT, ast.IntLiteral(0))
+        cond = ast.BinaryOp("<", ast.VarRef(name), ast.IntLiteral(trip))
+        update = ast.AssignStmt(ast.VarRef(name), ast.IntLiteral(1), "+=")
+
+        self.ctx.forbidden_names.add(name)
+        self.ctx.add_scalar(name, ty.INT, mutable=False)
+        n_body = self.rng.randint(1, max(2, self.options.max_statements // 3))
+        body = ast.Block(self.block(n_body, depth - 1))
+        self.ctx.forbidden_names.discard(name)
+        self.ctx.remove_variable(name)
+
+        return ast.ForStmt(init, cond, update, body)
+
+    def _helper_call(self, depth: int) -> ast.Stmt:
+        helper = self.rng.choice(self.ctx.helpers)
+        args: List[ast.Expr] = []
+        for param in helper.params:
+            if isinstance(param.type, ty.PointerType):
+                args.append(ast.AddressOf(ast.VarRef(self.ctx.globals_var)))
+            else:
+                assert isinstance(param.type, ty.IntType)
+                args.append(self.exprs.scalar(param.type, 1))
+        call = ast.Call(helper.name, args)
+        writable = [
+            v for v in self.ctx.writable_scalars() if isinstance(v.type, ty.IntType)
+        ]
+        if writable and isinstance(helper.return_type, ty.IntType):
+            info = self.rng.choice(writable)
+            return ast.AssignStmt(
+                self.ctx.lvalue_variable(info), ast.Cast(info.type, call)
+            )
+        return ast.ExprStmt(call)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def declare_locals(self) -> List[ast.Stmt]:
+        """Declare the kernel's scalar (and, in vector modes, vector) locals."""
+        stmts: List[ast.Stmt] = []
+        n_scalars = self.rng.randint(self.options.min_locals, self.options.max_locals)
+        for _ in range(n_scalars):
+            type_ = self.rng.choice(list(SCALAR_POOL))
+            name = self.ctx.fresh_name("l")
+            stmts.append(ast.DeclStmt(name, type_, self.exprs.literal(type_)))
+            self.ctx.add_scalar(name, type_)
+        if self.ctx.mode.uses_vectors:
+            n_vectors = self.rng.randint(1, self.options.max_vector_locals)
+            for _ in range(n_vectors):
+                vtype = self.rng.choice(list(VECTOR_POOL))
+                name = self.ctx.fresh_name("v")
+                stmts.append(ast.DeclStmt(name, vtype, self.exprs._vector_leaf(vtype)))
+                self.ctx.add_vector(name, vtype)
+        return stmts
+
+
+__all__ = ["StatementGenerator"]

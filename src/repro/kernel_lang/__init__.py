@@ -1,0 +1,62 @@
+"""OpenCL-C-like kernel language substrate.
+
+This package models the subset of OpenCL C that the paper's fuzzing methods
+exercise: two's-complement integer scalars, vectors, structs, unions, arrays,
+pointers, the four OpenCL memory spaces, barriers and atomic operations.
+
+The main entry points are:
+
+* :mod:`repro.kernel_lang.types` -- the type system (``IntType``,
+  ``VectorType``, ``StructType``, ...), including byte-level layout used to
+  model union reinterpretation bugs.
+* :mod:`repro.kernel_lang.values` -- runtime values with OpenCL integer
+  semantics (wrap-around for unsigned, checked overflow for signed).
+* :mod:`repro.kernel_lang.ast` -- expression/statement/program AST nodes.
+* :mod:`repro.kernel_lang.builtins` -- ``clamp``, ``rotate``, the ``safe_*``
+  wrappers used by the generator, work-item functions and atomics.
+* :mod:`repro.kernel_lang.printer` -- render a program as OpenCL C source.
+* :mod:`repro.kernel_lang.parser` -- parse a subset of OpenCL C back to AST.
+* :mod:`repro.kernel_lang.semantics` -- static well-formedness checks.
+"""
+
+from repro.kernel_lang import ast, builtins, printer, types, values
+from repro.kernel_lang.types import (
+    CHAR,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    VectorType,
+    VoidType,
+)
+
+__all__ = [
+    "ast",
+    "builtins",
+    "printer",
+    "types",
+    "values",
+    "IntType",
+    "VectorType",
+    "StructType",
+    "UnionType",
+    "ArrayType",
+    "PointerType",
+    "VoidType",
+    "CHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "ULONG",
+]

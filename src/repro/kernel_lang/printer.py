@@ -1,0 +1,294 @@
+"""Pretty-printer: render a kernel-language AST as OpenCL C source.
+
+The output aims to be valid OpenCL C for the constructs we model, so that the
+bug-exemplar programs of Figures 1 and 2 round-trip to text that looks like
+the figures in the paper, and so that generated kernels can be inspected,
+archived, or (outside this reproduction) handed to a real OpenCL driver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel_lang import ast, types as ty
+
+_INDENT = "    "
+
+#: Binary operator precedence (larger binds tighter), mirroring C.
+_PRECEDENCE = {
+    ",": 1,
+    "||": 4,
+    "&&": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9,
+    "!=": 9,
+    "<": 10,
+    "<=": 10,
+    ">": 10,
+    ">=": 10,
+    "<<": 11,
+    ">>": 11,
+    "+": 12,
+    "-": 12,
+    "*": 13,
+    "/": 13,
+    "%": 13,
+}
+
+_WORKITEM_SPELLING = {
+    "get_global_id": "get_global_id({d})",
+    "get_local_id": "get_local_id({d})",
+    "get_group_id": "get_group_id({d})",
+    "get_global_size": "get_global_size({d})",
+    "get_local_size": "get_local_size({d})",
+    "get_num_groups": "get_num_groups({d})",
+    "get_linear_global_id": "get_linear_global_id()",
+    "get_linear_local_id": "get_linear_local_id()",
+    "get_linear_group_id": "get_linear_group_id()",
+}
+
+
+def _literal_suffix(type_: ty.IntType) -> str:
+    if type_.bits == 64:
+        return "L" if type_.signed else "UL"
+    if not type_.signed and type_.bits == 32:
+        return "U"
+    return ""
+
+
+class Printer:
+    """Stateful pretty-printer; create one per program."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._indent = 0
+
+    # -- low-level emission -------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(f"{_INDENT * self._indent}{text}")
+
+    def _blank(self) -> None:
+        if self._lines and self._lines[-1] != "":
+            self._lines.append("")
+
+    # -- types ---------------------------------------------------------------
+
+    def type_spelling(self, type_: ty.Type, address_space: str = ty.PRIVATE) -> str:
+        prefix = "" if address_space == ty.PRIVATE else f"{address_space} "
+        return f"{prefix}{type_.spelling()}"
+
+    def declarator(
+        self,
+        name: str,
+        type_: ty.Type,
+        address_space: str = ty.PRIVATE,
+        volatile: bool = False,
+    ) -> str:
+        """Render ``type name`` handling array suffixes and pointers."""
+        vol = "volatile " if volatile else ""
+        if isinstance(type_, ty.ArrayType):
+            dims: List[int] = []
+            t: ty.Type = type_
+            while isinstance(t, ty.ArrayType):
+                dims.append(t.length)
+                t = t.element
+            suffix = "".join(f"[{d}]" for d in dims)
+            return f"{self.type_spelling(t, address_space)} {vol}{name}{suffix}"
+        return f"{self.type_spelling(type_, address_space)} {vol}{name}"
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, e: ast.Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr(e)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr(self, e: ast.Expr):
+        if isinstance(e, ast.IntLiteral):
+            return f"{e.value}{_literal_suffix(e.type)}", 100
+        if isinstance(e, ast.VarRef):
+            return e.name, 100
+        if isinstance(e, ast.WorkItemExpr):
+            return _WORKITEM_SPELLING[e.function].format(d=e.dimension), 100
+        if isinstance(e, ast.VectorLiteral):
+            inner = ", ".join(self.expr(x, 2) for x in e.elements)
+            return f"({e.type.spelling()})({inner})", 100
+        if isinstance(e, ast.UnaryOp):
+            return f"{e.op}{self.expr(e.operand, 14)}", 14
+        if isinstance(e, ast.AddressOf):
+            return f"&{self.expr(e.operand, 14)}", 14
+        if isinstance(e, ast.Deref):
+            return f"*{self.expr(e.operand, 14)}", 14
+        if isinstance(e, ast.BinaryOp):
+            prec = _PRECEDENCE[e.op]
+            left = self.expr(e.left, prec)
+            right = self.expr(e.right, prec + 1)
+            sep = ", " if e.op == "," else f" {e.op} "
+            return f"{left}{sep}{right}", prec
+        if isinstance(e, ast.Conditional):
+            return (
+                f"{self.expr(e.cond, 4)} ? {self.expr(e.then, 3)}"
+                f" : {self.expr(e.otherwise, 3)}",
+                3,
+            )
+        if isinstance(e, ast.Cast):
+            return f"({e.type.spelling()}){self.expr(e.operand, 14)}", 14
+        if isinstance(e, ast.FieldAccess):
+            op = "->" if e.arrow else "."
+            return f"{self.expr(e.base, 15)}{op}{e.field}", 15
+        if isinstance(e, ast.IndexAccess):
+            return f"{self.expr(e.base, 15)}[{self.expr(e.index, 2)}]", 15
+        if isinstance(e, ast.VectorComponent):
+            return f"{self.expr(e.base, 15)}.{e.component_name()}", 15
+        if isinstance(e, ast.Call):
+            args = ", ".join(self.expr(a, 2) for a in e.args)
+            return f"{e.name}({args})", 100
+        if isinstance(e, ast.InitList):
+            inner = ", ".join(self.expr(x, 2) for x in e.elements)
+            return f"{{ {inner} }}", 100
+        if isinstance(e, ast.AssignExpr):
+            return (
+                f"{self.expr(e.target, 15)} {e.op} {self.expr(e.value, 2)}",
+                2,
+            )
+        raise TypeError(f"cannot print expression {e!r}")
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            self._emit("{")
+            self._indent += 1
+            for inner in s.statements:
+                self.stmt(inner)
+            self._indent -= 1
+            self._emit("}")
+        elif isinstance(s, ast.DeclStmt):
+            decl = self.declarator(s.name, s.type, s.address_space, s.volatile)
+            if s.init is not None:
+                self._emit(f"{decl} = {self.expr(s.init, 2)};")
+            else:
+                self._emit(f"{decl};")
+        elif isinstance(s, ast.AssignStmt):
+            self._emit(f"{self.expr(s.target, 15)} {s.op} {self.expr(s.value, 2)};")
+        elif isinstance(s, ast.ExprStmt):
+            self._emit(f"{self.expr(s.expr, 2)};")
+        elif isinstance(s, ast.IfStmt):
+            marker = ""
+            if s.emi_marker is not None:
+                marker = f" /* EMI block {s.emi_marker} */"
+            elif s.atomic_section:
+                marker = " /* atomic section */"
+            self._emit(f"if ({self.expr(s.cond, 1)}){marker}")
+            self.stmt(s.then_block)
+            if s.else_block is not None:
+                self._emit("else")
+                self.stmt(s.else_block)
+        elif isinstance(s, ast.ForStmt):
+            init = self._inline_stmt(s.init)
+            cond = self.expr(s.cond, 1) if s.cond is not None else ""
+            update = self._inline_stmt(s.update)
+            self._emit(f"for ({init}; {cond}; {update})")
+            self.stmt(s.body)
+        elif isinstance(s, ast.WhileStmt):
+            self._emit(f"while ({self.expr(s.cond, 1)})")
+            self.stmt(s.body)
+        elif isinstance(s, ast.ReturnStmt):
+            if s.value is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {self.expr(s.value, 2)};")
+        elif isinstance(s, ast.BreakStmt):
+            self._emit("break;")
+        elif isinstance(s, ast.ContinueStmt):
+            self._emit("continue;")
+        elif isinstance(s, ast.BarrierStmt):
+            self._emit(f"barrier({s.fence});")
+        else:
+            raise TypeError(f"cannot print statement {s!r}")
+
+    def _inline_stmt(self, s: Optional[ast.Stmt]) -> str:
+        """Render a for-header clause (no trailing semicolon, no newline)."""
+        if s is None:
+            return ""
+        if isinstance(s, ast.DeclStmt):
+            decl = self.declarator(s.name, s.type, s.address_space, s.volatile)
+            if s.init is not None:
+                return f"{decl} = {self.expr(s.init, 2)}"
+            return decl
+        if isinstance(s, ast.AssignStmt):
+            return f"{self.expr(s.target, 15)} {s.op} {self.expr(s.value, 2)}"
+        if isinstance(s, ast.ExprStmt):
+            return self.expr(s.expr, 2)
+        raise TypeError(f"cannot inline statement {s!r}")
+
+    # -- declarations ----------------------------------------------------------
+
+    def struct_def(self, st) -> None:
+        keyword = "union" if isinstance(st, ty.UnionType) else "struct"
+        self._emit(f"{keyword} {st.name} {{")
+        self._indent += 1
+        for f in st.fields:
+            self._emit(f"{self.declarator(f.name, f.type, volatile=f.volatile)};")
+        self._indent -= 1
+        self._emit("};")
+        self._blank()
+
+    def function(self, fn: ast.FunctionDecl) -> None:
+        params = ", ".join(
+            self.declarator(p.name, p.type, volatile=p.volatile) for p in fn.params
+        )
+        kernel_kw = "kernel " if fn.is_kernel else ""
+        ret = fn.return_type.spelling()
+        signature = f"{kernel_kw}{ret} {fn.name}({params})"
+        if fn.body is None:
+            self._emit(f"{signature};")
+            self._blank()
+            return
+        self._emit(signature)
+        self.stmt(fn.body)
+        self._blank()
+
+    def program(self, prog: ast.Program) -> str:
+        mode = prog.metadata.get("mode")
+        seed = prog.metadata.get("seed")
+        header = "// Kernel generated by the CLsmith reproduction"
+        if mode is not None:
+            header += f" (mode={mode}, seed={seed})"
+        self._emit(header)
+        gx, gy, gz = prog.launch.global_size
+        lx, ly, lz = prog.launch.local_size
+        self._emit(f"// global size = ({gx}, {gy}, {gz}), local size = ({lx}, {ly}, {lz})")
+        self._blank()
+        for st in prog.structs:
+            self.struct_def(st)
+        for fn in prog.functions:
+            self.function(fn)
+        return self.text()
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def print_program(prog: ast.Program) -> str:
+    """Render a full program to OpenCL C source text."""
+    return Printer().program(prog)
+
+
+def print_expr(e: ast.Expr) -> str:
+    """Render a single expression (useful in error messages and tests)."""
+    return Printer().expr(e)
+
+
+def print_stmt(s: ast.Stmt) -> str:
+    """Render a single statement."""
+    p = Printer()
+    p.stmt(s)
+    return p.text()
+
+
+__all__ = ["Printer", "print_program", "print_expr", "print_stmt"]

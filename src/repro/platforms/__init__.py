@@ -1,0 +1,33 @@
+"""The 21 (device, compiler) configurations of the paper's Table 1.
+
+Real hardware is obviously unavailable to this reproduction; each
+configuration is therefore a :class:`~repro.platforms.config.DeviceConfig`
+that couples the conformant simulated compiler/runtime with *injected defect
+models*:
+
+* semantic bug models (:mod:`repro.platforms.bugmodels`) reproducing every
+  bug exemplified in the paper's Figures 1 and 2 -- struct layout and
+  copy bugs, union initialisation, vector constant folding, barrier-dependent
+  miscompilations, front-end rejections, compile-time hangs;
+* calibrated stochastic defect models (:mod:`repro.platforms.calibration`)
+  whose rates reproduce the outcome distributions of Tables 3-5.
+
+The registry (:mod:`repro.platforms.registry`) instantiates the full set.
+"""
+
+from repro.platforms.config import DeviceConfig, DeviceType
+from repro.platforms.registry import (
+    all_configurations,
+    configurations_above_threshold,
+    get_configuration,
+    reference_configuration,
+)
+
+__all__ = [
+    "DeviceConfig",
+    "DeviceType",
+    "all_configurations",
+    "configurations_above_threshold",
+    "get_configuration",
+    "reference_configuration",
+]

@@ -1,0 +1,154 @@
+"""The registry of the 21 configurations of Table 1.
+
+Each entry pairs the device/driver metadata from the paper's Table 1 with
+the semantic bug models of :mod:`repro.platforms.bugmodels` that affect that
+configuration and a calibrated stochastic defect profile
+(:mod:`repro.platforms.calibration`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.platforms import bugmodels as bm
+from repro.platforms.calibration import defect_models_for
+from repro.platforms.config import DeviceConfig, DeviceType
+
+
+def _with_calibration(config_id: int, models: List[bm.BugModel]) -> List[bm.BugModel]:
+    stochastic, frontend_shim = defect_models_for(config_id)
+    return models + [frontend_shim, stochastic]
+
+
+def _build_registry() -> Dict[int, DeviceConfig]:
+    registry: Dict[int, DeviceConfig] = {}
+
+    def add(config: DeviceConfig) -> None:
+        registry[config.config_id] = config
+
+    nvidia_bugs = [bm.NvidiaUnionInitBug()]
+    add(DeviceConfig(1, "NVIDIA 6.5.19", "NVIDIA GeForce GTX Titan", "343.22", "1.1",
+                     "Ubuntu 14.04.1 LTS", DeviceType.GPU, True,
+                     _with_calibration(1, list(nvidia_bugs))))
+    add(DeviceConfig(2, "NVIDIA 6.5.19", "NVIDIA GeForce GTX 770", "343.22", "1.1",
+                     "Ubuntu 14.04.1 LTS", DeviceType.GPU, True,
+                     _with_calibration(2, list(nvidia_bugs))))
+    add(DeviceConfig(3, "NVIDIA 7.0.28", "NVIDIA Tesla M2050", "346.47", "1.1",
+                     "RHEL Server 6.5", DeviceType.GPU, True,
+                     _with_calibration(3, list(nvidia_bugs))))
+    add(DeviceConfig(4, "NVIDIA 7.0.28", "NVIDIA Tesla K40c", "346.47", "1.1",
+                     "RHEL Server 6.5", DeviceType.GPU, True,
+                     _with_calibration(4, list(nvidia_bugs))))
+
+    amd_gpu_bugs = [bm.AmdCharFirstStructBug(), bm.AmdIrreducibleControlFlowRejection()]
+    add(DeviceConfig(5, "AMD 2.9-1", "AMD Radeon HD7970 GHz edition", "Catalyst 14.9", "1.2",
+                     "Windows 7 Enterprise", DeviceType.GPU, False,
+                     _with_calibration(5, list(amd_gpu_bugs))))
+    add(DeviceConfig(6, "AMD 2.9-1", "ATI Radeon HD 6570 650MHz", "Catalyst 14.9", "1.2",
+                     "Windows 7 Enterprise", DeviceType.GPU, False,
+                     _with_calibration(6, list(amd_gpu_bugs))))
+
+    intel_gpu_bugs = [bm.IntelGpuCompileHangBug()]
+    add(DeviceConfig(7, "Intel 4.6", "Intel HD Graphics 4600", "10.18.10.3960", "1.2",
+                     "Windows 7 Enterprise", DeviceType.GPU, False,
+                     _with_calibration(7, list(intel_gpu_bugs))))
+    add(DeviceConfig(8, "Intel 4.6", "Intel HD Graphics 4000", "10.18.10.3412", "1.2",
+                     "Windows 8.1 Pro", DeviceType.GPU, False,
+                     _with_calibration(8, list(intel_gpu_bugs))))
+
+    add(DeviceConfig(9, "Anon. SDK 1", "Anon. device 1", "Anon. driver 1c", "1.1",
+                     "Linux (anon. version)", DeviceType.GPU, True,
+                     _with_calibration(9, [bm.AnonGpuGroupIdMiscompile()])))
+    anon_old_bugs = [bm.AnonStructCopyBug(), bm.AnonGpuGroupIdMiscompile()]
+    add(DeviceConfig(10, "Anon. SDK 1", "Anon. device 1", "Anon. driver 1b", "1.1",
+                     "Linux (anon. version)", DeviceType.GPU, False,
+                     _with_calibration(10, list(anon_old_bugs))))
+    add(DeviceConfig(11, "Anon. SDK 1", "Anon. device 1", "Anon. driver 1a", "1.1",
+                     "Linux (anon. version)", DeviceType.GPU, False,
+                     _with_calibration(11, list(anon_old_bugs))))
+
+    intel_i7_bugs = [bm.IntelBarrierFwdDeclMiscompile()]
+    add(DeviceConfig(12, "Intel 4.6", "Intel Core i7-4770 @ 3.40 GHz", "4.6.0.92", "2.0",
+                     "Windows 7 Enterprise", DeviceType.CPU, True,
+                     _with_calibration(12, list(intel_i7_bugs))))
+    add(DeviceConfig(13, "Intel 4.6", "Intel Core i7-4770 @ 3.40 GHz", "4.2.0.76", "1.2",
+                     "Windows 7 Enterprise", DeviceType.CPU, True,
+                     _with_calibration(13, list(intel_i7_bugs))))
+
+    intel_i5_bugs = [
+        bm.IntelRotateConstFoldBug(),
+        bm.IntelBarrierFwdDeclCrash(),
+        bm.IntelUnreachableLoopBarrierBug(),
+    ]
+    add(DeviceConfig(14, "Intel 4.6", "Intel Core i5-3317U @ 1.70 GHz", "3.0.1.10878", "1.2",
+                     "Windows 8.1 Pro", DeviceType.CPU, True,
+                     _with_calibration(14, list(intel_i5_bugs))))
+
+    intel_xeon_bugs = [
+        bm.IntelSizeTMixRejection(),
+        bm.IntelBarrierFwdDeclCrash(),
+        bm.IntelUnreachableLoopBarrierBug(),
+    ]
+    add(DeviceConfig(15, "Intel XE 2013 R2", "Intel Xeon X5650 @ 2.67GHz", "1.2 build 56860",
+                     "1.2", "RHEL Server 6.5", DeviceType.CPU, True,
+                     _with_calibration(15, list(intel_xeon_bugs))))
+
+    add(DeviceConfig(16, "AMD 2.9-1", "Intel Xeon E5-2609 v2 @ 2.50GHz", "Catalyst 14.9", "1.2",
+                     "Windows 7 Enterprise", DeviceType.CPU, False,
+                     _with_calibration(16, [bm.AmdCharFirstStructBug()])))
+    add(DeviceConfig(17, "Anon. SDK 2", "Anon. device 2", "Anon. driver 2", "1.1",
+                     "Linux (anon. version)", DeviceType.CPU, False,
+                     _with_calibration(17, [bm.AnonCpuBarrierStructBug()])))
+    add(DeviceConfig(18, "Intel XE 2013 R2", "Intel Xeon Phi", "5889-14", "1.2",
+                     "RHEL Server 6.5", DeviceType.ACCELERATOR, False,
+                     _with_calibration(18, [bm.XeonPhiSlowCompileBug()])))
+    add(DeviceConfig(19, "Intel 4.6", "Oclgrind v14.5", "LLVM 3.2, SPIR 1.2", "1.2",
+                     "Ubuntu 14.04", DeviceType.EMULATOR, True,
+                     _with_calibration(19, [bm.OclgrindCommaBug()]),
+                     run_optimiser=False))
+
+    altera_bugs = [bm.AlteraVectorInStructBug(), bm.AlteraVectorLogicalRejection()]
+    add(DeviceConfig(20, "Altera 14.0", "Altera PCIe-385N D5 (Emulated)", "aoc 14.0 build 200",
+                     "1.0", "CentOS 6.5", DeviceType.EMULATOR, False,
+                     _with_calibration(20, list(altera_bugs))))
+    add(DeviceConfig(21, "Altera 14.0", "Altera PCIe-385N D5", "aoc 14.0 build 200", "1.0",
+                     "CentOS 6.5", DeviceType.FPGA, False,
+                     _with_calibration(21, list(altera_bugs))))
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_configurations() -> List[DeviceConfig]:
+    """Every configuration of Table 1, in id order."""
+    return [_REGISTRY[i] for i in sorted(_REGISTRY)]
+
+
+def get_configuration(config_id: int) -> DeviceConfig:
+    """Look up a single configuration by its Table 1 id (1-21)."""
+    return _REGISTRY[config_id]
+
+
+def configurations_above_threshold() -> List[DeviceConfig]:
+    """The configurations the paper classifies above the reliability threshold
+    (the final column of Table 1): 1-4, 9, 12-15 and 19."""
+    return [c for c in all_configurations() if c.expected_above_threshold]
+
+
+def reference_configuration() -> Optional[DeviceConfig]:
+    """The conformant, bug-free reference (not part of Table 1).
+
+    Returned as ``None`` because the compiler driver treats the absence of a
+    configuration as "no injected defects"; the helper exists to make call
+    sites explicit about their intent.
+    """
+    return None
+
+
+__all__ = [
+    "all_configurations",
+    "get_configuration",
+    "configurations_above_threshold",
+    "reference_configuration",
+]

@@ -1,0 +1,30 @@
+"""Simulated OpenCL runtime: NDRange execution, memory spaces, barriers,
+atomics and race detection.
+
+This package is the substrate substituting for the real OpenCL devices of the
+paper's Table 1.  The entry point for running a kernel is
+:func:`repro.runtime.device.run_program` (or the lower-level
+:class:`repro.runtime.device.Device`).
+"""
+
+from repro.runtime.device import Device, KernelResult, run_program
+from repro.runtime.errors import (
+    BarrierDivergenceError,
+    DataRaceError,
+    ExecutionTimeout,
+    KernelRuntimeError,
+    RuntimeCrash,
+    UndefinedBehaviourError,
+)
+
+__all__ = [
+    "Device",
+    "KernelResult",
+    "run_program",
+    "KernelRuntimeError",
+    "UndefinedBehaviourError",
+    "DataRaceError",
+    "BarrierDivergenceError",
+    "RuntimeCrash",
+    "ExecutionTimeout",
+]

@@ -1,0 +1,103 @@
+"""Error taxonomy for the simulated runtime.
+
+The fuzzing harness distinguishes the same outcome classes the paper does
+(section 7.3): build failures, runtime crashes, timeouts, and wrong-code
+results; undefined behaviour detected by the simulator is an additional class
+that the real hardware of course cannot report but Oclgrind-style emulation
+can.  Each class has a dedicated exception so the harness can classify by
+type alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel_lang.semantics import UBKind
+
+
+class KernelRuntimeError(Exception):
+    """Base class for all errors raised while executing a kernel."""
+
+
+class UndefinedBehaviourError(KernelRuntimeError):
+    """The executing program performed an operation with undefined semantics.
+
+    Programs produced by the generator must never raise this; doing so is a
+    bug in the generator (and is tested as such).  Hand-written or mutated
+    programs may legitimately trigger it, in which case the harness discards
+    the test (a miscompilation verdict requires a well-defined program).
+    """
+
+    def __init__(self, kind: UBKind, message: str = ""):
+        self.kind = kind
+        detail = f": {message}" if message else ""
+        super().__init__(f"undefined behaviour ({kind.value}){detail}")
+
+
+class DataRaceError(UndefinedBehaviourError):
+    """Two conflicting, unsynchronised accesses to a shared location."""
+
+    def __init__(self, message: str = ""):
+        super().__init__(UBKind.DATA_RACE, message)
+
+
+class BarrierDivergenceError(UndefinedBehaviourError):
+    """Threads of one work-group reached different barriers (or only some
+    threads reached a barrier)."""
+
+    def __init__(self, message: str = ""):
+        super().__init__(UBKind.BARRIER_DIVERGENCE, message)
+
+
+class RuntimeCrash(KernelRuntimeError):
+    """The kernel (as compiled by a possibly-buggy configuration) crashed at
+    runtime -- e.g. a segmentation fault such as the one Figure 2(c) provokes
+    on Intel configurations 14-/15-."""
+
+    def __init__(self, message: str = "runtime crash"):
+        super().__init__(message)
+
+
+class ExecutionTimeout(KernelRuntimeError):
+    """The kernel exceeded its execution budget (the paper uses a 60 s
+    wall-clock timeout; the simulator uses an interpretation-step budget)."""
+
+    def __init__(self, steps: Optional[int] = None):
+        self.steps = steps
+        detail = f" after {steps} steps" if steps is not None else ""
+        super().__init__(f"execution budget exhausted{detail}")
+
+
+class BuildFailure(Exception):
+    """The compiler rejected or failed to compile the kernel.
+
+    Raised by the compiler driver (not the runtime), but defined alongside the
+    runtime errors because the harness treats the two uniformly when
+    classifying outcomes.
+    """
+
+    def __init__(self, message: str, internal: bool = False):
+        self.internal = internal
+        prefix = "internal compiler error" if internal else "build failure"
+        super().__init__(f"{prefix}: {message}")
+
+
+class CompileTimeout(BuildFailure):
+    """Compilation did not finish within budget (Figure 1(e): Intel HD
+    Graphics configurations loop forever compiling a 197-iteration loop;
+    Figure 1(f): Xeon Phi takes >20 s on struct+barrier kernels)."""
+
+    def __init__(self, message: str = "compilation did not terminate"):
+        super().__init__(message, internal=False)
+
+
+__all__ = [
+    "KernelRuntimeError",
+    "UndefinedBehaviourError",
+    "DataRaceError",
+    "BarrierDivergenceError",
+    "RuntimeCrash",
+    "ExecutionTimeout",
+    "BuildFailure",
+    "CompileTimeout",
+]

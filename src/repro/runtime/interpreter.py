@@ -1,0 +1,1094 @@
+"""Coroutine-based interpreter for kernel-language programs.
+
+Each work-item (thread) is executed by a Python generator produced by
+:meth:`Interpreter.run_thread`.  The generator yields control at
+*scheduling points* -- barriers and atomic operations -- allowing the
+work-group scheduler (:mod:`repro.runtime.scheduler`) to interleave threads,
+enforce barrier semantics, detect divergence and (optionally) perturb the
+order in which threads perform atomic operations.  Between scheduling points
+a thread runs to completion without preemption, which matches the paper's
+determinism arguments: race-free barrier communication and commutative
+atomic reductions yield results independent of the interleaving.
+
+The interpreter evaluates the *unoptimised semantics* of the program it is
+given.  Miscompilation is modelled upstream: the compiler (possibly with
+injected bug passes) transforms the AST, and the interpreter faithfully runs
+whatever it receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.kernel_lang import ast, builtins, types as ty, values as vals
+from repro.kernel_lang.semantics import UBKind
+from repro.runtime import memory
+from repro.runtime.errors import (
+    ExecutionTimeout,
+    RuntimeCrash,
+    UndefinedBehaviourError,
+)
+
+# ---------------------------------------------------------------------------
+# Thread context and execution limits
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThreadContext:
+    """Identifies one work-item within the NDRange (paper section 3.1)."""
+
+    global_id: Tuple[int, int, int]
+    local_id: Tuple[int, int, int]
+    group_id: Tuple[int, int, int]
+    global_size: Tuple[int, int, int]
+    local_size: Tuple[int, int, int]
+
+    @property
+    def num_groups(self) -> Tuple[int, int, int]:
+        return tuple(n // w for n, w in zip(self.global_size, self.local_size))
+
+    @property
+    def global_linear_id(self) -> int:
+        tx, ty_, tz = self.global_id
+        nx, ny, _ = self.global_size
+        return (tz * ny + ty_) * nx + tx
+
+    @property
+    def local_linear_id(self) -> int:
+        lx, ly, lz = self.local_id
+        wx, wy, _ = self.local_size
+        return (lz * wy + ly) * wx + lx
+
+    @property
+    def group_linear_id(self) -> int:
+        gx, gy, gz = self.group_id
+        ngx, ngy, _ = self.num_groups
+        return (gz * ngy + gy) * ngx + gx
+
+
+@dataclass
+class ExecutionLimits:
+    """A step budget shared by all threads of a launch.
+
+    The paper's campaigns use a 60-second wall-clock timeout per test; the
+    simulator substitutes a deterministic budget of interpretation steps so
+    that timeout outcomes are reproducible.
+    """
+
+    max_steps: int = 2_000_000
+    steps: int = 0
+
+    def tick(self, n: int = 1) -> None:
+        self.steps += n
+        if self.steps > self.max_steps:
+            raise ExecutionTimeout(self.steps)
+
+
+# Control-flow signals returned by statement execution.
+_NORMAL = "normal"
+_BREAK = "break"
+_CONTINUE = "continue"
+_RETURN = "return"
+
+
+@dataclass
+class _Flow:
+    kind: str = _NORMAL
+    value: Optional[vals.Value] = None
+
+
+#: Events yielded to the scheduler.
+BARRIER_EVENT = "barrier"
+ATOMIC_EVENT = "atomic"
+
+
+@dataclass
+class SchedulerEvent:
+    """An event yielded by a thread generator at a scheduling point."""
+
+    kind: str
+    barrier_site: Optional[int] = None
+    fence: Optional[str] = None
+
+
+_MAX_CALL_DEPTH = 64
+
+
+class Interpreter:
+    """Executes one program for the threads of one work-group.
+
+    Parameters
+    ----------
+    program:
+        The (possibly compiler-transformed) program to execute.
+    global_memory:
+        The launch-wide global/constant buffers.
+    local_memory:
+        This work-group's local buffers.
+    limits:
+        Shared step budget.
+    access_hook:
+        Optional callback receiving shared-memory accesses (for the race
+        detector).
+    comma_yields_zero:
+        Models the Oclgrind comma-operator defect of Figure 2(f): when set,
+        the comma operator evaluates both operands but yields 0.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        global_memory: memory.GlobalMemory,
+        local_memory: memory.LocalMemory,
+        limits: ExecutionLimits,
+        access_hook: Optional[memory.AccessHook] = None,
+        comma_yields_zero: bool = False,
+    ) -> None:
+        self.program = program
+        self.global_memory = global_memory
+        self.local_memory = local_memory
+        self.limits = limits
+        self.access_hook = access_hook
+        self.comma_yields_zero = comma_yields_zero
+        self._functions: Dict[str, ast.FunctionDecl] = {}
+        for fn in program.functions:
+            if fn.body is not None:
+                self._functions[fn.name] = fn
+
+    # ------------------------------------------------------------------
+    # Thread entry point
+    # ------------------------------------------------------------------
+
+    def run_thread(self, thread: ThreadContext) -> Generator[SchedulerEvent, None, None]:
+        """Generator executing the kernel for one work-item."""
+        kernel = self.program.kernel()
+        env = memory.Environment()
+        self._bind_kernel_params(kernel, env)
+        flow = yield from self._exec_block(kernel.body, env, thread, 0)
+        # A return from the kernel body simply ends the thread.
+        del flow
+
+    def _bind_kernel_params(self, kernel: ast.FunctionDecl, env: memory.Environment) -> None:
+        scalar_args: Dict[str, int] = dict(self.program.metadata.get("scalar_args", {}))
+        for param in kernel.params:
+            if isinstance(param.type, ty.PointerType):
+                space = param.type.address_space
+                if space in (ty.GLOBAL, ty.CONSTANT):
+                    cell = self.global_memory.cell(param.name)
+                elif space == ty.LOCAL:
+                    cell = self.local_memory.cell(param.name)
+                else:
+                    raise UndefinedBehaviourError(
+                        UBKind.NULL_DEREFERENCE,
+                        f"kernel pointer parameter {param.name!r} in private space",
+                    )
+                ptr = vals.PointerValue(param.type, cell, ())
+                env.declare(memory.Cell(param.name, param.type, ptr))
+            elif isinstance(param.type, ty.IntType):
+                raw = scalar_args.get(param.name, 0)
+                env.declare(
+                    memory.Cell(
+                        param.name,
+                        param.type,
+                        vals.ScalarValue.wrap(param.type, raw),
+                    )
+                )
+            else:
+                raise UndefinedBehaviourError(
+                    UBKind.INVALID_FIELD,
+                    f"unsupported kernel parameter type {param.type}",
+                )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _exec_block(
+        self,
+        blk: ast.Block,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, _Flow]:
+        scope = env.child()
+        for stmt in blk.statements:
+            flow = yield from self._exec_stmt(stmt, scope, thread, depth)
+            if flow.kind != _NORMAL:
+                return flow
+        return _Flow()
+
+    def _exec_stmt(
+        self,
+        stmt: ast.Stmt,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, _Flow]:
+        self.limits.tick()
+        if isinstance(stmt, ast.Block):
+            return (yield from self._exec_block(stmt, env, thread, depth))
+        if isinstance(stmt, ast.DeclStmt):
+            yield from self._exec_decl(stmt, env, thread, depth)
+            return _Flow()
+        if isinstance(stmt, ast.AssignStmt):
+            yield from self._exec_assign(stmt.target, stmt.value, stmt.op, env, thread, depth)
+            return _Flow()
+        if isinstance(stmt, ast.ExprStmt):
+            yield from self._eval(stmt.expr, env, thread, depth)
+            return _Flow()
+        if isinstance(stmt, ast.IfStmt):
+            cond = yield from self._eval(stmt.cond, env, thread, depth)
+            if self._truthy(cond):
+                return (yield from self._exec_block(stmt.then_block, env, thread, depth))
+            if stmt.else_block is not None:
+                return (yield from self._exec_block(stmt.else_block, env, thread, depth))
+            return _Flow()
+        if isinstance(stmt, ast.ForStmt):
+            return (yield from self._exec_for(stmt, env, thread, depth))
+        if isinstance(stmt, ast.WhileStmt):
+            return (yield from self._exec_while(stmt, env, thread, depth))
+        if isinstance(stmt, ast.ReturnStmt):
+            value = None
+            if stmt.value is not None:
+                value = yield from self._eval(stmt.value, env, thread, depth)
+            return _Flow(_RETURN, value)
+        if isinstance(stmt, ast.BreakStmt):
+            return _Flow(_BREAK)
+        if isinstance(stmt, ast.ContinueStmt):
+            return _Flow(_CONTINUE)
+        if isinstance(stmt, ast.BarrierStmt):
+            yield SchedulerEvent(BARRIER_EVENT, barrier_site=id(stmt), fence=stmt.fence)
+            return _Flow()
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"unknown statement {type(stmt).__name__}"
+        )
+
+    def _exec_decl(
+        self,
+        stmt: ast.DeclStmt,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, None]:
+        if stmt.init is None:
+            cell = memory.Cell.uninitialised(stmt.name, stmt.type, volatile=stmt.volatile)
+            env.declare(cell)
+            return
+        value = yield from self._eval_initialiser(stmt.init, stmt.type, env, thread, depth)
+        cell = memory.Cell(stmt.name, stmt.type, value, volatile=stmt.volatile)
+        env.declare(cell)
+
+    def _exec_assign(
+        self,
+        target: ast.Expr,
+        value_expr: ast.Expr,
+        op: str,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, None]:
+        lv = yield from self._eval_lvalue(target, env, thread, depth)
+        rhs = yield from self._eval(value_expr, env, thread, depth)
+        if op != "=":
+            base_op = op[:-1]
+            current = lv.read(self.access_hook)
+            rhs = self._binary(base_op, current, rhs)
+        lv.write(self._convert_for_store(rhs, lv.type), self.access_hook)
+
+    def _exec_for(
+        self,
+        stmt: ast.ForStmt,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, _Flow]:
+        scope = env.child()
+        if stmt.init is not None:
+            flow = yield from self._exec_stmt(stmt.init, scope, thread, depth)
+            if flow.kind == _RETURN:
+                return flow
+        while True:
+            self.limits.tick()
+            if stmt.cond is not None:
+                cond = yield from self._eval(stmt.cond, scope, thread, depth)
+                if not self._truthy(cond):
+                    break
+            flow = yield from self._exec_block(stmt.body, scope, thread, depth)
+            if flow.kind == _BREAK:
+                break
+            if flow.kind == _RETURN:
+                return flow
+            if stmt.update is not None:
+                flow = yield from self._exec_stmt(stmt.update, scope, thread, depth)
+                if flow.kind == _RETURN:
+                    return flow
+        return _Flow()
+
+    def _exec_while(
+        self,
+        stmt: ast.WhileStmt,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, _Flow]:
+        while True:
+            self.limits.tick()
+            cond = yield from self._eval(stmt.cond, env, thread, depth)
+            if not self._truthy(cond):
+                break
+            flow = yield from self._exec_block(stmt.body, env, thread, depth)
+            if flow.kind == _BREAK:
+                break
+            if flow.kind == _RETURN:
+                return flow
+        return _Flow()
+
+    # ------------------------------------------------------------------
+    # Initialisers
+    # ------------------------------------------------------------------
+
+    def _eval_initialiser(
+        self,
+        init: ast.Expr,
+        target_type: ty.Type,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        if isinstance(init, ast.InitList):
+            return (yield from self._build_from_initlist(init, target_type, env, thread, depth))
+        value = yield from self._eval(init, env, thread, depth)
+        return self._convert_for_store(value, target_type)
+
+    def _build_from_initlist(
+        self,
+        init: ast.InitList,
+        target_type: ty.Type,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        if isinstance(target_type, ty.StructType):
+            result = vals.StructValue.zero(target_type)
+            for fdecl, elem in zip(target_type.fields, init.elements):
+                value = yield from self._eval_initialiser(elem, fdecl.type, env, thread, depth)
+                result.set(fdecl.name, value)
+            return result
+        if isinstance(target_type, ty.UnionType):
+            # C semantics: a braced initialiser for a union initialises its
+            # *first* member (Figure 2(a) depends on this).
+            result = vals.UnionValue.zero(target_type)
+            if init.elements:
+                first = target_type.fields[0]
+                value = yield from self._eval_initialiser(
+                    init.elements[0], first.type, env, thread, depth
+                )
+                result.set(first.name, value)
+            return result
+        if isinstance(target_type, ty.ArrayType):
+            result = vals.ArrayValue.zero(target_type)
+            for i, elem in enumerate(init.elements):
+                if i >= target_type.length:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, "excess elements in array initialiser"
+                    )
+                value = yield from self._eval_initialiser(
+                    elem, target_type.element, env, thread, depth
+                )
+                result.set(i, value)
+            return result
+        if isinstance(target_type, (ty.IntType, ty.VectorType)):
+            if len(init.elements) != 1:
+                raise UndefinedBehaviourError(
+                    UBKind.INVALID_FIELD, "scalar initialised with a list"
+                )
+            value = yield from self._eval(init.elements[0], env, thread, depth)
+            return self._convert_for_store(value, target_type)
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"cannot initialise {target_type} from a list"
+        )
+
+    # ------------------------------------------------------------------
+    # L-values
+    # ------------------------------------------------------------------
+
+    def _eval_lvalue(
+        self,
+        expr: ast.Expr,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, memory.LValue]:
+        self.limits.tick()
+        if isinstance(expr, ast.VarRef):
+            try:
+                cell = env.lookup(expr.name)
+            except KeyError as exc:
+                raise UndefinedBehaviourError(
+                    UBKind.UNINITIALISED_READ, f"unknown variable {expr.name!r}"
+                ) from exc
+            return memory.LValue(cell)
+        if isinstance(expr, ast.Deref):
+            ptr = yield from self._eval(expr.operand, env, thread, depth)
+            return self._deref_target(ptr)
+        if isinstance(expr, ast.FieldAccess):
+            if expr.arrow:
+                ptr = yield from self._eval(expr.base, env, thread, depth)
+                base = self._pointer_target(ptr)
+            else:
+                base = yield from self._eval_lvalue(expr.base, env, thread, depth)
+            return base.member(expr.field)
+        if isinstance(expr, ast.IndexAccess):
+            index = yield from self._eval(expr.index, env, thread, depth)
+            idx = self._as_int(index)
+            base_is_pointer = self._is_pointer_expr(expr.base, env)
+            if base_is_pointer:
+                ptr = yield from self._eval(expr.base, env, thread, depth)
+                target = self._pointer_target(ptr)
+            else:
+                target = yield from self._eval_lvalue(expr.base, env, thread, depth)
+            return target.index(idx)
+        if isinstance(expr, ast.VectorComponent):
+            base = yield from self._eval_lvalue(expr.base, env, thread, depth)
+            return base.index(expr.component)
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"expression is not an lvalue: {type(expr).__name__}"
+        )
+
+    def _is_pointer_expr(self, expr: ast.Expr, env: memory.Environment) -> bool:
+        """Heuristically decide whether ``expr`` evaluates to a pointer value.
+
+        Only variable references can denote pointers in the programs this
+        repository constructs (pointer-valued temporaries are never indexed),
+        so the check is a cell-type lookup.
+        """
+        if isinstance(expr, ast.VarRef) and env.contains(expr.name):
+            return isinstance(env.lookup(expr.name).type, ty.PointerType)
+        return False
+
+    def _pointer_target(self, ptr: vals.Value) -> memory.LValue:
+        if not isinstance(ptr, vals.PointerValue):
+            raise UndefinedBehaviourError(
+                UBKind.NULL_DEREFERENCE, "dereference of a non-pointer value"
+            )
+        if ptr.is_null:
+            raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+        return memory.lvalue_from_pointer(ptr)
+
+    def _deref_target(self, ptr: vals.Value) -> memory.LValue:
+        """The lvalue designated by ``*ptr``.
+
+        A pointer bound to a buffer argument designates the whole array while
+        its static pointee type is the element type (OpenCL buffer arguments
+        decay this way), so dereferencing such a pointer yields element 0;
+        indexing (handled elsewhere) yields element i.
+        """
+        lv = self._pointer_target(ptr)
+        if (
+            isinstance(ptr, vals.PointerValue)
+            and isinstance(ptr.type, ty.PointerType)
+            and not isinstance(ptr.type.pointee, ty.ArrayType)
+            and isinstance(lv.type, ty.ArrayType)
+        ):
+            return lv.index(0)
+        return lv
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval(
+        self,
+        expr: ast.Expr,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        self.limits.tick()
+        if isinstance(expr, ast.IntLiteral):
+            return vals.ScalarValue.wrap(expr.type, expr.value)
+        if isinstance(expr, ast.VarRef):
+            lv = yield from self._eval_lvalue(expr, env, thread, depth)
+            value = lv.read(self.access_hook)
+            return self._decay(value)
+        if isinstance(expr, ast.WorkItemExpr):
+            return self._workitem_value(expr, thread)
+        if isinstance(expr, ast.VectorLiteral):
+            return (yield from self._eval_vector_literal(expr, env, thread, depth))
+        if isinstance(expr, ast.UnaryOp):
+            operand = yield from self._eval(expr.operand, env, thread, depth)
+            return self._unary(expr.op, operand)
+        if isinstance(expr, ast.AddressOf):
+            lv = yield from self._eval_lvalue(expr.operand, env, thread, depth)
+            return lv.as_pointer()
+        if isinstance(expr, ast.Deref):
+            lv = yield from self._eval_lvalue(expr, env, thread, depth)
+            return self._decay(lv.read(self.access_hook))
+        if isinstance(expr, ast.BinaryOp):
+            return (yield from self._eval_binary(expr, env, thread, depth))
+        if isinstance(expr, ast.Conditional):
+            cond = yield from self._eval(expr.cond, env, thread, depth)
+            if self._truthy(cond):
+                return (yield from self._eval(expr.then, env, thread, depth))
+            return (yield from self._eval(expr.otherwise, env, thread, depth))
+        if isinstance(expr, ast.Cast):
+            operand = yield from self._eval(expr.operand, env, thread, depth)
+            return self._cast(operand, expr.type)
+        if isinstance(expr, (ast.FieldAccess, ast.IndexAccess, ast.VectorComponent)):
+            if self._is_lvalue_shaped(expr, env):
+                lv = yield from self._eval_lvalue(expr, env, thread, depth)
+                return self._decay(lv.read(self.access_hook))
+            return (yield from self._eval_rvalue_access(expr, env, thread, depth))
+        if isinstance(expr, ast.Call):
+            return (yield from self._eval_call(expr, env, thread, depth))
+        if isinstance(expr, ast.AssignExpr):
+            yield from self._exec_assign(expr.target, expr.value, expr.op, env, thread, depth)
+            lv = yield from self._eval_lvalue(expr.target, env, thread, depth)
+            return self._decay(lv.read(self.access_hook))
+        if isinstance(expr, ast.InitList):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "initialiser list outside a declaration"
+            )
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"unknown expression {type(expr).__name__}"
+        )
+
+    def _is_lvalue_shaped(self, expr: ast.Expr, env: memory.Environment) -> bool:
+        """True when ``expr`` designates storage (so reads should go through an
+        lvalue); false for accesses into temporaries such as ``rotate(x,y).x``
+        or ``(int2)(1, 2).y`` (Figure 2(b) and the front-end ambiguity of
+        section 6 exercise the latter)."""
+        if isinstance(expr, (ast.VarRef, ast.Deref)):
+            return True
+        if isinstance(expr, ast.FieldAccess):
+            if expr.arrow:
+                return True
+            return self._is_lvalue_shaped(expr.base, env)
+        if isinstance(expr, ast.IndexAccess):
+            if self._is_pointer_expr(expr.base, env):
+                return True
+            return self._is_lvalue_shaped(expr.base, env)
+        if isinstance(expr, ast.VectorComponent):
+            return self._is_lvalue_shaped(expr.base, env)
+        return False
+
+    def _eval_rvalue_access(
+        self,
+        expr: ast.Expr,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        """Evaluate a field/index/component access into a temporary value."""
+        if isinstance(expr, ast.VectorComponent):
+            base = yield from self._eval(expr.base, env, thread, depth)
+            if not isinstance(base, vals.VectorValue):
+                raise UndefinedBehaviourError(
+                    UBKind.INVALID_FIELD, "component access on a non-vector value"
+                )
+            if not 0 <= expr.component < base.type.length:
+                raise UndefinedBehaviourError(
+                    UBKind.OUT_OF_BOUNDS, f"vector component {expr.component}"
+                )
+            return base.component(expr.component)
+        if isinstance(expr, ast.FieldAccess):
+            base = yield from self._eval(expr.base, env, thread, depth)
+            if isinstance(base, (vals.StructValue, vals.UnionValue)):
+                if not base.type.has_field(expr.field):
+                    raise UndefinedBehaviourError(
+                        UBKind.INVALID_FIELD, f"no field {expr.field!r} in {base.type}"
+                    )
+                return self._decay(base.get(expr.field))
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "field access on a non-aggregate value"
+            )
+        if isinstance(expr, ast.IndexAccess):
+            index = yield from self._eval(expr.index, env, thread, depth)
+            idx = self._as_int(index)
+            base = yield from self._eval(expr.base, env, thread, depth)
+            if isinstance(base, vals.ArrayValue):
+                if not 0 <= idx < base.type.length:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
+                    )
+                return self._decay(base.get(idx))
+            if isinstance(base, vals.VectorValue):
+                if not 0 <= idx < base.type.length:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
+                    )
+                return base.component(idx)
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "index access on a non-array value"
+            )
+        raise UndefinedBehaviourError(  # pragma: no cover - defensive
+            UBKind.INVALID_FIELD, f"unsupported rvalue access {type(expr).__name__}"
+        )
+
+    def _decay(self, value: vals.Value) -> vals.Value:
+        """Reading an aggregate lvalue yields a copy (value semantics)."""
+        if isinstance(value, (vals.StructValue, vals.UnionValue, vals.ArrayValue)):
+            return value.copy()
+        return value
+
+    def _eval_vector_literal(
+        self,
+        expr: ast.VectorLiteral,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.VectorValue]:
+        components: List[int] = []
+        for elem in expr.elements:
+            value = yield from self._eval(elem, env, thread, depth)
+            if isinstance(value, vals.VectorValue):
+                components.extend(value.elements)
+            else:
+                components.append(self._as_int(value))
+        if len(components) == 1:
+            components = components * expr.type.length
+        if len(components) != expr.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD,
+                f"vector literal with {len(components)} components for {expr.type}",
+            )
+        return vals.VectorValue(expr.type, components)
+
+    def _workitem_value(self, expr: ast.WorkItemExpr, thread: ThreadContext) -> vals.ScalarValue:
+        d = expr.dimension
+        fn = expr.function
+        if fn == "get_global_id":
+            raw = thread.global_id[d]
+        elif fn == "get_local_id":
+            raw = thread.local_id[d]
+        elif fn == "get_group_id":
+            raw = thread.group_id[d]
+        elif fn == "get_global_size":
+            raw = thread.global_size[d]
+        elif fn == "get_local_size":
+            raw = thread.local_size[d]
+        elif fn == "get_num_groups":
+            raw = thread.num_groups[d]
+        elif fn == "get_linear_global_id":
+            raw = thread.global_linear_id
+        elif fn == "get_linear_local_id":
+            raw = thread.local_linear_id
+        elif fn == "get_linear_group_id":
+            raw = thread.group_linear_id
+        else:  # pragma: no cover - defensive
+            raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown work-item fn {fn}")
+        return vals.ScalarValue.wrap(ty.SIZE_T, raw)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _eval_call(
+        self,
+        expr: ast.Call,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        if expr.name == "__trap":
+            raise RuntimeCrash("injected runtime fault")
+        if expr.name in builtins.ATOMIC_BUILTINS:
+            return (yield from self._eval_atomic(expr, env, thread, depth))
+        if expr.name in builtins.SCALAR_BUILTINS:
+            args = []
+            for a in expr.args:
+                value = yield from self._eval(a, env, thread, depth)
+                args.append(value)
+            return self._apply_scalar_builtin(expr.name, args)
+        # User-defined function call.
+        if depth >= _MAX_CALL_DEPTH:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS, "call depth limit exceeded"
+            )
+        try:
+            fn = self._functions[expr.name]
+        except KeyError as exc:
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"call to undefined function {expr.name!r}"
+            ) from exc
+        if len(expr.args) != len(fn.params):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"arity mismatch calling {expr.name!r}"
+            )
+        call_env = memory.Environment()
+        for param, arg in zip(fn.params, expr.args):
+            value = yield from self._eval(arg, env, thread, depth)
+            value = self._convert_for_store(value, param.type)
+            call_env.declare(memory.Cell(param.name, param.type, vals.copy_value(value)))
+        flow = yield from self._exec_block(fn.body, call_env, thread, depth + 1)
+        if flow.kind == _RETURN and flow.value is not None:
+            return flow.value
+        if isinstance(fn.return_type, ty.VoidType):
+            return vals.ScalarValue(ty.INT, 0)
+        # Falling off the end of a value-returning function: C leaves the
+        # value unspecified; we define it as 0 to keep programs deterministic.
+        return vals.zero_value(fn.return_type)
+
+    def _eval_atomic(
+        self,
+        expr: ast.Call,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        ptr = yield from self._eval(expr.args[0], env, thread, depth)
+        target = self._pointer_target(ptr)
+        operands: List[int] = []
+        for a in expr.args[1:]:
+            value = yield from self._eval(a, env, thread, depth)
+            operands.append(self._as_int(value))
+        # Scheduling point: the interleaving of atomics across threads is the
+        # only non-determinism OpenCL 1.x permits in our kernels.
+        yield SchedulerEvent(ATOMIC_EVENT)
+        old_value = target.read(self.access_hook, atomic=True)
+        old = self._as_int(old_value)
+        result_type = target.type if isinstance(target.type, ty.IntType) else ty.UINT
+        name = expr.name
+        if name == "atomic_add":
+            new = old + operands[0]
+        elif name == "atomic_sub":
+            new = old - operands[0]
+        elif name == "atomic_inc":
+            new = old + 1
+        elif name == "atomic_dec":
+            new = old - 1
+        elif name == "atomic_min":
+            new = min(old, operands[0])
+        elif name == "atomic_max":
+            new = max(old, operands[0])
+        elif name == "atomic_and":
+            new = old & operands[0]
+        elif name == "atomic_or":
+            new = old | operands[0]
+        elif name == "atomic_xor":
+            new = old ^ operands[0]
+        elif name == "atomic_xchg":
+            new = operands[0]
+        elif name == "atomic_cmpxchg":
+            new = operands[1] if old == operands[0] else old
+        else:  # pragma: no cover - defensive
+            raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown atomic {name}")
+        target.write(vals.ScalarValue.wrap(result_type, new), self.access_hook, atomic=True)
+        return vals.ScalarValue.wrap(result_type, old)
+
+    def _apply_scalar_builtin(self, name: str, args: List[vals.Value]) -> vals.Value:
+        spec = builtins.SCALAR_BUILTINS[name]
+        vector_args = [a for a in args if isinstance(a, vals.VectorValue)]
+        try:
+            if vector_args:
+                vtype = vector_args[0].type
+                length = vtype.length
+                components: List[int] = []
+                for i in range(length):
+                    scalars = []
+                    for a in args:
+                        if isinstance(a, vals.VectorValue):
+                            scalars.append(a.elements[i])
+                        else:
+                            scalars.append(self._as_int(a))
+                    components.append(spec.fn(*scalars, vtype.element))
+                return vals.VectorValue(vtype, components)
+            scalar_type = self._builtin_result_type(args)
+            ints = [self._as_int(a) for a in args]
+            result = spec.fn(*ints, scalar_type)
+            return vals.ScalarValue.wrap(scalar_type, result)
+        except builtins.BuiltinUndefined as exc:
+            raise UndefinedBehaviourError(UBKind.BUILTIN_UNDEFINED, str(exc)) from exc
+
+    def _builtin_result_type(self, args: List[vals.Value]) -> ty.IntType:
+        for a in args:
+            if isinstance(a, vals.ScalarValue):
+                return a.type
+        return ty.INT
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def _truthy(self, value: vals.Value) -> bool:
+        if isinstance(value, vals.ScalarValue):
+            return value.value != 0
+        if isinstance(value, vals.PointerValue):
+            return not value.is_null
+        if isinstance(value, vals.VectorValue):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "vector value used in a scalar boolean context"
+            )
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, "aggregate used in a boolean context"
+        )
+
+    def _as_int(self, value: vals.Value) -> int:
+        if isinstance(value, vals.ScalarValue):
+            return value.value
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"expected a scalar, got {type(value).__name__}"
+        )
+
+    def _cast(self, value: vals.Value, target: ty.Type) -> vals.Value:
+        if isinstance(target, ty.IntType):
+            if isinstance(value, vals.ScalarValue):
+                return value.cast(target)
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"cannot cast {type(value).__name__} to {target}"
+            )
+        if isinstance(target, ty.VectorType):
+            if isinstance(value, vals.VectorValue) and value.type.length == target.length:
+                return vals.VectorValue(
+                    target, [target.element.wrap(e) for e in value.elements]
+                )
+            if isinstance(value, vals.ScalarValue):
+                return vals.VectorValue.splat(target, target.element.wrap(value.value))
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"cannot cast to vector type {target}"
+            )
+        if isinstance(target, ty.PointerType) and isinstance(value, vals.PointerValue):
+            return vals.PointerValue(target, value.cell, value.path)
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"unsupported cast to {target}"
+        )
+
+    def _convert_for_store(self, value: vals.Value, target: ty.Type) -> vals.Value:
+        if isinstance(target, ty.IntType):
+            if isinstance(value, vals.ScalarValue):
+                return value.cast(target)
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"cannot store {type(value).__name__} into {target}"
+            )
+        if isinstance(target, ty.VectorType):
+            if isinstance(value, vals.VectorValue):
+                if value.type.length != target.length:
+                    raise UndefinedBehaviourError(
+                        UBKind.INVALID_FIELD, "vector length mismatch in assignment"
+                    )
+                return vals.VectorValue(
+                    target, [target.element.wrap(e) for e in value.elements]
+                )
+            if isinstance(value, vals.ScalarValue):
+                return vals.VectorValue.splat(target, target.element.wrap(value.value))
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "cannot store a non-vector into a vector"
+            )
+        if isinstance(target, ty.PointerType):
+            if isinstance(value, vals.PointerValue):
+                return vals.PointerValue(target, value.cell, value.path)
+            if isinstance(value, vals.ScalarValue) and value.value == 0:
+                return vals.PointerValue(target)  # null pointer constant
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "cannot store a non-pointer into a pointer"
+            )
+        if isinstance(target, (ty.StructType, ty.UnionType, ty.ArrayType)):
+            if isinstance(value, (vals.StructValue, vals.UnionValue, vals.ArrayValue)):
+                return vals.copy_value(value)
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"cannot store scalar into aggregate {target}"
+            )
+        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"cannot store into {target}")
+
+    def _unary(self, op: str, operand: vals.Value) -> vals.Value:
+        if isinstance(operand, vals.VectorValue):
+            elems = [
+                self._unary_scalar(op, e, operand.type.element) for e in operand.elements
+            ]
+            return vals.VectorValue(operand.type, elems)
+        if isinstance(operand, vals.ScalarValue):
+            if op == "!":
+                return vals.ScalarValue(ty.INT, 0 if operand.value else 1)
+            result_type = operand.type if operand.type.bits >= 32 else ty.INT
+            raw = self._unary_scalar(op, operand.value, result_type)
+            return vals.ScalarValue.wrap(result_type, raw)
+        if isinstance(operand, vals.PointerValue) and op == "!":
+            return vals.ScalarValue(ty.INT, 1 if operand.is_null else 0)
+        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"bad operand for unary {op}")
+
+    def _unary_scalar(self, op: str, value: int, type_: ty.IntType) -> int:
+        if op == "+":
+            return value
+        if op == "-":
+            result = -value
+            if type_.signed and not type_.contains(result):
+                raise UndefinedBehaviourError(UBKind.SIGNED_OVERFLOW, "unary minus overflow")
+            return type_.wrap(result)
+        if op == "~":
+            return type_.wrap(~value)
+        if op == "!":
+            return 0 if value else 1
+        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown unary operator {op}")
+
+    def _eval_binary(
+        self,
+        expr: ast.BinaryOp,
+        env: memory.Environment,
+        thread: ThreadContext,
+        depth: int,
+    ) -> Generator[SchedulerEvent, None, vals.Value]:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = yield from self._eval(expr.left, env, thread, depth)
+            left_true = self._truthy(left)
+            if op == "&&" and not left_true:
+                return vals.ScalarValue(ty.INT, 0)
+            if op == "||" and left_true:
+                return vals.ScalarValue(ty.INT, 1)
+            right = yield from self._eval(expr.right, env, thread, depth)
+            return vals.ScalarValue(ty.INT, 1 if self._truthy(right) else 0)
+        if op == ",":
+            left = yield from self._eval(expr.left, env, thread, depth)
+            right = yield from self._eval(expr.right, env, thread, depth)
+            if self.comma_yields_zero:
+                # Injected Oclgrind defect (Figure 2(f)).
+                if isinstance(right, vals.ScalarValue):
+                    return vals.ScalarValue(right.type, 0)
+                return right
+            return right
+        left = yield from self._eval(expr.left, env, thread, depth)
+        right = yield from self._eval(expr.right, env, thread, depth)
+        return self._binary(op, left, right)
+
+    def _binary(self, op: str, left: vals.Value, right: vals.Value) -> vals.Value:
+        if isinstance(left, vals.PointerValue) or isinstance(right, vals.PointerValue):
+            return self._pointer_binary(op, left, right)
+        if isinstance(left, vals.VectorValue) or isinstance(right, vals.VectorValue):
+            return self._vector_binary(op, left, right)
+        if not isinstance(left, vals.ScalarValue) or not isinstance(right, vals.ScalarValue):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"bad operands for binary {op}"
+            )
+        if op in ast.COMPARISON_OPERATORS:
+            result = self._compare(op, left.value, right.value)
+            return vals.ScalarValue(ty.INT, result)
+        result_type = ty.common_scalar_type(left.type, right.type)
+        raw = self._scalar_arith(op, left.value, right.value, result_type)
+        return vals.ScalarValue.wrap(result_type, raw)
+
+    def _pointer_binary(self, op: str, left: vals.Value, right: vals.Value) -> vals.Value:
+        if op in ("==", "!="):
+            same = (
+                isinstance(left, vals.PointerValue)
+                and isinstance(right, vals.PointerValue)
+                and left.cell is right.cell
+                and left.path == right.path
+            )
+            truth = same if op == "==" else not same
+            return vals.ScalarValue(ty.INT, 1 if truth else 0)
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, f"unsupported pointer operation {op}"
+        )
+
+    def _vector_binary(self, op: str, left: vals.Value, right: vals.Value) -> vals.Value:
+        if isinstance(left, vals.VectorValue):
+            vtype = left.type
+        else:
+            vtype = right.type  # type: ignore[union-attr]
+        length = vtype.length
+
+        def component(value: vals.Value, i: int) -> int:
+            if isinstance(value, vals.VectorValue):
+                return value.elements[i]
+            return self._as_int(value)
+
+        if (
+            isinstance(left, vals.VectorValue)
+            and isinstance(right, vals.VectorValue)
+            and left.type.length != right.type.length
+        ):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, "vector length mismatch in binary operation"
+            )
+        if op in ast.COMPARISON_OPERATORS:
+            # OpenCL vector comparisons yield -1 (all bits set) for true.
+            result_elem = vtype.element.signed_variant
+            rtype = ty.VectorType(result_elem, length)
+            elems = [
+                -1 if self._compare(op, component(left, i), component(right, i)) else 0
+                for i in range(length)
+            ]
+            return vals.VectorValue(rtype, elems)
+        if op in ("&&", "||"):
+            result_elem = vtype.element.signed_variant
+            rtype = ty.VectorType(result_elem, length)
+            elems = []
+            for i in range(length):
+                a, b = component(left, i), component(right, i)
+                truth = (a != 0 and b != 0) if op == "&&" else (a != 0 or b != 0)
+                elems.append(-1 if truth else 0)
+            return vals.VectorValue(rtype, elems)
+        elems = [
+            self._scalar_arith(op, component(left, i), component(right, i), vtype.element)
+            for i in range(length)
+        ]
+        return vals.VectorValue(vtype, elems)
+
+    def _compare(self, op: str, a: int, b: int) -> int:
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        if op == ">=":
+            return 1 if a >= b else 0
+        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown comparison {op}")
+
+    def _scalar_arith(self, op: str, a: int, b: int, type_: ty.IntType) -> int:
+        """Raw C-like arithmetic with UB detection for unsafe operators."""
+        if op == "+":
+            result = a + b
+        elif op == "-":
+            result = a - b
+        elif op == "*":
+            result = a * b
+        elif op == "/":
+            if b == 0:
+                raise UndefinedBehaviourError(UBKind.DIVISION_BY_ZERO)
+            result = builtins._c_div(a, b)
+        elif op == "%":
+            if b == 0:
+                raise UndefinedBehaviourError(UBKind.DIVISION_BY_ZERO)
+            result = builtins._c_mod(a, b)
+        elif op == "<<":
+            if b < 0 or b >= type_.bits:
+                raise UndefinedBehaviourError(
+                    UBKind.SHIFT_OUT_OF_RANGE, f"shift by {b} on {type_.spelling()}"
+                )
+            result = a << b
+        elif op == ">>":
+            if b < 0 or b >= type_.bits:
+                raise UndefinedBehaviourError(
+                    UBKind.SHIFT_OUT_OF_RANGE, f"shift by {b} on {type_.spelling()}"
+                )
+            result = a >> b
+        elif op == "&":
+            result = type_.wrap(a) & type_.wrap(b) if not type_.signed else a & b
+        elif op == "|":
+            result = type_.wrap(a) | type_.wrap(b) if not type_.signed else a | b
+        elif op == "^":
+            result = type_.wrap(a) ^ type_.wrap(b) if not type_.signed else a ^ b
+        else:
+            raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown operator {op}")
+        if op in ("+", "-", "*", "<<") and type_.signed and not type_.contains(result):
+            raise UndefinedBehaviourError(
+                UBKind.SIGNED_OVERFLOW, f"{a} {op} {b} overflows {type_.spelling()}"
+            )
+        return type_.wrap(result)
+
+
+__all__ = [
+    "ThreadContext",
+    "ExecutionLimits",
+    "SchedulerEvent",
+    "BARRIER_EVENT",
+    "ATOMIC_EVENT",
+    "Interpreter",
+]

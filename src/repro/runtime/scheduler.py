@@ -1,0 +1,133 @@
+"""Work-group scheduler: barrier synchronisation and thread interleaving.
+
+OpenCL 1.x provides no inter-group synchronisation (paper section 4.2), so
+work-groups are executed one after another; *within* a group the scheduler
+cooperatively interleaves the work-item coroutines produced by the
+interpreter.  Threads only yield at barriers and atomic operations, which are
+exactly the points at which the order of threads can influence intermediate
+state.  Because the kernels the generator produces are deterministic by
+construction, the final result must be independent of the interleaving -- the
+``ScheduleOrder`` policies exist so tests and benchmarks can *check* that
+claim by running the same kernel under different orders.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.runtime.errors import BarrierDivergenceError
+from repro.runtime.interpreter import (
+    ATOMIC_EVENT,
+    BARRIER_EVENT,
+    SchedulerEvent,
+    ThreadContext,
+)
+
+
+class ScheduleOrder(enum.Enum):
+    """Interleaving policies for threads within a work-group."""
+
+    #: Run threads in ascending local-linear-id order at every scheduling point.
+    ROUND_ROBIN = "round_robin"
+    #: Run threads in descending id order.
+    REVERSED = "reversed"
+    #: Pick the next runnable thread pseudo-randomly (seeded, reproducible).
+    RANDOM = "random"
+
+
+@dataclass
+class _ThreadSlot:
+    context: ThreadContext
+    coroutine: Generator[SchedulerEvent, None, None]
+    finished: bool = False
+    waiting_barrier: Optional[int] = None
+    waiting_fence: Optional[str] = None
+
+
+class WorkGroupScheduler:
+    """Runs all work-items of a single work-group to completion."""
+
+    def __init__(
+        self,
+        order: ScheduleOrder = ScheduleOrder.ROUND_ROBIN,
+        seed: int = 0,
+        barrier_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.order = order
+        self._rng = random.Random(seed)
+        self.barrier_hook = barrier_hook
+        #: Number of barrier episodes completed (used by the race detector to
+        #: delimit synchronisation epochs).
+        self.barrier_epochs = 0
+
+    def run(self, slots: List[_ThreadSlot]) -> None:
+        """Drive the work-group until every thread has finished."""
+        while True:
+            runnable = [s for s in slots if not s.finished and s.waiting_barrier is None]
+            if not runnable:
+                waiting = [s for s in slots if s.waiting_barrier is not None]
+                if not waiting:
+                    return  # all threads finished
+                self._release_barrier(slots, waiting)
+                continue
+            slot = self._pick(runnable)
+            self._advance(slot)
+
+    # -- internals -------------------------------------------------------
+
+    def _pick(self, runnable: List[_ThreadSlot]) -> _ThreadSlot:
+        if self.order is ScheduleOrder.ROUND_ROBIN:
+            return min(runnable, key=lambda s: s.context.local_linear_id)
+        if self.order is ScheduleOrder.REVERSED:
+            return max(runnable, key=lambda s: s.context.local_linear_id)
+        return self._rng.choice(runnable)
+
+    def _advance(self, slot: _ThreadSlot) -> None:
+        try:
+            event = next(slot.coroutine)
+        except StopIteration:
+            slot.finished = True
+            return
+        if event.kind == BARRIER_EVENT:
+            slot.waiting_barrier = event.barrier_site
+            slot.waiting_fence = event.fence
+        elif event.kind == ATOMIC_EVENT:
+            # The atomic itself executes when the thread next resumes; the
+            # yield simply provides an interleaving point.
+            pass
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown scheduler event {event.kind!r}")
+
+    def _release_barrier(self, slots: List[_ThreadSlot], waiting: List[_ThreadSlot]) -> None:
+        # A barrier may only be released once *every* thread of the group has
+        # arrived at it; a thread that already finished the kernel can never
+        # arrive, so its group-mates waiting at a barrier is divergence.
+        if len(waiting) != len(slots):
+            raise BarrierDivergenceError(
+                "some threads finished (or diverged) while others wait at a barrier"
+            )
+        sites = {s.waiting_barrier for s in waiting}
+        if len(sites) != 1:
+            raise BarrierDivergenceError(
+                "threads of one work-group arrived at different barriers"
+            )
+        fence = waiting[0].waiting_fence or ""
+        if self.barrier_hook is not None:
+            self.barrier_hook(fence)
+        self.barrier_epochs += 1
+        for s in waiting:
+            s.waiting_barrier = None
+            s.waiting_fence = None
+
+
+def make_slot(
+    context: ThreadContext, coroutine: Generator[SchedulerEvent, None, None]
+) -> _ThreadSlot:
+    """Package a thread context and its interpreter coroutine for scheduling."""
+    return _ThreadSlot(context, coroutine)
+
+
+__all__ = ["ScheduleOrder", "WorkGroupScheduler", "make_slot"]

@@ -1,0 +1,21 @@
+"""Fuzzing-campaign machinery: outcome classification, the differential and
+EMI harnesses, reliability-threshold classification, campaign orchestration,
+test-case reduction and the Figure 1 / Figure 2 bug-exemplar kernels.
+"""
+
+from repro.testing.outcomes import Outcome, TestRecord, OutcomeCounts
+from repro.testing.differential import DifferentialHarness, DifferentialResult
+from repro.testing.emi_harness import EmiHarness, EmiBaseResult
+from repro.testing.reliability import ReliabilityClassifier, ReliabilityReport
+
+__all__ = [
+    "Outcome",
+    "TestRecord",
+    "OutcomeCounts",
+    "DifferentialHarness",
+    "DifferentialResult",
+    "EmiHarness",
+    "EmiBaseResult",
+    "ReliabilityClassifier",
+    "ReliabilityReport",
+]

@@ -1,0 +1,281 @@
+"""Campaign orchestration: the experiments behind Tables 3, 4 and 5.
+
+The functions here generate workloads, run the differential / EMI harnesses
+at configurable scale, and aggregate the counts into the same row/column
+structure the paper reports.  The benchmark harnesses under ``benchmarks/``
+call these functions with small-but-meaningful sizes and print the resulting
+tables; EXPERIMENTS.md records the sizes used and compares the shapes with
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.emi.variants import generate_variants, invert_dead_array, mark_base_fingerprint
+from repro.generator import generate_kernel
+from repro.generator.options import ALL_MODES, GeneratorOptions, Mode
+from repro.kernel_lang import ast
+from repro.platforms.config import DeviceConfig
+from repro.testing.differential import DifferentialHarness
+from repro.testing.emi_harness import EmiHarness
+from repro.testing.outcomes import Outcome, OutcomeCounts
+
+
+# ---------------------------------------------------------------------------
+# Table 4: large-scale CLsmith differential testing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClsmithCampaignResult:
+    """Counts per (mode, configuration, optimisation level)."""
+
+    kernels_per_mode: int
+    counts: Dict[Tuple[str, str, bool], OutcomeCounts] = field(default_factory=dict)
+
+    def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
+        return self.counts.setdefault(
+            (mode.value, config_name, optimisations), OutcomeCounts()
+        )
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for (mode, config_name, optimisations), counts in sorted(self.counts.items()):
+            rows.append(
+                {
+                    "mode": mode,
+                    "configuration": f"{config_name}{'+' if optimisations else '-'}",
+                    **counts.as_dict(),
+                    "w%": round(counts.wrong_code_percentage, 2),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        lines = [
+            f"{'mode':<18}{'configuration':<16}{'w':>5}{'bf':>5}{'c':>5}"
+            f"{'to':>5}{'ok':>6}{'w%':>7}"
+        ]
+        for row in self.table_rows():
+            lines.append(
+                f"{row['mode']:<18}{row['configuration']:<16}{row['w']:>5}{row['bf']:>5}"
+                f"{row['c']:>5}{row['to']:>5}{row['ok']:>6}{row['w%']:>7}"
+            )
+        return "\n".join(lines)
+
+
+def run_clsmith_campaign(
+    configs: Sequence[DeviceConfig],
+    kernels_per_mode: int = 8,
+    modes: Sequence[Mode] = ALL_MODES,
+    options: Optional[GeneratorOptions] = None,
+    curate_on: Optional[DeviceConfig] = None,
+    max_steps: int = 500_000,
+    seed: int = 0,
+) -> ClsmithCampaignResult:
+    """Reproduce the Table 4 experiment at a configurable scale.
+
+    ``curate_on`` reproduces the paper's test-curation step: generated kernels
+    that fail to build (or time out) on that configuration with optimisations
+    enabled are discarded and replaced, which is why Table 4 shows zero build
+    failures for configuration 1+.
+    """
+    result = ClsmithCampaignResult(kernels_per_mode)
+    harness = DifferentialHarness(list(configs), max_steps=max_steps)
+    for mode_index, mode in enumerate(modes):
+        kernels = _curated_kernels(
+            mode, kernels_per_mode, seed + mode_index * 10_000, options, curate_on, max_steps
+        )
+        for kernel in kernels:
+            diff = harness.run(kernel)
+            for record in diff.records:
+                result.cell(mode, record.config_name, record.optimisations).add(record.outcome)
+    return result
+
+
+def _curated_kernels(
+    mode: Mode,
+    count: int,
+    seed: int,
+    options: Optional[GeneratorOptions],
+    curate_on: Optional[DeviceConfig],
+    max_steps: int,
+) -> List[ast.Program]:
+    kernels: List[ast.Program] = []
+    attempt = 0
+    curation = (
+        DifferentialHarness([curate_on], optimisation_levels=(True,), max_steps=max_steps)
+        if curate_on is not None
+        else None
+    )
+    while len(kernels) < count and attempt < count * 5:
+        kernel = generate_kernel(mode, seed + attempt, options=options)
+        attempt += 1
+        if curation is not None:
+            record = curation.run(kernel).records[0]
+            if record.outcome in (Outcome.BUILD_FAILURE, Outcome.TIMEOUT):
+                continue
+        kernels.append(kernel)
+    return kernels
+
+
+# ---------------------------------------------------------------------------
+# Table 5: CLsmith + EMI testing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EmiCampaignResult:
+    """Per-configuration base-program counts in the shape of Table 5."""
+
+    n_bases: int
+    n_variants: int
+    rows: Dict[Tuple[str, bool], Dict[str, int]] = field(default_factory=dict)
+
+    def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
+        return self.rows.setdefault(
+            (config_name, optimisations),
+            {"base_fails": 0, "w": 0, "bf": 0, "c": 0, "to": 0, "stable": 0},
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"{'configuration':<16}{'base fails':>11}{'w':>5}{'bf':>5}{'c':>5}{'to':>5}"
+            f"{'stable':>8}"
+        ]
+        for (config_name, optimisations), row in sorted(self.rows.items()):
+            label = f"{config_name}{'+' if optimisations else '-'}"
+            lines.append(
+                f"{label:<16}{row['base_fails']:>11}{row['w']:>5}{row['bf']:>5}"
+                f"{row['c']:>5}{row['to']:>5}{row['stable']:>8}"
+            )
+        return "\n".join(lines)
+
+
+def generate_emi_bases(
+    n_bases: int,
+    seed: int = 0,
+    options: Optional[GeneratorOptions] = None,
+    filter_dead_placement: bool = True,
+    max_steps: int = 500_000,
+) -> List[ast.Program]:
+    """Generate ALL-mode base kernels with 1-5 EMI blocks.
+
+    When ``filter_dead_placement`` is set, candidates whose results do not
+    change when the ``dead`` array is inverted are discarded -- the paper's
+    check that EMI blocks were not all placed in already-dead code
+    (section 7.4).
+    """
+    harness = EmiHarness(max_steps=max_steps)
+    bases: List[ast.Program] = []
+    attempt = 0
+    base_options = options or GeneratorOptions()
+    while len(bases) < n_bases and attempt < n_bases * 6:
+        emi_blocks = 1 + (attempt % 5)
+        candidate = generate_kernel(
+            Mode.ALL, seed + attempt, options=base_options, emi_blocks=emi_blocks
+        )
+        attempt += 1
+        if filter_dead_placement:
+            normal_outcome, normal = harness._run_one(candidate, None, True)
+            inverted_outcome, inverted = harness._run_one(
+                invert_dead_array(candidate), None, True
+            )
+            if normal_outcome is not Outcome.PASS or inverted_outcome is not Outcome.PASS:
+                continue
+            if normal is not None and inverted is not None and normal.outputs == inverted.outputs:
+                continue  # every EMI block landed in dead code; discard
+        bases.append(mark_base_fingerprint(candidate))
+    return bases
+
+
+def run_emi_campaign(
+    configs: Sequence[DeviceConfig],
+    n_bases: int = 6,
+    variants_per_base: Optional[int] = 12,
+    optimisation_levels: Sequence[bool] = (False, True),
+    options: Optional[GeneratorOptions] = None,
+    max_steps: int = 500_000,
+    seed: int = 0,
+    bases: Optional[List[ast.Program]] = None,
+) -> EmiCampaignResult:
+    """Reproduce the Table 5 experiment at a configurable scale."""
+    if bases is None:
+        bases = generate_emi_bases(n_bases, seed=seed, options=options, max_steps=max_steps)
+    harness = EmiHarness(max_steps=max_steps)
+    n_variants = 0
+    result = EmiCampaignResult(len(bases), 0)
+    for base in bases:
+        variants = generate_variants(base, seed=seed)
+        if variants_per_base is not None:
+            variants = variants[:variants_per_base]
+        family = [base] + variants
+        n_variants = len(family)
+        for config in configs:
+            for optimisations in optimisation_levels:
+                summary = harness.run_family(family, config, optimisations)
+                row = result.row(summary.config_name, optimisations)
+                if summary.bad_base:
+                    row["base_fails"] += 1
+                    continue
+                if summary.wrong_code:
+                    row["w"] += 1
+                if summary.induced_build_failure:
+                    row["bf"] += 1
+                if summary.induced_crash:
+                    row["c"] += 1
+                if summary.induced_timeout:
+                    row["to"] += 1
+                if summary.stable:
+                    row["stable"] += 1
+    result.n_variants = n_variants
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 3: EMI testing over the workload suite
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchmarkEmiResult:
+    """Worst-outcome-per-(benchmark, configuration) grid (Table 3)."""
+
+    cells: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def set_cell(self, benchmark: str, config_name: str, code: str) -> None:
+        self.cells[(benchmark, config_name)] = code
+
+    def cell(self, benchmark: str, config_name: str) -> str:
+        return self.cells.get((benchmark, config_name), "?")
+
+    def render(self, benchmarks: Sequence[str], configs: Sequence[str]) -> str:
+        header = f"{'benchmark':<14}" + "".join(f"{c:>10}" for c in configs)
+        lines = [header]
+        for benchmark in benchmarks:
+            row = f"{benchmark:<14}" + "".join(
+                f"{self.cell(benchmark, c):>10}" for c in configs
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+_OUTCOME_SEVERITY = {"w": 4, "c": 3, "to": 2, "ng": 1, "ok": 0, "?": -1}
+
+
+def worst_code(codes: Sequence[str]) -> str:
+    """The paper's 'worst outcome' aggregation for Table 3."""
+    return max(codes, key=lambda c: _OUTCOME_SEVERITY.get(c, -1)) if codes else "?"
+
+
+__all__ = [
+    "ClsmithCampaignResult",
+    "run_clsmith_campaign",
+    "EmiCampaignResult",
+    "generate_emi_bases",
+    "run_emi_campaign",
+    "BenchmarkEmiResult",
+    "worst_code",
+]

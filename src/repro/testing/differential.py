@@ -1,0 +1,149 @@
+"""Random differential testing harness (paper sections 3.2 and 7.3).
+
+One test program is compiled and executed on every requested
+(configuration, optimisation level) pair.  Runs that terminate with a value
+vote; a *majority of at least three* defines the reference result, and any
+terminating run that disagrees with it is classified as a wrong-code result
+-- exactly the rule of section 7.3.
+
+Because most configurations compile most programs identically (the injected
+bug models fire only on matching programs), execution results are cached by
+the fingerprint of the *compiled* program plus its execution flags; this
+keeps campaign-scale runs tractable on the pure-Python interpreter without
+changing any outcome.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.compiler.driver import CompilerDriver
+from repro.kernel_lang import ast
+from repro.platforms.calibration import program_fingerprint
+from repro.platforms.config import DeviceConfig
+from repro.runtime.device import KernelResult
+from repro.runtime.errors import KernelRuntimeError, BuildFailure
+from repro.testing.outcomes import Outcome, TestRecord, classify_exception
+
+#: Minimum size of the majority required to call a disagreeing result wrong.
+MAJORITY_THRESHOLD = 3
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of differential-testing one program."""
+
+    records: List[TestRecord]
+    majority_value: Optional[str] = None
+    majority_size: int = 0
+
+    def record_for(self, config_name: str, optimisations: bool) -> TestRecord:
+        for record in self.records:
+            if record.config_name == config_name and record.optimisations == optimisations:
+                return record
+        raise KeyError(f"no record for {config_name} opt={optimisations}")
+
+    @property
+    def wrong_code_records(self) -> List[TestRecord]:
+        return [r for r in self.records if r.outcome is Outcome.WRONG_CODE]
+
+    @property
+    def has_mismatch(self) -> bool:
+        return bool(self.wrong_code_records)
+
+
+class DifferentialHarness:
+    """Runs programs across configurations and applies majority voting."""
+
+    def __init__(
+        self,
+        configs: Sequence[Optional[DeviceConfig]],
+        optimisation_levels: Sequence[bool] = (False, True),
+        max_steps: int = 2_000_000,
+        cache_results: bool = True,
+    ) -> None:
+        self.configs = list(configs)
+        self.optimisation_levels = list(optimisation_levels)
+        self.max_steps = max_steps
+        self.cache_results = cache_results
+        self._cache: Dict[Tuple[str, Tuple[Tuple[str, bool], ...]], KernelResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: ast.Program) -> DifferentialResult:
+        """Compile/execute ``program`` everywhere and vote on the results."""
+        records: List[TestRecord] = []
+        values: List[Tuple[TestRecord, str]] = []
+        for config in self.configs:
+            for optimisations in self.optimisation_levels:
+                record = self._run_one(program, config, optimisations)
+                records.append(record)
+                if record.outcome is Outcome.PASS and record.result is not None:
+                    values.append((record, record.result.result_hash()))
+
+        majority_value, majority_size = self._majority(v for _, v in values)
+        if majority_value is not None and majority_size >= MAJORITY_THRESHOLD:
+            for record, value in values:
+                if value != majority_value:
+                    record.outcome = Outcome.WRONG_CODE
+        return DifferentialResult(records, majority_value, majority_size)
+
+    # ------------------------------------------------------------------
+
+    def _run_one(
+        self,
+        program: ast.Program,
+        config: Optional[DeviceConfig],
+        optimisations: bool,
+    ) -> TestRecord:
+        name = config.name if config is not None else "reference"
+        try:
+            compiled = CompilerDriver(config).compile(program, optimisations=optimisations)
+        except (BuildFailure, KernelRuntimeError) as error:
+            return TestRecord(name, optimisations, classify_exception(error), detail=str(error))
+        try:
+            result = self._execute(compiled)
+        except (BuildFailure, KernelRuntimeError) as error:
+            return TestRecord(name, optimisations, classify_exception(error), detail=str(error))
+        return TestRecord(name, optimisations, Outcome.PASS, result=result)
+
+    def _execute(self, compiled) -> KernelResult:
+        key = None
+        if self.cache_results:
+            flags = tuple(sorted(compiled.execution_flags.items()))
+            key = (program_fingerprint(compiled.program), flags)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        result = compiled.run(max_steps=self.max_steps)
+        if key is not None:
+            self._cache[key] = result
+        return result
+
+    @staticmethod
+    def _majority(values: Iterable[str]) -> Tuple[Optional[str], int]:
+        counter = Counter(values)
+        if not counter:
+            return None, 0
+        value, count = counter.most_common(1)[0]
+        return value, count
+
+
+def run_differential(
+    program: ast.Program,
+    configs: Sequence[Optional[DeviceConfig]],
+    optimisation_levels: Sequence[bool] = (False, True),
+    max_steps: int = 2_000_000,
+) -> DifferentialResult:
+    """One-shot convenience wrapper around :class:`DifferentialHarness`."""
+    return DifferentialHarness(configs, optimisation_levels, max_steps).run(program)
+
+
+__all__ = [
+    "MAJORITY_THRESHOLD",
+    "DifferentialResult",
+    "DifferentialHarness",
+    "run_differential",
+]

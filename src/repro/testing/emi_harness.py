@@ -1,0 +1,153 @@
+"""EMI (metamorphic) testing harness (paper sections 5, 7.2 and 7.4).
+
+Unlike differential testing, EMI testing evaluates a *single* configuration
+at a *single* optimisation level: a base program and its pruned variants must
+all produce the same result, so any two variants that terminate with
+different values expose a miscompilation.  The harness mirrors the paper's
+Table 5 bookkeeping:
+
+* a base is a **bad base** for a configuration if no variant terminates with
+  a computed value;
+* a base **induces wrong code** if two variants terminate with different
+  values;
+* a base **induces** a build failure / crash / timeout if at least one
+  variant exhibits it;
+* a base is **stable** if all variants terminate with the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.driver import CompilerDriver
+from repro.kernel_lang import ast
+from repro.platforms.calibration import program_fingerprint
+from repro.platforms.config import DeviceConfig
+from repro.runtime.device import KernelResult
+from repro.runtime.errors import BuildFailure, KernelRuntimeError
+from repro.testing.outcomes import Outcome, classify_exception
+
+
+@dataclass
+class EmiBaseResult:
+    """Per-(base, configuration, optimisation level) summary."""
+
+    config_name: str
+    optimisations: bool
+    variant_outcomes: List[Outcome]
+    distinct_values: int
+    bad_base: bool
+    wrong_code: bool
+    induced_build_failure: bool
+    induced_crash: bool
+    induced_timeout: bool
+    stable: bool
+
+    @property
+    def worst_outcome(self) -> str:
+        """The Table 3 style worst-case code for this base."""
+        if self.wrong_code:
+            return "w"
+        if self.induced_crash:
+            return "c"
+        if self.induced_timeout:
+            return "to"
+        if self.bad_base or self.induced_build_failure:
+            return "ng"
+        return "ok"
+
+
+class EmiHarness:
+    """Runs EMI variant families against one configuration at a time."""
+
+    def __init__(self, max_steps: int = 2_000_000, cache_results: bool = True) -> None:
+        self.max_steps = max_steps
+        self.cache_results = cache_results
+        self._cache: Dict[Tuple[str, Tuple[Tuple[str, bool], ...]], KernelResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def run_family(
+        self,
+        variants: Sequence[ast.Program],
+        config: Optional[DeviceConfig],
+        optimisations: bool,
+    ) -> EmiBaseResult:
+        """Run all ``variants`` (typically including the base itself) on one
+        configuration and summarise the outcomes."""
+        outcomes: List[Outcome] = []
+        values: List[str] = []
+        for variant in variants:
+            outcome, result = self._run_one(variant, config, optimisations)
+            outcomes.append(outcome)
+            if outcome is Outcome.PASS and result is not None:
+                values.append(result.result_hash())
+
+        distinct = len(set(values))
+        bad_base = len(values) == 0
+        wrong_code = distinct > 1
+        name = config.name if config is not None else "reference"
+        return EmiBaseResult(
+            config_name=name,
+            optimisations=optimisations,
+            variant_outcomes=outcomes,
+            distinct_values=distinct,
+            bad_base=bad_base,
+            wrong_code=wrong_code,
+            induced_build_failure=Outcome.BUILD_FAILURE in outcomes,
+            induced_crash=Outcome.RUNTIME_CRASH in outcomes,
+            induced_timeout=Outcome.TIMEOUT in outcomes,
+            stable=(not bad_base) and distinct == 1 and all(
+                o is Outcome.PASS for o in outcomes
+            ),
+        )
+
+    def compare_expected(
+        self,
+        program: ast.Program,
+        expected: KernelResult,
+        config: Optional[DeviceConfig],
+        optimisations: bool,
+    ) -> Outcome:
+        """Table 3 style check: run one variant and compare against the
+        benchmark's expected output (generated with an empty EMI block)."""
+        outcome, result = self._run_one(program, config, optimisations)
+        if outcome is Outcome.PASS and result is not None:
+            if result.outputs != expected.outputs:
+                return Outcome.WRONG_CODE
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _run_one(
+        self,
+        program: ast.Program,
+        config: Optional[DeviceConfig],
+        optimisations: bool,
+    ) -> Tuple[Outcome, Optional[KernelResult]]:
+        try:
+            compiled = CompilerDriver(config).compile(program, optimisations=optimisations)
+        except (BuildFailure, KernelRuntimeError) as error:
+            return classify_exception(error), None
+        try:
+            result = self._execute(compiled)
+        except (BuildFailure, KernelRuntimeError) as error:
+            return classify_exception(error), None
+        return Outcome.PASS, result
+
+    def _execute(self, compiled) -> KernelResult:
+        key = None
+        if self.cache_results:
+            flags = tuple(sorted(compiled.execution_flags.items()))
+            key = (program_fingerprint(compiled.program), flags)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        result = compiled.run(max_steps=self.max_steps)
+        if key is not None:
+            self._cache[key] = result
+        return result
+
+
+__all__ = ["EmiHarness", "EmiBaseResult"]

@@ -1,0 +1,514 @@
+"""The bug-exemplar kernels of Figures 1 and 2, as kernel-language programs.
+
+Each ``figure_*`` function builds the program shown in the paper (modulo
+renaming where the paper reuses the name ``k`` for both a helper and the
+kernel).  :data:`FIGURE_EXPECTATIONS` records, for each exemplar, the
+configurations the paper reports as affected, the defect class, and -- where
+the paper states one -- the correct and the buggy observable values, so that
+the E2/E3 benchmarks can check both sides: correct configurations produce the
+expected value, affected configurations reproduce the reported symptom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kernel_lang import ast, types as ty
+from repro.kernel_lang.ast import (
+    AddressOf,
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Block,
+    BreakStmt,
+    BufferSpec,
+    Call,
+    Cast,
+    DeclStmt,
+    Deref,
+    FieldAccess,
+    ForStmt,
+    FunctionDecl,
+    IfStmt,
+    IndexAccess,
+    InitList,
+    IntLiteral,
+    LaunchSpec,
+    ParamDecl,
+    Program,
+    ReturnStmt,
+    VarRef,
+    VectorComponent,
+    VectorLiteral,
+    WhileStmt,
+    WorkItemExpr,
+    out_write,
+)
+
+
+def _out_buffer(size: int) -> BufferSpec:
+    return BufferSpec("out", ty.ULONG, size, is_output=True)
+
+
+def _out_param() -> ParamDecl:
+    return ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 -- below-threshold configurations
+# ---------------------------------------------------------------------------
+
+
+def figure_1a() -> Program:
+    """AMD struct-layout bug: ``s.a + s.b`` comes out as 1 instead of 2."""
+    struct_s = ty.StructType("S", (ty.FieldDecl("a", ty.CHAR), ty.FieldDecl("b", ty.SHORT)))
+    body = Block([
+        DeclStmt("s", struct_s, InitList([IntLiteral(1, ty.CHAR), IntLiteral(1, ty.SHORT)])),
+        out_write(BinaryOp("+", FieldAccess(VarRef("s"), "a"), FieldAccess(VarRef("s"), "b"))),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        structs=[struct_s],
+        functions=[kernel],
+        buffers=[_out_buffer(2)],
+        launch=LaunchSpec((2, 1, 1), (2, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "1a"},
+    )
+
+
+def figure_1b() -> Program:
+    """Anonymous-GPU struct-copy bug (requires Nx = 1, opts off)."""
+    struct_s = ty.StructType(
+        "S",
+        (
+            ty.FieldDecl("a", ty.SHORT),
+            ty.FieldDecl("b", ty.INT),
+            ty.FieldDecl("c", ty.CHAR, volatile=True),
+            ty.FieldDecl("d", ty.INT),
+            ty.FieldDecl("e", ty.INT),
+            ty.FieldDecl("f", ty.ArrayType(ty.SHORT, 10)),
+        ),
+    )
+    f_init = InitList([IntLiteral(0)] * 7 + [IntLiteral(1)] + [IntLiteral(0)] * 2)
+    body = Block([
+        DeclStmt("s", struct_s),
+        DeclStmt("p", ty.PointerType(struct_s), AddressOf(VarRef("s"))),
+        DeclStmt("t", struct_s, InitList([IntLiteral(0)] * 5 + [f_init])),
+        AssignStmt(VarRef("s"), VarRef("t")),
+        out_write(IndexAccess(FieldAccess(VarRef("p"), "f", arrow=True), IntLiteral(7))),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        structs=[struct_s],
+        functions=[kernel],
+        buffers=[_out_buffer(1)],
+        launch=LaunchSpec((1, 1, 1), (1, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "1b"},
+    )
+
+
+def figure_1c() -> Program:
+    """Altera internal error for vectors inside structs."""
+    int4 = ty.VectorType(ty.INT, 4)
+    int2 = ty.VectorType(ty.INT, 2)
+    struct_s = ty.StructType("S", (ty.FieldDecl("x", int4),))
+    init = VectorLiteral(int4, [VectorLiteral(int2, [IntLiteral(1), IntLiteral(1)]),
+                                IntLiteral(1), IntLiteral(1)])
+    body = Block([
+        DeclStmt("s", struct_s, InitList([init])),
+        out_write(Cast(ty.ULONG, VectorComponent(FieldAccess(VarRef("s"), "x"), 0))),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        structs=[struct_s],
+        functions=[kernel],
+        buffers=[_out_buffer(1)],
+        launch=LaunchSpec((1, 1, 1), (1, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "1c"},
+    )
+
+
+def figure_1d() -> Program:
+    """Anonymous-CPU bug: store through a struct pointer after a barrier."""
+    struct_s = ty.StructType("S", (ty.FieldDecl("x", ty.INT), ty.FieldDecl("y", ty.INT)))
+    helper = FunctionDecl(
+        "f",
+        ty.VOID,
+        [ParamDecl("p", ty.PointerType(struct_s))],
+        Block([AssignStmt(FieldAccess(VarRef("p"), "x", arrow=True), IntLiteral(2))]),
+    )
+    body = Block([
+        DeclStmt("s", struct_s, InitList([IntLiteral(1), IntLiteral(1)])),
+        BarrierStmt(),
+        ast.ExprStmt(Call("f", [AddressOf(VarRef("s"))])),
+        out_write(BinaryOp("+", FieldAccess(VarRef("s"), "x"), FieldAccess(VarRef("s"), "y"))),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        structs=[struct_s],
+        functions=[helper, kernel],
+        buffers=[_out_buffer(2)],
+        launch=LaunchSpec((2, 1, 1), (2, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "1d"},
+    )
+
+
+def figure_1e() -> Program:
+    """Intel HD Graphics compile hang: 197-iteration loop around while(1)."""
+    body = Block([
+        ForStmt(
+            DeclStmt("i", ty.INT, IntLiteral(0)),
+            BinaryOp("<", VarRef("i"), IntLiteral(197)),
+            AssignStmt(VarRef("i"), IntLiteral(1), "+="),
+            Block([IfStmt(Deref(VarRef("p")), Block([WhileStmt(IntLiteral(1), Block([]))]))]),
+        ),
+        out_write(Cast(ty.ULONG, Deref(VarRef("p")))),
+    ])
+    kernel = FunctionDecl(
+        "entry",
+        ty.VOID,
+        [ParamDecl("p", ty.PointerType(ty.INT, ty.GLOBAL)), _out_param()],
+        body,
+        is_kernel=True,
+    )
+    return Program(
+        functions=[kernel],
+        buffers=[BufferSpec("p", ty.INT, 1, init="zero"), _out_buffer(1)],
+        launch=LaunchSpec((1, 1, 1), (1, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "1e"},
+    )
+
+
+def figure_1f() -> Program:
+    """Xeon Phi slow compilation for a large struct combined with a barrier."""
+    big_array = ty.ArrayType(ty.ArrayType(ty.ArrayType(ty.ULONG, 3), 9), 9)
+    struct_s = ty.StructType(
+        "S",
+        (ty.FieldDecl("a", ty.INT), ty.FieldDecl("b", ty.PointerType(ty.INT)),
+         ty.FieldDecl("c", big_array)),
+    )
+    body = Block([
+        DeclStmt("s", struct_s),
+        DeclStmt("p", ty.PointerType(struct_s), AddressOf(VarRef("s"))),
+        DeclStmt(
+            "t",
+            struct_s,
+            InitList([
+                IntLiteral(0),
+                AddressOf(FieldAccess(VarRef("p"), "a", arrow=True)),
+                InitList([]),
+            ]),
+        ),
+        AssignStmt(VarRef("s"), VarRef("t")),
+        BarrierStmt(),
+        out_write(
+            IndexAccess(
+                IndexAccess(
+                    IndexAccess(FieldAccess(VarRef("p"), "c", arrow=True), IntLiteral(0)),
+                    IntLiteral(0),
+                ),
+                IntLiteral(1),
+            )
+        ),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        structs=[struct_s],
+        functions=[kernel],
+        buffers=[_out_buffer(2)],
+        launch=LaunchSpec((2, 1, 1), (2, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "1f"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- above-threshold configurations
+# ---------------------------------------------------------------------------
+
+
+def figure_2a() -> Program:
+    """NVIDIA union-initialisation bug (opts off): expected 1, buggy 0xffff0001."""
+    struct_s = ty.StructType("S", (ty.FieldDecl("c", ty.SHORT), ty.FieldDecl("d", ty.LONG)))
+    union_u = ty.UnionType("U", (ty.FieldDecl("a", ty.UINT), ty.FieldDecl("b", struct_s)))
+    struct_t = ty.StructType(
+        "T",
+        (ty.FieldDecl("u", ty.ArrayType(union_u, 1)), ty.FieldDecl("x", ty.ULONG),
+         ty.FieldDecl("y", ty.ULONG)),
+    )
+    body = Block([
+        DeclStmt("c", struct_t),
+        DeclStmt(
+            "t",
+            struct_t,
+            InitList([
+                InitList([InitList([IntLiteral(1)])]),
+                IndexAccess(VarRef("in_buf"), WorkItemExpr("get_global_id", 0)),
+                IndexAccess(VarRef("in_buf"), WorkItemExpr("get_global_id", 1)),
+            ]),
+        ),
+        AssignStmt(VarRef("c"), VarRef("t")),
+        DeclStmt("total", ty.ULONG, IntLiteral(0, ty.ULONG)),
+        ForStmt(
+            DeclStmt("i", ty.INT, IntLiteral(0)),
+            BinaryOp("<", VarRef("i"), IntLiteral(1)),
+            AssignStmt(VarRef("i"), IntLiteral(1), "+="),
+            Block([
+                AssignStmt(
+                    VarRef("total"),
+                    FieldAccess(IndexAccess(FieldAccess(VarRef("c"), "u"), VarRef("i")), "a"),
+                    "+=",
+                )
+            ]),
+        ),
+        out_write(VarRef("total")),
+    ])
+    kernel = FunctionDecl(
+        "entry",
+        ty.VOID,
+        [_out_param(), ParamDecl("in_buf", ty.PointerType(ty.INT, ty.GLOBAL))],
+        body,
+        is_kernel=True,
+    )
+    return Program(
+        structs=[struct_s, union_u, struct_t],
+        functions=[kernel],
+        buffers=[_out_buffer(2), BufferSpec("in_buf", ty.INT, 4, init="zero")],
+        launch=LaunchSpec((2, 1, 1), (2, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "2a"},
+    )
+
+
+def figure_2b() -> Program:
+    """Intel rotate constant-folding bug: expected 1, buggy 0xffffffff."""
+    uint2 = ty.VectorType(ty.UINT, 2)
+    body = Block([
+        out_write(
+            VectorComponent(
+                Call(
+                    "rotate",
+                    [
+                        VectorLiteral(uint2, [IntLiteral(1, ty.UINT), IntLiteral(1, ty.UINT)]),
+                        VectorLiteral(uint2, [IntLiteral(0, ty.UINT), IntLiteral(0, ty.UINT)]),
+                    ],
+                ),
+                0,
+            )
+        )
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        functions=[kernel],
+        buffers=[_out_buffer(1)],
+        launch=LaunchSpec((1, 1, 1), (1, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "2b"},
+    )
+
+
+def figure_2c() -> Program:
+    """Intel barrier + forward-declaration bug (opts off)."""
+    forward_f = FunctionDecl("f", ty.INT, [], None)
+    helper_k = FunctionDecl(
+        "k_helper",
+        ty.VOID,
+        [ParamDecl("p", ty.PointerType(ty.INT))],
+        Block([BarrierStmt(), AssignStmt(Deref(VarRef("p")), Call("f", []))]),
+    )
+    helper_h = FunctionDecl(
+        "h",
+        ty.VOID,
+        [ParamDecl("p", ty.PointerType(ty.INT))],
+        Block([ast.ExprStmt(Call("k_helper", [VarRef("p")]))]),
+    )
+    def_f = FunctionDecl("f", ty.INT, [], Block([BarrierStmt(), ReturnStmt(IntLiteral(1))]))
+    body = Block([
+        DeclStmt("x", ty.INT, IntLiteral(0)),
+        ast.ExprStmt(Call("h", [AddressOf(VarRef("x"))])),
+        out_write(VarRef("x")),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        functions=[forward_f, helper_k, helper_h, def_f, kernel],
+        buffers=[_out_buffer(2)],
+        launch=LaunchSpec((2, 1, 1), (2, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "2c"},
+    )
+
+
+def figure_2d() -> Program:
+    """Intel unreachable-loop-with-barrier bug (opts off)."""
+    struct_s = ty.StructType(
+        "S",
+        (
+            ty.FieldDecl("a", ty.INT),
+            ty.FieldDecl("b", ty.PointerType(ty.PointerType(ty.INT, volatile_pointee=True))),
+            ty.FieldDecl("c", ty.INT),
+        ),
+    )
+    loop = ForStmt(
+        AssignStmt(FieldAccess(VarRef("s"), "a", arrow=True), IntLiteral(0)),
+        BinaryOp(">", FieldAccess(VarRef("s"), "a", arrow=True), IntLiteral(0)),
+        AssignStmt(FieldAccess(VarRef("s"), "a", arrow=True), IntLiteral(0)),
+        Block([
+            DeclStmt("x", ty.INT, IntLiteral(1)),
+            DeclStmt("p", ty.PointerType(ty.INT),
+                     AddressOf(FieldAccess(VarRef("s"), "c", arrow=True))),
+            BarrierStmt(),
+            AssignStmt(Deref(VarRef("p")),
+                       BinaryOp("&", VarRef("x"), FieldAccess(VarRef("s"), "a", arrow=True))),
+        ]),
+    )
+    helper = FunctionDecl(
+        "f", ty.VOID, [ParamDecl("s", ty.PointerType(struct_s))], Block([loop])
+    )
+    body = Block([
+        DeclStmt("s", struct_s, InitList([IntLiteral(1), IntLiteral(0), IntLiteral(0)])),
+        ast.ExprStmt(Call("f", [AddressOf(VarRef("s"))])),
+        out_write(FieldAccess(VarRef("s"), "a")),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        structs=[struct_s],
+        functions=[helper, kernel],
+        buffers=[_out_buffer(2)],
+        launch=LaunchSpec((2, 1, 1), (2, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "2d"},
+    )
+
+
+def figure_2e() -> Program:
+    """Anonymous-GPU group-id guard bug (opts on): expected 1, buggy 0."""
+    guard = BinaryOp(
+        ">=",
+        BinaryOp(
+            "<",
+            BinaryOp(
+                ">>",
+                BinaryOp(
+                    "!=",
+                    BinaryOp("-", Deref(VarRef("p")), Cast(ty.INT, WorkItemExpr("get_group_id", 0))),
+                    IntLiteral(1),
+                ),
+                Deref(VarRef("p")),
+            ),
+            IntLiteral(2),
+        ),
+        Deref(VarRef("p")),
+    )
+    helper = FunctionDecl(
+        "f",
+        ty.VOID,
+        [ParamDecl("p", ty.PointerType(ty.INT))],
+        Block([IfStmt(guard, Block([AssignStmt(Deref(VarRef("p")), IntLiteral(1))]))]),
+    )
+    body = Block([
+        DeclStmt("x", ty.INT, IntLiteral(0)),
+        ast.ExprStmt(Call("f", [AddressOf(VarRef("x"))])),
+        out_write(VarRef("x")),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        functions=[helper, kernel],
+        buffers=[_out_buffer(1)],
+        launch=LaunchSpec((1, 1, 1), (1, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "2e"},
+    )
+
+
+def figure_2f() -> Program:
+    """Oclgrind comma-operator bug: expected 0xffffffff, buggy 0."""
+    body = Block([
+        DeclStmt("x", ty.SHORT, IntLiteral(1, ty.SHORT)),
+        DeclStmt("y", ty.UINT),
+        ForStmt(
+            AssignStmt(VarRef("y"), IntLiteral(-1)),
+            BinaryOp(">=", VarRef("y"), IntLiteral(1)),
+            AssignStmt(VarRef("y"), IntLiteral(1), "+="),
+            Block([IfStmt(BinaryOp(",", VarRef("x"), IntLiteral(1)), Block([BreakStmt()]))]),
+        ),
+        out_write(VarRef("y")),
+    ])
+    kernel = FunctionDecl("entry", ty.VOID, [_out_param()], body, is_kernel=True)
+    return Program(
+        functions=[kernel],
+        buffers=[_out_buffer(1)],
+        launch=LaunchSpec((1, 1, 1), (1, 1, 1)),
+        kernel_name="entry",
+        metadata={"figure": "2f"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expectation registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FigureExpectation:
+    """What the paper reports for one exemplar."""
+
+    figure: str
+    builder: Callable[[], Program]
+    #: Configurations affected, as (config id, optimisations or None for both).
+    affected: List[Tuple[int, Optional[bool]]]
+    #: One of "wrong_code", "build_failure", "timeout", "crash".
+    defect_class: str
+    #: Expected correct value of out[0], when the paper states one.
+    correct_value: Optional[int] = None
+    #: Buggy value of out[0] reported by the paper, when stated.
+    buggy_value: Optional[int] = None
+
+
+FIGURE_EXPECTATIONS: List[FigureExpectation] = [
+    FigureExpectation("1a", figure_1a, [(5, True), (6, True), (16, True)], "wrong_code", 2, 1),
+    FigureExpectation("1b", figure_1b, [(10, False), (11, False)], "wrong_code", 1, 0),
+    FigureExpectation("1c", figure_1c, [(20, None), (21, None)], "build_failure"),
+    FigureExpectation("1d", figure_1d, [(17, None)], "wrong_code", 3, 2),
+    FigureExpectation("1e", figure_1e, [(7, None), (8, None)], "timeout", 0),
+    FigureExpectation("1f", figure_1f, [(18, True)], "timeout", 0),
+    FigureExpectation("2a", figure_2a, [(1, False), (2, False), (3, False), (4, False)],
+                      "wrong_code", 1, 0xFFFF0001),
+    FigureExpectation("2b", figure_2b, [(14, None)], "wrong_code", 1, 0xFFFFFFFF),
+    FigureExpectation("2c", figure_2c, [(12, False), (13, False)], "wrong_code", 1),
+    FigureExpectation("2d", figure_2d, [(14, False), (15, False)], "wrong_code", 0),
+    FigureExpectation("2e", figure_2e, [(9, True)], "wrong_code", 1, 0),
+    FigureExpectation("2f", figure_2f, [(19, None)], "wrong_code", 0xFFFFFFFF, 0),
+]
+
+
+def figure_program(figure: str) -> Program:
+    """Build the exemplar program for a figure label such as ``"2b"``."""
+    for expectation in FIGURE_EXPECTATIONS:
+        if expectation.figure == figure:
+            return expectation.builder()
+    raise KeyError(f"unknown figure {figure!r}")
+
+
+__all__ = [
+    "FigureExpectation",
+    "FIGURE_EXPECTATIONS",
+    "figure_program",
+    "figure_1a",
+    "figure_1b",
+    "figure_1c",
+    "figure_1d",
+    "figure_1e",
+    "figure_1f",
+    "figure_2a",
+    "figure_2b",
+    "figure_2c",
+    "figure_2d",
+    "figure_2e",
+    "figure_2f",
+]

@@ -1,0 +1,135 @@
+"""Reliability-threshold classification of configurations (paper section 7.1,
+producing the final column of Table 1).
+
+Every configuration is exercised, with and without optimisations, on a set of
+*initial kernels* spanning all six generator modes.  A configuration lies
+above the threshold if no more than a quarter of its runs are build failures,
+runtime crashes or wrong-code results (wrong-code judged against the majority
+across configurations).  The Xeon Phi special case -- demoted because of
+prohibitively slow compilation even though its failure rate alone might pass
+-- is reproduced by also counting timeout-dominated configurations as below
+threshold when their timeout fraction exceeds ``timeout_demotion_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.generator import generate_kernel
+from repro.generator.options import ALL_MODES, GeneratorOptions, Mode
+from repro.kernel_lang import ast
+from repro.platforms.config import DeviceConfig
+from repro.testing.differential import DifferentialHarness
+from repro.testing.outcomes import Outcome, OutcomeCounts
+
+#: The paper's reliability threshold: at most 25 % of initial tests may fail.
+FAILURE_THRESHOLD = 0.25
+
+
+@dataclass
+class ConfigurationReliability:
+    """Aggregated initial-testing outcome for one configuration."""
+
+    config: DeviceConfig
+    counts: OutcomeCounts
+    above_threshold: bool
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.counts.failure_fraction
+
+
+@dataclass
+class ReliabilityReport:
+    """The Table 1 classification for every configuration tested."""
+
+    per_config: List[ConfigurationReliability]
+    n_kernels: int
+
+    def classification(self) -> Dict[int, bool]:
+        return {entry.config.config_id: entry.above_threshold for entry in self.per_config}
+
+    def table_rows(self) -> List[Dict[str, str]]:
+        rows = []
+        for entry in self.per_config:
+            row = entry.config.table_row()
+            row["measured_failure_fraction"] = f"{entry.failure_fraction:.2f}"
+            row["measured_above_threshold"] = "yes" if entry.above_threshold else "no"
+            rows.append(row)
+        return rows
+
+
+class ReliabilityClassifier:
+    """Runs the initial-kernel classification experiment."""
+
+    def __init__(
+        self,
+        configs: Sequence[DeviceConfig],
+        kernels_per_mode: int = 10,
+        modes: Sequence[Mode] = ALL_MODES,
+        options: Optional[GeneratorOptions] = None,
+        max_steps: int = 500_000,
+        timeout_demotion_fraction: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        self.configs = list(configs)
+        self.kernels_per_mode = kernels_per_mode
+        self.modes = list(modes)
+        self.options = options
+        self.max_steps = max_steps
+        self.timeout_demotion_fraction = timeout_demotion_fraction
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def initial_kernels(self) -> List[ast.Program]:
+        """The initial kernel set: ``kernels_per_mode`` per generator mode."""
+        kernels: List[ast.Program] = []
+        for mode_index, mode in enumerate(self.modes):
+            for i in range(self.kernels_per_mode):
+                kernels.append(
+                    generate_kernel(
+                        mode, seed=self.seed + mode_index * 1000 + i, options=self.options
+                    )
+                )
+        return kernels
+
+    def classify(self) -> ReliabilityReport:
+        kernels = self.initial_kernels()
+        harness = DifferentialHarness(self.configs, max_steps=self.max_steps)
+        per_config_counts: Dict[str, OutcomeCounts] = {
+            c.name: OutcomeCounts() for c in self.configs
+        }
+        timeout_counts: Dict[str, int] = {c.name: 0 for c in self.configs}
+        totals: Dict[str, int] = {c.name: 0 for c in self.configs}
+
+        for kernel in kernels:
+            result = harness.run(kernel)
+            for record in result.records:
+                per_config_counts[record.config_name].add(record.outcome)
+                totals[record.config_name] += 1
+                if record.outcome is Outcome.TIMEOUT:
+                    timeout_counts[record.config_name] += 1
+
+        entries: List[ConfigurationReliability] = []
+        for config in self.configs:
+            counts = per_config_counts[config.name]
+            timeout_fraction = (
+                timeout_counts[config.name] / totals[config.name] if totals[config.name] else 0.0
+            )
+            above = counts.failure_fraction <= FAILURE_THRESHOLD
+            if timeout_fraction > self.timeout_demotion_fraction:
+                # The Xeon Phi rule: excessive compile/run times make intensive
+                # fuzzing impractical regardless of the failure fraction.
+                above = False
+            entries.append(ConfigurationReliability(config, counts, above))
+        return ReliabilityReport(entries, len(kernels))
+
+
+__all__ = [
+    "FAILURE_THRESHOLD",
+    "ConfigurationReliability",
+    "ReliabilityReport",
+    "ReliabilityClassifier",
+]

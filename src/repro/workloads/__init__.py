@@ -1,0 +1,61 @@
+"""Miniature Parboil/Rodinia workloads (the paper's Table 2 benchmark suite).
+
+Each entry of :data:`WORKLOADS` couples the Table 2 metadata from the paper
+(kernel count, kernel lines of code, floating-point usage) with a miniature
+but structurally faithful re-implementation against the kernel language.
+``spmv`` and ``myocyte`` contain the deliberate data races matching the
+paper's discovery that the real benchmarks are racy (section 2.4); the
+remaining eight are race-free and are the ones used for Table 3.
+"""
+
+from typing import Dict, List
+
+from repro.workloads import parboil, rodinia
+from repro.workloads.common import Workload
+
+WORKLOADS: List[Workload] = [
+    Workload("bfs", "Parboil", "Graph breadth-first search", parboil.build_bfs,
+             uses_floating_point_in_paper=False, kernels_in_paper=1, kernel_lines_in_paper=65),
+    Workload("cutcp", "Parboil", "Molecular modeling simulation", parboil.build_cutcp,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=98),
+    Workload("lbm", "Parboil", "Fluid dynamics simulation", parboil.build_lbm,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=139),
+    Workload("sad", "Parboil", "Video processing", parboil.build_sad,
+             uses_floating_point_in_paper=False, kernels_in_paper=3, kernel_lines_in_paper=134),
+    Workload("spmv", "Parboil", "Linear algebra", parboil.build_spmv,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=32,
+             has_deliberate_race=True),
+    Workload("tpacf", "Parboil", "Nbody method", parboil.build_tpacf,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=129),
+    Workload("heartwall", "Rodinia", "Medical imaging", rodinia.build_heartwall,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=1060),
+    Workload("hotspot", "Rodinia", "Thermal physics simulation", rodinia.build_hotspot,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=89),
+    Workload("myocyte", "Rodinia", "Medical simulation", rodinia.build_myocyte,
+             uses_floating_point_in_paper=True, kernels_in_paper=1, kernel_lines_in_paper=1050,
+             has_deliberate_race=True),
+    Workload("pathfinder", "Rodinia", "Dynamic programming", rodinia.build_pathfinder,
+             uses_floating_point_in_paper=False, kernels_in_paper=1, kernel_lines_in_paper=102),
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by its benchmark name."""
+    for workload in WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def race_free_workloads() -> List[Workload]:
+    """The eight benchmarks used for Table 3 (spmv and myocyte are excluded
+    exactly as the paper excludes them after finding their data races)."""
+    return [w for w in WORKLOADS if not w.has_deliberate_race]
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """The rows of Table 2 (paper metadata plus miniature measurements)."""
+    return [w.table_row() for w in WORKLOADS]
+
+
+__all__ = ["WORKLOADS", "Workload", "get_workload", "race_free_workloads", "table2_rows"]

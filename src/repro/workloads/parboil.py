@@ -1,0 +1,455 @@
+"""Miniature Parboil workloads (paper Table 2): bfs, cutcp, lbm, sad, spmv, tpacf.
+
+Each ``build_*`` function returns a runnable :class:`Program` whose kernel has
+the characteristic structure of the original benchmark (graph traversal,
+gridded potential accumulation, lattice update, block matching, sparse
+matrix-vector product, histogramming).  ``spmv`` deliberately contains the
+kind of data race the paper discovered in the real Parboil benchmark
+(section 2.4): a non-atomic accumulation into a shared checksum location.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel_lang import types as ty
+from repro.kernel_lang.ast import (
+    AddressOf,
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Block,
+    BufferSpec,
+    Call,
+    Cast,
+    DeclStmt,
+    ExprStmt,
+    IfStmt,
+    IndexAccess,
+    IntLiteral,
+    LaunchSpec,
+    Program,
+    VarRef,
+)
+from repro.workloads.common import (
+    abs_diff,
+    build_program,
+    counted_loop,
+    deterministic_input,
+    gid,
+    in_param,
+    llinear,
+    out_param,
+    safe_add,
+    safe_mul,
+    tlinear,
+)
+
+# ---------------------------------------------------------------------------
+# bfs -- breadth-first search over a small CSR graph (single work-group)
+# ---------------------------------------------------------------------------
+
+_BFS_NODES = 8
+#: CSR representation of a small directed graph (two components).
+_BFS_ROWS = [0, 2, 4, 6, 7, 8, 9, 10, 10]
+_BFS_COLS = [1, 2, 3, 4, 5, 6, 6, 7, 7, 3]
+_BFS_INFINITY = 999
+
+
+def build_bfs() -> Program:
+    """Level-synchronous BFS; all shared accesses are atomic, so race-free."""
+    node = DeclStmt("node", ty.INT, Cast(ty.INT, llinear()))
+    level_loop = counted_loop(
+        "level",
+        _BFS_NODES,
+        [
+            BarrierStmt(),
+            DeclStmt(
+                "my_cost",
+                ty.UINT,
+                Call("atomic_add", [AddressOf(IndexAccess(VarRef("cost"), VarRef("node"))),
+                                    IntLiteral(0, ty.UINT)]),
+            ),
+            IfStmt(
+                BinaryOp("==", VarRef("my_cost"), Cast(ty.UINT, VarRef("level"))),
+                Block([
+                    DeclStmt("begin", ty.INT, IndexAccess(VarRef("rows"), VarRef("node"))),
+                    DeclStmt(
+                        "end",
+                        ty.INT,
+                        IndexAccess(VarRef("rows"), safe_add(VarRef("node"), IntLiteral(1))),
+                    ),
+                    counted_loop(
+                        "e",
+                        len(_BFS_COLS),
+                        [
+                            IfStmt(
+                                BinaryOp(
+                                    "&&",
+                                    BinaryOp(">=", VarRef("e"), VarRef("begin")),
+                                    BinaryOp("<", VarRef("e"), VarRef("end")),
+                                ),
+                                Block([
+                                    ExprStmt(
+                                        Call(
+                                            "atomic_min",
+                                            [
+                                                AddressOf(
+                                                    IndexAccess(
+                                                        VarRef("cost"),
+                                                        IndexAccess(VarRef("cols"), VarRef("e")),
+                                                    )
+                                                ),
+                                                safe_add(Cast(ty.UINT, VarRef("level")),
+                                                         IntLiteral(1, ty.UINT)),
+                                            ],
+                                        )
+                                    )
+                                ]),
+                            )
+                        ],
+                    ),
+                ]),
+            ),
+        ],
+    )
+    finish = AssignStmt(
+        IndexAccess(VarRef("out"), tlinear()),
+        Cast(ty.ULONG, Call("atomic_add", [AddressOf(IndexAccess(VarRef("cost"), VarRef("node"))),
+                                           IntLiteral(0, ty.UINT)])),
+    )
+    cost_init = [0] + [_BFS_INFINITY] * (_BFS_NODES - 1)
+    return build_program(
+        [node, level_loop, BarrierStmt(), finish],
+        [out_param(), in_param("rows"), in_param("cols"),
+         in_param("cost", ty.UINT)],
+        [
+            BufferSpec("out", ty.ULONG, _BFS_NODES, is_output=True),
+            BufferSpec("rows", ty.INT, len(_BFS_ROWS), address_space=ty.CONSTANT,
+                       init=list(_BFS_ROWS)),
+            BufferSpec("cols", ty.INT, len(_BFS_COLS), address_space=ty.CONSTANT,
+                       init=list(_BFS_COLS)),
+            BufferSpec("cost", ty.UINT, _BFS_NODES, init=cost_init, is_output=True),
+        ],
+        LaunchSpec((_BFS_NODES, 1, 1), (_BFS_NODES, 1, 1)),
+        "bfs",
+    )
+
+
+# ---------------------------------------------------------------------------
+# cutcp -- cutoff Coulombic potential on a 1D grid (integer arithmetic)
+# ---------------------------------------------------------------------------
+
+_CUTCP_POINTS = 16
+_CUTCP_ATOMS = 8
+
+
+def build_cutcp() -> Program:
+    atoms_pos = deterministic_input(_CUTCP_ATOMS, seed=3, modulus=_CUTCP_POINTS)
+    atoms_charge = deterministic_input(_CUTCP_ATOMS, seed=7, modulus=17)
+    body = [
+        DeclStmt("point", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("potential", ty.LONG, IntLiteral(0, ty.LONG)),
+        counted_loop(
+            "a",
+            _CUTCP_ATOMS,
+            [
+                DeclStmt(
+                    "distance",
+                    ty.INT,
+                    abs_diff(VarRef("point"), IndexAccess(VarRef("atom_pos"), VarRef("a"))),
+                ),
+                IfStmt(
+                    BinaryOp("<", VarRef("distance"), IntLiteral(6)),
+                    Block([
+                        AssignStmt(
+                            VarRef("potential"),
+                            safe_add(
+                                VarRef("potential"),
+                                Cast(
+                                    ty.LONG,
+                                    Call(
+                                        "safe_div",
+                                        [
+                                            safe_mul(
+                                                IndexAccess(VarRef("atom_charge"), VarRef("a")),
+                                                IntLiteral(64),
+                                            ),
+                                            safe_add(IntLiteral(1),
+                                                     safe_mul(VarRef("distance"), VarRef("distance"))),
+                                        ],
+                                    ),
+                                ),
+                            ),
+                        )
+                    ]),
+                ),
+            ],
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()), Cast(ty.ULONG, VarRef("potential"))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("atom_pos"), in_param("atom_charge")],
+        [
+            BufferSpec("out", ty.ULONG, _CUTCP_POINTS, is_output=True),
+            BufferSpec("atom_pos", ty.INT, _CUTCP_ATOMS, address_space=ty.CONSTANT,
+                       init=atoms_pos),
+            BufferSpec("atom_charge", ty.INT, _CUTCP_ATOMS, address_space=ty.CONSTANT,
+                       init=atoms_charge),
+        ],
+        LaunchSpec((_CUTCP_POINTS, 1, 1), (4, 1, 1)),
+        "cutcp",
+    )
+
+
+# ---------------------------------------------------------------------------
+# lbm -- one streaming/collision step of a 1D three-velocity lattice
+# ---------------------------------------------------------------------------
+
+_LBM_CELLS = 16
+
+
+def build_lbm() -> Program:
+    densities = deterministic_input(_LBM_CELLS * 3, seed=11, modulus=50)
+    body = [
+        DeclStmt("cell", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("left", ty.INT,
+                 Call("clamp", [Call("safe_sub", [VarRef("cell"), IntLiteral(1)]),
+                                IntLiteral(0), IntLiteral(_LBM_CELLS - 1)])),
+        DeclStmt("right", ty.INT,
+                 Call("clamp", [safe_add(VarRef("cell"), IntLiteral(1)),
+                                IntLiteral(0), IntLiteral(_LBM_CELLS - 1)])),
+        # Streaming: pull the east-moving density from the left neighbour, the
+        # west-moving density from the right neighbour, keep the rest density.
+        DeclStmt("rest", ty.INT,
+                 IndexAccess(VarRef("cells"), safe_mul(VarRef("cell"), IntLiteral(3)))),
+        DeclStmt("east", ty.INT,
+                 IndexAccess(VarRef("cells"),
+                             safe_add(safe_mul(VarRef("left"), IntLiteral(3)), IntLiteral(1)))),
+        DeclStmt("west", ty.INT,
+                 IndexAccess(VarRef("cells"),
+                             safe_add(safe_mul(VarRef("right"), IntLiteral(3)), IntLiteral(2)))),
+        # Collision: relax towards the mean density.
+        DeclStmt("total", ty.INT,
+                 safe_add(VarRef("rest"), safe_add(VarRef("east"), VarRef("west")))),
+        DeclStmt("mean", ty.INT, Call("safe_div", [VarRef("total"), IntLiteral(3)])),
+        AssignStmt(
+            IndexAccess(VarRef("new_cells"), safe_mul(VarRef("cell"), IntLiteral(3))),
+            Call("hadd", [VarRef("rest"), VarRef("mean")]),
+        ),
+        AssignStmt(
+            IndexAccess(VarRef("new_cells"),
+                        safe_add(safe_mul(VarRef("cell"), IntLiteral(3)), IntLiteral(1))),
+            Call("hadd", [VarRef("east"), VarRef("mean")]),
+        ),
+        AssignStmt(
+            IndexAccess(VarRef("new_cells"),
+                        safe_add(safe_mul(VarRef("cell"), IntLiteral(3)), IntLiteral(2))),
+            Call("hadd", [VarRef("west"), VarRef("mean")]),
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()), Cast(ty.ULONG, VarRef("total"))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("cells"), in_param("new_cells")],
+        [
+            BufferSpec("out", ty.ULONG, _LBM_CELLS, is_output=True),
+            BufferSpec("cells", ty.INT, _LBM_CELLS * 3, init=densities),
+            BufferSpec("new_cells", ty.INT, _LBM_CELLS * 3, init="zero", is_output=True),
+        ],
+        LaunchSpec((_LBM_CELLS, 1, 1), (4, 1, 1)),
+        "lbm",
+    )
+
+
+# ---------------------------------------------------------------------------
+# sad -- sum of absolute differences for 4x4 blocks (video encoding)
+# ---------------------------------------------------------------------------
+
+_SAD_BLOCKS = 12
+_SAD_BLOCK_SIZE = 4
+
+
+def build_sad() -> Program:
+    frame = deterministic_input(_SAD_BLOCKS * _SAD_BLOCK_SIZE, seed=21, modulus=255)
+    reference = deterministic_input(_SAD_BLOCKS * _SAD_BLOCK_SIZE, seed=22, modulus=255)
+    body = [
+        DeclStmt("block", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("sad", ty.UINT, IntLiteral(0, ty.UINT)),
+        counted_loop(
+            "px",
+            _SAD_BLOCK_SIZE,
+            [
+                DeclStmt(
+                    "index",
+                    ty.INT,
+                    safe_add(safe_mul(VarRef("block"), IntLiteral(_SAD_BLOCK_SIZE)), VarRef("px")),
+                ),
+                AssignStmt(
+                    VarRef("sad"),
+                    safe_add(
+                        VarRef("sad"),
+                        Cast(ty.UINT, abs_diff(IndexAccess(VarRef("frame"), VarRef("index")),
+                                               IndexAccess(VarRef("reference"), VarRef("index")))),
+                    ),
+                ),
+            ],
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()), Cast(ty.ULONG, VarRef("sad"))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("frame"), in_param("reference")],
+        [
+            BufferSpec("out", ty.ULONG, _SAD_BLOCKS, is_output=True),
+            BufferSpec("frame", ty.INT, len(frame), init=frame),
+            BufferSpec("reference", ty.INT, len(reference), init=reference),
+        ],
+        LaunchSpec((_SAD_BLOCKS, 1, 1), (4, 1, 1)),
+        "sad",
+    )
+
+
+# ---------------------------------------------------------------------------
+# spmv -- CSR sparse matrix-vector product WITH the deliberate data race the
+# paper reports discovering in the real benchmark (section 2.4)
+# ---------------------------------------------------------------------------
+
+_SPMV_ROWS = 8
+_SPMV_ROW_PTR = [0, 2, 4, 7, 9, 11, 13, 15, 16]
+_SPMV_COLS = [0, 1, 1, 2, 0, 3, 4, 2, 5, 1, 6, 4, 7, 3, 6, 5]
+_SPMV_VALUES = [3, 1, 2, 4, 5, 1, 2, 6, 1, 3, 2, 4, 1, 2, 3, 5]
+
+
+def build_spmv() -> Program:
+    x_vector = deterministic_input(_SPMV_ROWS, seed=31, modulus=9)
+    body = [
+        DeclStmt("row", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("acc", ty.LONG, IntLiteral(0, ty.LONG)),
+        counted_loop(
+            "j",
+            len(_SPMV_VALUES),
+            [
+                IfStmt(
+                    BinaryOp(
+                        "&&",
+                        BinaryOp(">=", VarRef("j"), IndexAccess(VarRef("row_ptr"), VarRef("row"))),
+                        BinaryOp(
+                            "<",
+                            VarRef("j"),
+                            IndexAccess(VarRef("row_ptr"), safe_add(VarRef("row"), IntLiteral(1))),
+                        ),
+                    ),
+                    Block([
+                        AssignStmt(
+                            VarRef("acc"),
+                            safe_add(
+                                VarRef("acc"),
+                                Cast(
+                                    ty.LONG,
+                                    safe_mul(
+                                        IndexAccess(VarRef("values"), VarRef("j")),
+                                        IndexAccess(
+                                            VarRef("x"), IndexAccess(VarRef("cols"), VarRef("j"))
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        )
+                    ]),
+                )
+            ],
+        ),
+        AssignStmt(IndexAccess(VarRef("y"), VarRef("row")), Cast(ty.LONG, VarRef("acc"))),
+        # Deliberate data race (as discovered in the real Parboil spmv): every
+        # work-item accumulates into checksum[0] without atomics or barriers.
+        AssignStmt(
+            IndexAccess(VarRef("checksum"), IntLiteral(0)),
+            safe_add(IndexAccess(VarRef("checksum"), IntLiteral(0)),
+                     Cast(ty.LONG, VarRef("acc"))),
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()), Cast(ty.ULONG, VarRef("acc"))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("row_ptr"), in_param("cols"), in_param("values"),
+         in_param("x"), in_param("y", ty.LONG), in_param("checksum", ty.LONG)],
+        [
+            BufferSpec("out", ty.ULONG, _SPMV_ROWS, is_output=True),
+            BufferSpec("row_ptr", ty.INT, len(_SPMV_ROW_PTR), address_space=ty.CONSTANT,
+                       init=list(_SPMV_ROW_PTR)),
+            BufferSpec("cols", ty.INT, len(_SPMV_COLS), address_space=ty.CONSTANT,
+                       init=list(_SPMV_COLS)),
+            BufferSpec("values", ty.INT, len(_SPMV_VALUES), address_space=ty.CONSTANT,
+                       init=list(_SPMV_VALUES)),
+            BufferSpec("x", ty.INT, _SPMV_ROWS, address_space=ty.CONSTANT, init=x_vector),
+            BufferSpec("y", ty.LONG, _SPMV_ROWS, init="zero", is_output=True),
+            BufferSpec("checksum", ty.LONG, 1, init="zero", is_output=True),
+        ],
+        LaunchSpec((_SPMV_ROWS, 1, 1), (4, 1, 1)),
+        "spmv",
+    )
+
+
+# ---------------------------------------------------------------------------
+# tpacf -- two-point angular correlation function (histogramming)
+# ---------------------------------------------------------------------------
+
+_TPACF_POINTS = 12
+_TPACF_BINS = 8
+
+
+def build_tpacf() -> Program:
+    data = deterministic_input(_TPACF_POINTS, seed=41, modulus=64)
+    body = [
+        DeclStmt("i", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("mine", ty.INT, IndexAccess(VarRef("data"), VarRef("i"))),
+        counted_loop(
+            "j",
+            _TPACF_POINTS,
+            [
+                DeclStmt(
+                    "separation",
+                    ty.INT,
+                    abs_diff(VarRef("mine"), IndexAccess(VarRef("data"), VarRef("j"))),
+                ),
+                DeclStmt(
+                    "bin",
+                    ty.INT,
+                    Call("safe_mod", [VarRef("separation"), IntLiteral(_TPACF_BINS)]),
+                ),
+                IfStmt(
+                    BinaryOp("!=", VarRef("i"), VarRef("j")),
+                    Block([
+                        ExprStmt(
+                            Call("atomic_inc",
+                                 [AddressOf(IndexAccess(VarRef("histogram"), VarRef("bin")))])
+                        )
+                    ]),
+                ),
+            ],
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()), Cast(ty.ULONG, VarRef("mine"))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("data"), in_param("histogram", ty.UINT)],
+        [
+            BufferSpec("out", ty.ULONG, _TPACF_POINTS, is_output=True),
+            BufferSpec("data", ty.INT, _TPACF_POINTS, address_space=ty.CONSTANT, init=data),
+            BufferSpec("histogram", ty.UINT, _TPACF_BINS, init="zero", is_output=True),
+        ],
+        LaunchSpec((_TPACF_POINTS, 1, 1), (_TPACF_POINTS, 1, 1)),
+        "tpacf",
+    )
+
+
+__all__ = [
+    "build_bfs",
+    "build_cutcp",
+    "build_lbm",
+    "build_sad",
+    "build_spmv",
+    "build_tpacf",
+]

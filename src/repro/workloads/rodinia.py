@@ -1,0 +1,306 @@
+"""Miniature Rodinia workloads (paper Table 2): heartwall, hotspot, myocyte,
+pathfinder.
+
+``myocyte`` deliberately contains the kind of data race the paper discovered
+in the real Rodinia benchmark (section 2.4): work-items update a shared state
+vector without synchronisation.  The other three are race-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel_lang import types as ty
+from repro.kernel_lang.ast import (
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Block,
+    BufferSpec,
+    Call,
+    Cast,
+    DeclStmt,
+    ExprStmt,
+    IfStmt,
+    IndexAccess,
+    IntLiteral,
+    LaunchSpec,
+    Program,
+    VarRef,
+)
+from repro.workloads.common import (
+    abs_diff,
+    build_program,
+    counted_loop,
+    deterministic_input,
+    in_param,
+    llinear,
+    local_param,
+    out_param,
+    safe_add,
+    safe_mul,
+    safe_sub,
+    tlinear,
+)
+
+# ---------------------------------------------------------------------------
+# heartwall -- template matching along the wall (integer SSD search)
+# ---------------------------------------------------------------------------
+
+_HW_POINTS = 8
+_HW_WINDOW = 6
+_HW_TEMPLATE = 3
+
+
+def build_heartwall() -> Program:
+    image = deterministic_input(_HW_POINTS * _HW_WINDOW, seed=51, modulus=100)
+    template = deterministic_input(_HW_TEMPLATE, seed=52, modulus=100)
+    body = [
+        DeclStmt("point", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("best_score", ty.LONG, IntLiteral(1 << 30, ty.LONG)),
+        DeclStmt("best_offset", ty.INT, IntLiteral(0)),
+        counted_loop(
+            "offset",
+            _HW_WINDOW - _HW_TEMPLATE + 1,
+            [
+                DeclStmt("score", ty.LONG, IntLiteral(0, ty.LONG)),
+                counted_loop(
+                    "k",
+                    _HW_TEMPLATE,
+                    [
+                        DeclStmt(
+                            "pixel",
+                            ty.INT,
+                            IndexAccess(
+                                VarRef("image"),
+                                safe_add(
+                                    safe_mul(VarRef("point"), IntLiteral(_HW_WINDOW)),
+                                    safe_add(VarRef("offset"), VarRef("k")),
+                                ),
+                            ),
+                        ),
+                        DeclStmt(
+                            "diff",
+                            ty.INT,
+                            abs_diff(VarRef("pixel"), IndexAccess(VarRef("template"), VarRef("k"))),
+                        ),
+                        AssignStmt(
+                            VarRef("score"),
+                            safe_add(VarRef("score"),
+                                     Cast(ty.LONG, safe_mul(VarRef("diff"), VarRef("diff")))),
+                        ),
+                    ],
+                ),
+                IfStmt(
+                    BinaryOp("<", VarRef("score"), VarRef("best_score")),
+                    Block([
+                        AssignStmt(VarRef("best_score"), VarRef("score")),
+                        AssignStmt(VarRef("best_offset"), VarRef("offset")),
+                    ]),
+                ),
+            ],
+        ),
+        AssignStmt(
+            IndexAccess(VarRef("out"), tlinear()),
+            Cast(
+                ty.ULONG,
+                safe_add(safe_mul(VarRef("best_offset"), IntLiteral(1000)),
+                         Cast(ty.INT, VarRef("best_score"))),
+            ),
+        ),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("image"), in_param("template")],
+        [
+            BufferSpec("out", ty.ULONG, _HW_POINTS, is_output=True),
+            BufferSpec("image", ty.INT, len(image), init=image),
+            BufferSpec("template", ty.INT, len(template), address_space=ty.CONSTANT,
+                       init=template),
+        ],
+        LaunchSpec((_HW_POINTS, 1, 1), (4, 1, 1)),
+        "heartwall",
+    )
+
+
+# ---------------------------------------------------------------------------
+# hotspot -- one iteration of the thermal stencil (integer arithmetic)
+# ---------------------------------------------------------------------------
+
+_HS_WIDTH = 16
+
+
+def build_hotspot() -> Program:
+    temperature = deterministic_input(_HS_WIDTH, seed=61, modulus=80)
+    power = deterministic_input(_HS_WIDTH, seed=62, modulus=10)
+    body = [
+        DeclStmt("cell", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("left", ty.INT,
+                 Call("clamp", [safe_sub(VarRef("cell"), IntLiteral(1)),
+                                IntLiteral(0), IntLiteral(_HS_WIDTH - 1)])),
+        DeclStmt("right", ty.INT,
+                 Call("clamp", [safe_add(VarRef("cell"), IntLiteral(1)),
+                                IntLiteral(0), IntLiteral(_HS_WIDTH - 1)])),
+        DeclStmt("mine", ty.INT, IndexAccess(VarRef("temperature"), VarRef("cell"))),
+        DeclStmt(
+            "laplacian",
+            ty.INT,
+            safe_sub(
+                safe_add(IndexAccess(VarRef("temperature"), VarRef("left")),
+                         IndexAccess(VarRef("temperature"), VarRef("right"))),
+                safe_mul(VarRef("mine"), IntLiteral(2)),
+            ),
+        ),
+        DeclStmt(
+            "delta",
+            ty.INT,
+            Call("safe_div",
+                 [safe_add(VarRef("laplacian"), IndexAccess(VarRef("power"), VarRef("cell"))),
+                  IntLiteral(4)]),
+        ),
+        AssignStmt(
+            IndexAccess(VarRef("new_temperature"), VarRef("cell")),
+            safe_add(VarRef("mine"), VarRef("delta")),
+        ),
+        AssignStmt(
+            IndexAccess(VarRef("out"), tlinear()),
+            Cast(ty.ULONG, safe_add(VarRef("mine"), VarRef("delta"))),
+        ),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("temperature"), in_param("power"),
+         in_param("new_temperature")],
+        [
+            BufferSpec("out", ty.ULONG, _HS_WIDTH, is_output=True),
+            BufferSpec("temperature", ty.INT, _HS_WIDTH, init=temperature),
+            BufferSpec("power", ty.INT, _HS_WIDTH, address_space=ty.CONSTANT, init=power),
+            BufferSpec("new_temperature", ty.INT, _HS_WIDTH, init="zero", is_output=True),
+        ],
+        LaunchSpec((_HS_WIDTH, 1, 1), (4, 1, 1)),
+        "hotspot",
+    )
+
+
+# ---------------------------------------------------------------------------
+# myocyte -- explicit-Euler integration of a small ODE system WITH the
+# deliberate data race the paper reports for the real benchmark
+# ---------------------------------------------------------------------------
+
+_MYO_STATES = 6
+_MYO_STEPS = 4
+
+
+def build_myocyte() -> Program:
+    initial = deterministic_input(_MYO_STATES, seed=71, modulus=40)
+    body = [
+        DeclStmt("state_id", ty.INT, Cast(ty.INT, tlinear())),
+        DeclStmt("value", ty.INT, IndexAccess(VarRef("states"), VarRef("state_id"))),
+        counted_loop(
+            "step",
+            _MYO_STEPS,
+            [
+                # dv/dt depends on the neighbouring state (coupling term).
+                DeclStmt(
+                    "neighbour",
+                    ty.INT,
+                    Call("safe_mod",
+                         [safe_add(VarRef("state_id"), IntLiteral(1)), IntLiteral(_MYO_STATES)]),
+                ),
+                DeclStmt(
+                    "coupling",
+                    ty.INT,
+                    safe_sub(IndexAccess(VarRef("states"), VarRef("neighbour")), VarRef("value")),
+                ),
+                AssignStmt(
+                    VarRef("value"),
+                    safe_add(VarRef("value"), Call("safe_div", [VarRef("coupling"), IntLiteral(4)])),
+                ),
+                # Deliberate data race (as in the real Rodinia myocyte): the
+                # shared state vector is updated mid-integration without any
+                # synchronisation while neighbours are still reading it.
+                AssignStmt(IndexAccess(VarRef("states"), VarRef("state_id")), VarRef("value")),
+            ],
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()), Cast(ty.ULONG, VarRef("value"))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("states")],
+        [
+            BufferSpec("out", ty.ULONG, _MYO_STATES, is_output=True),
+            BufferSpec("states", ty.INT, _MYO_STATES, init=initial, is_output=True),
+        ],
+        LaunchSpec((_MYO_STATES, 1, 1), (_MYO_STATES, 1, 1)),
+        "myocyte",
+    )
+
+
+# ---------------------------------------------------------------------------
+# pathfinder -- dynamic programming over rows with local-memory double buffering
+# ---------------------------------------------------------------------------
+
+_PF_COLS = 8
+_PF_ROWS = 5
+
+
+def build_pathfinder() -> Program:
+    costs = deterministic_input(_PF_COLS * _PF_ROWS, seed=81, modulus=10)
+    body = [
+        DeclStmt("col", ty.INT, Cast(ty.INT, llinear())),
+        AssignStmt(IndexAccess(VarRef("current"), VarRef("col")),
+                   IndexAccess(VarRef("costs"), VarRef("col"))),
+        BarrierStmt(),
+        counted_loop(
+            "row",
+            _PF_ROWS - 1,
+            [
+                DeclStmt("left", ty.INT,
+                         Call("clamp", [safe_sub(VarRef("col"), IntLiteral(1)),
+                                        IntLiteral(0), IntLiteral(_PF_COLS - 1)])),
+                DeclStmt("right", ty.INT,
+                         Call("clamp", [safe_add(VarRef("col"), IntLiteral(1)),
+                                        IntLiteral(0), IntLiteral(_PF_COLS - 1)])),
+                DeclStmt(
+                    "best",
+                    ty.INT,
+                    Call("min",
+                         [IndexAccess(VarRef("current"), VarRef("col")),
+                          Call("min", [IndexAccess(VarRef("current"), VarRef("left")),
+                                       IndexAccess(VarRef("current"), VarRef("right"))])]),
+                ),
+                DeclStmt(
+                    "cost_index",
+                    ty.INT,
+                    safe_add(safe_mul(safe_add(VarRef("row"), IntLiteral(1)),
+                                      IntLiteral(_PF_COLS)),
+                             VarRef("col")),
+                ),
+                AssignStmt(
+                    IndexAccess(VarRef("next"), VarRef("col")),
+                    safe_add(VarRef("best"), IndexAccess(VarRef("costs"), VarRef("cost_index"))),
+                ),
+                BarrierStmt(),
+                AssignStmt(IndexAccess(VarRef("current"), VarRef("col")),
+                           IndexAccess(VarRef("next"), VarRef("col"))),
+                BarrierStmt(),
+            ],
+        ),
+        AssignStmt(IndexAccess(VarRef("out"), tlinear()),
+                   Cast(ty.ULONG, IndexAccess(VarRef("current"), VarRef("col")))),
+    ]
+    return build_program(
+        body,
+        [out_param(), in_param("costs"), local_param("current"), local_param("next")],
+        [
+            BufferSpec("out", ty.ULONG, _PF_COLS, is_output=True),
+            BufferSpec("costs", ty.INT, len(costs), address_space=ty.CONSTANT, init=costs),
+            BufferSpec("current", ty.INT, _PF_COLS, address_space=ty.LOCAL, init="zero"),
+            BufferSpec("next", ty.INT, _PF_COLS, address_space=ty.LOCAL, init="zero"),
+        ],
+        LaunchSpec((_PF_COLS, 1, 1), (_PF_COLS, 1, 1)),
+        "pathfinder",
+    )
+
+
+__all__ = ["build_heartwall", "build_hotspot", "build_myocyte", "build_pathfinder"]

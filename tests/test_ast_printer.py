@@ -1,0 +1,163 @@
+"""Tests for AST construction helpers, traversal and the OpenCL C printer."""
+
+import pytest
+
+from repro.kernel_lang import ast, printer, types as ty
+
+
+def _simple_program():
+    body = ast.Block([
+        ast.DeclStmt("x", ty.INT, ast.IntLiteral(2)),
+        ast.IfStmt(
+            ast.BinaryOp(">", ast.VarRef("x"), ast.IntLiteral(0)),
+            ast.Block([ast.AssignStmt(ast.VarRef("x"), ast.IntLiteral(1), "+=")]),
+            ast.Block([ast.AssignStmt(ast.VarRef("x"), ast.IntLiteral(0))]),
+        ),
+        ast.out_write(ast.VarRef("x")),
+    ])
+    kernel = ast.FunctionDecl(
+        "entry", ty.VOID, [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))],
+        body, is_kernel=True,
+    )
+    return ast.Program(
+        functions=[kernel],
+        buffers=[ast.BufferSpec("out", ty.ULONG, 4, is_output=True)],
+        launch=ast.LaunchSpec((4, 1, 1), (2, 1, 1)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# AST structure
+# ---------------------------------------------------------------------------
+
+
+def test_walk_visits_all_nodes():
+    program = _simple_program()
+    kinds = {type(node).__name__ for node in program.kernel().body.walk()}
+    assert {"Block", "DeclStmt", "IfStmt", "AssignStmt", "BinaryOp", "VarRef",
+            "IntLiteral"} <= kinds
+
+
+def test_clone_is_deep():
+    program = _simple_program()
+    clone = program.clone()
+    clone.kernel().body.statements.pop()
+    assert len(program.kernel().body.statements) == 3
+    assert len(clone.kernel().body.statements) == 2
+
+
+def test_program_lookup_helpers():
+    program = _simple_program()
+    assert program.kernel().name == "entry"
+    assert program.buffer("out").is_output
+    assert program.output_buffers()[0].name == "out"
+    assert not program.has_function("missing")
+    with pytest.raises(KeyError):
+        program.function("missing")
+    with pytest.raises(KeyError):
+        program.buffer("missing")
+
+
+def test_launch_spec_validation_and_derived_sizes():
+    launch = ast.LaunchSpec((8, 2, 1), (4, 1, 1))
+    assert launch.total_threads == 16
+    assert launch.group_size == 4
+    assert launch.num_groups == (2, 2, 1)
+    assert launch.total_groups == 4
+    with pytest.raises(ValueError):
+        ast.LaunchSpec((5, 1, 1), (2, 1, 1))
+
+
+def test_buffer_spec_initialisers():
+    assert ast.BufferSpec("b", ty.UINT, 4, init="iota").initial_contents() == [0, 1, 2, 3]
+    assert ast.BufferSpec("b", ty.UINT, 3, init="one").initial_contents() == [1, 1, 1]
+    assert ast.BufferSpec("b", ty.UINT, 4, init="iota_inverted").initial_contents() == [4, 3, 2, 1]
+    assert ast.BufferSpec("b", ty.UINT, 4, init=[7, 8]).initial_contents() == [7, 8, 0, 0]
+    with pytest.raises(ValueError):
+        ast.BufferSpec("b", ty.UINT, 4, init="nope").initial_contents()
+
+
+def test_count_nodes_and_find_statements():
+    program = _simple_program()
+    assert ast.count_nodes(program.kernel().body) > 10
+    ifs = ast.find_statements(program.kernel().body, lambda s: isinstance(s, ast.IfStmt))
+    assert len(ifs) == 1
+
+
+def test_workitem_helpers():
+    assert ast.global_linear_id().function == "get_linear_global_id"
+    assert ast.local_linear_id().function == "get_linear_local_id"
+    assert ast.group_linear_id().function == "get_linear_group_id"
+
+
+# ---------------------------------------------------------------------------
+# Printer
+# ---------------------------------------------------------------------------
+
+
+def test_print_program_contains_kernel_signature_and_body():
+    text = printer.print_program(_simple_program())
+    assert "kernel void entry(global ulong* out)" in text
+    assert "int x = 2;" in text
+    assert "x += 1;" in text
+    assert "out[get_linear_global_id()] = x;" in text
+
+
+def test_printer_parenthesises_by_precedence():
+    expr = ast.BinaryOp("*", ast.BinaryOp("+", ast.var("a"), ast.var("b")), ast.var("c"))
+    assert printer.print_expr(expr) == "(a + b) * c"
+    expr2 = ast.BinaryOp("+", ast.var("a"), ast.BinaryOp("*", ast.var("b"), ast.var("c")))
+    assert printer.print_expr(expr2) == "a + b * c"
+
+
+def test_printer_vector_literal_and_component():
+    v2 = ty.VectorType(ty.UINT, 2)
+    lit = ast.VectorLiteral(v2, [ast.IntLiteral(1, ty.UINT), ast.IntLiteral(2, ty.UINT)])
+    text = printer.print_expr(ast.VectorComponent(lit, 1))
+    assert text == "(uint2)(1U, 2U).y"
+
+
+def test_printer_struct_and_union_definitions():
+    s = ty.StructType("S", (ty.FieldDecl("a", ty.CHAR), ty.FieldDecl("b", ty.SHORT)))
+    u = ty.UnionType("U", (ty.FieldDecl("a", ty.UINT), ty.FieldDecl("b", s)))
+    program = ast.Program(structs=[s, u], functions=[
+        ast.FunctionDecl("entry", ty.VOID, [], ast.Block([]), is_kernel=True)
+    ])
+    text = printer.print_program(program)
+    assert "struct S {" in text and "union U {" in text
+    assert "char a;" in text
+
+
+def test_printer_barrier_for_loop_and_comma():
+    loop = ast.ForStmt(
+        ast.DeclStmt("i", ty.INT, ast.IntLiteral(0)),
+        ast.BinaryOp("<", ast.var("i"), ast.IntLiteral(3)),
+        ast.AssignStmt(ast.var("i"), ast.IntLiteral(1), "+="),
+        ast.Block([ast.BarrierStmt()]),
+    )
+    text = printer.print_stmt(loop)
+    assert "for (int i = 0; i < 3; i += 1)" in text
+    assert "barrier(CLK_LOCAL_MEM_FENCE);" in text
+    comma = ast.BinaryOp(",", ast.var("x"), ast.IntLiteral(1))
+    assert printer.print_expr(comma) == "x, 1"
+
+
+def test_printer_marks_emi_blocks_and_atomic_sections():
+    emi = ast.IfStmt(ast.IntLiteral(0), ast.Block([]), emi_marker=3)
+    assert "EMI block 3" in printer.print_stmt(emi)
+    section = ast.IfStmt(ast.IntLiteral(1), ast.Block([]), atomic_section=True)
+    assert "atomic section" in printer.print_stmt(section)
+
+
+def test_printer_literal_suffixes():
+    assert printer.print_expr(ast.IntLiteral(1, ty.ULONG)) == "1UL"
+    assert printer.print_expr(ast.IntLiteral(1, ty.UINT)) == "1U"
+    assert printer.print_expr(ast.IntLiteral(1, ty.LONG)) == "1L"
+    assert printer.print_expr(ast.IntLiteral(1, ty.INT)) == "1"
+
+
+def test_printer_pointer_operations():
+    expr = ast.Deref(ast.var("p"))
+    assert printer.print_expr(expr) == "*p"
+    addr = ast.AddressOf(ast.FieldAccess(ast.var("p"), "a", arrow=True))
+    assert printer.print_expr(addr) == "&p->a"

@@ -1,0 +1,175 @@
+"""Tests for builtin semantics (clamp, rotate, safe_*) and static validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel_lang import ast, builtins, types as ty
+from repro.kernel_lang.semantics import UBKind, ValidationError, validate_program
+
+
+# ---------------------------------------------------------------------------
+# Builtins
+# ---------------------------------------------------------------------------
+
+
+def test_clamp_basic_and_undefined():
+    assert builtins.cl_clamp(5, 0, 3, ty.INT) == 3
+    assert builtins.cl_clamp(-5, 0, 3, ty.INT) == 0
+    assert builtins.cl_clamp(2, 0, 3, ty.INT) == 2
+    with pytest.raises(builtins.BuiltinUndefined):
+        builtins.cl_clamp(2, 3, 0, ty.INT)
+
+
+def test_safe_clamp_returns_x_when_bounds_inverted():
+    assert builtins.safe_clamp(2, 3, 0, ty.INT) == 2
+
+
+def test_rotate_matches_figure_2b_expectation():
+    # rotate(1, 0) must be 1 -- the Intel bug folded it to 0xffffffff.
+    assert builtins.cl_rotate(1, 0, ty.UINT) == 1
+    assert builtins.cl_rotate(1, 1, ty.UINT) == 2
+    assert builtins.cl_rotate(0x80000000, 1, ty.UINT) == 1
+    assert builtins.cl_rotate(1, 32, ty.UINT) == 1  # amount taken mod width
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=200))
+def test_rotate_is_bit_preserving(x, y):
+    rotated = builtins.cl_rotate(x, y, ty.UINT)
+    assert bin(rotated & 0xFFFFFFFF).count("1") == bin(x).count("1")
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+       st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_safe_add_sub_mul_always_in_range(a, b):
+    for fn in (builtins.safe_add, builtins.safe_sub, builtins.safe_mul):
+        assert ty.INT.contains(fn(a, b, ty.INT))
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+       st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_safe_div_and_mod_total(a, b):
+    q = builtins.safe_div(a, b, ty.INT)
+    r = builtins.safe_mod(a, b, ty.INT)
+    assert ty.INT.contains(q) and ty.INT.contains(r)
+    if b not in (0, -1) and a != ty.INT.min_value:
+        assert q * b + r == a
+
+
+def test_safe_div_by_zero_returns_dividend():
+    assert builtins.safe_div(17, 0, ty.INT) == 17
+    assert builtins.safe_mod(17, 0, ty.INT) == 17
+    assert builtins.safe_div(ty.INT.min_value, -1, ty.INT) == ty.INT.min_value
+
+
+def test_safe_shifts_clamp_amount():
+    assert builtins.safe_lshift(1, 40, ty.INT) == 1 << 8
+    assert builtins.safe_rshift(256, 40, ty.INT) == 1
+    assert builtins.safe_lshift(1, -3, ty.INT) == 1
+
+
+def test_c_division_truncates_toward_zero():
+    assert builtins._c_div(-7, 2) == -3
+    assert builtins._c_mod(-7, 2) == -1
+    assert builtins._c_div(7, -2) == -3
+
+
+def test_saturating_arithmetic():
+    assert builtins.cl_add_sat(ty.CHAR.max_value, 10, ty.CHAR) == ty.CHAR.max_value
+    assert builtins.cl_sub_sat(ty.CHAR.min_value, 10, ty.CHAR) == ty.CHAR.min_value
+
+
+def test_mul_hi_and_hadd():
+    assert builtins.cl_mul_hi(2**20, 2**20, ty.UINT) == (2**40) >> 32
+    assert builtins.cl_hadd(3, 4, ty.INT) == 3
+
+
+def test_builtin_registry_consistency():
+    assert builtins.is_builtin("clamp")
+    assert builtins.is_builtin("atomic_inc")
+    assert not builtins.is_builtin("printf")
+    assert builtins.builtin_arity("safe_clamp") == 3
+    assert builtins.builtin_arity("atomic_cmpxchg") == 3
+    with pytest.raises(KeyError):
+        builtins.builtin_arity("unknown")
+    assert set(builtins.REDUCTION_ATOMICS) <= set(builtins.ATOMIC_BUILTINS)
+
+
+def test_abs_returns_unsigned_value():
+    assert builtins.cl_abs(-5, ty.INT) == 5
+    assert builtins.cl_abs(ty.INT.min_value, ty.INT) == 2**31
+
+
+# ---------------------------------------------------------------------------
+# Static validation
+# ---------------------------------------------------------------------------
+
+
+def _kernel_with_body(statements, params=None, buffers=None):
+    params = params or [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))]
+    buffers = buffers if buffers is not None else [ast.BufferSpec("out", ty.ULONG, 1, is_output=True)]
+    kernel = ast.FunctionDecl("entry", ty.VOID, params, ast.Block(statements), is_kernel=True)
+    return ast.Program(functions=[kernel], buffers=buffers,
+                       launch=ast.LaunchSpec((1, 1, 1), (1, 1, 1)))
+
+
+def test_validate_accepts_well_formed_program():
+    program = _kernel_with_body([ast.out_write(ast.IntLiteral(1))])
+    assert validate_program(program) == []
+
+
+def test_validate_rejects_undeclared_variable():
+    program = _kernel_with_body([ast.out_write(ast.VarRef("ghost"))])
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_validate_rejects_unknown_function_and_bad_arity():
+    program = _kernel_with_body([ast.ExprStmt(ast.Call("mystery", []))])
+    with pytest.raises(ValidationError):
+        validate_program(program)
+    program2 = _kernel_with_body([ast.ExprStmt(ast.Call("clamp", [ast.IntLiteral(1)]))])
+    with pytest.raises(ValidationError):
+        validate_program(program2)
+
+
+def test_validate_rejects_break_outside_loop():
+    program = _kernel_with_body([ast.BreakStmt(), ast.out_write(ast.IntLiteral(0))])
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_validate_rejects_unbound_kernel_buffer():
+    program = _kernel_with_body([ast.out_write(ast.IntLiteral(1))], buffers=[])
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_validate_flags_barrier_under_thread_id_divergence():
+    divergent = ast.IfStmt(
+        ast.BinaryOp("==", ast.WorkItemExpr("get_global_id", 0), ast.IntLiteral(0)),
+        ast.Block([ast.BarrierStmt()]),
+    )
+    program = _kernel_with_body([divergent, ast.out_write(ast.IntLiteral(0))])
+    with pytest.raises(ValidationError) as err:
+        validate_program(program)
+    assert "divergence" in str(err.value)
+
+
+def test_validate_allows_barrier_under_group_uniform_condition():
+    uniform = ast.IfStmt(
+        ast.BinaryOp("==", ast.WorkItemExpr("get_group_id", 0), ast.IntLiteral(0)),
+        ast.Block([ast.BarrierStmt()]),
+    )
+    program = _kernel_with_body([uniform, ast.out_write(ast.IntLiteral(0))])
+    assert validate_program(program) == []
+
+
+def test_validate_non_strict_returns_diagnostics():
+    program = _kernel_with_body([ast.out_write(ast.VarRef("ghost"))])
+    diags = validate_program(program, strict=False)
+    assert len(diags) == 1 and "ghost" in diags[0].message
+
+
+def test_ubkind_enum_covers_paper_sources():
+    names = {k.name for k in UBKind}
+    assert {"DATA_RACE", "BARRIER_DIVERGENCE", "SIGNED_OVERFLOW", "DIVISION_BY_ZERO"} <= names

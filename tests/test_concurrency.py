@@ -1,0 +1,254 @@
+"""Tests for work-group scheduling, barriers, atomics, divergence and the
+Oclgrind-style race detector."""
+
+import pytest
+
+from repro.kernel_lang import ast, types as ty
+from repro.runtime.device import Device, run_program
+from repro.runtime.errors import BarrierDivergenceError, DataRaceError
+from repro.runtime.scheduler import ScheduleOrder
+
+
+def _program(statements, buffers, params, launch):
+    kernel = ast.FunctionDecl("entry", ty.VOID, params, ast.Block(statements), is_kernel=True)
+    return ast.Program(functions=[kernel], buffers=buffers, launch=launch)
+
+
+def _out_param():
+    return ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))
+
+
+def _shared_param(name, space=ty.GLOBAL, element=ty.UINT):
+    return ast.ParamDecl(name, ty.PointerType(element, space))
+
+
+# ---------------------------------------------------------------------------
+# Atomics
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_inc_each_thread_gets_distinct_ticket():
+    program = _program(
+        [
+            ast.DeclStmt("ticket", ty.UINT,
+                         ast.Call("atomic_inc",
+                                  [ast.AddressOf(ast.IndexAccess(ast.VarRef("counter"),
+                                                                 ast.IntLiteral(0)))])),
+            ast.out_write(ast.VarRef("ticket")),
+        ],
+        [ast.BufferSpec("out", ty.ULONG, 4, is_output=True),
+         ast.BufferSpec("counter", ty.UINT, 1, init="zero", is_output=True)],
+        [_out_param(), _shared_param("counter")],
+        ast.LaunchSpec((4, 1, 1), (4, 1, 1)),
+    )
+    result = run_program(program)
+    assert sorted(result.outputs["out"]) == [0, 1, 2, 3]
+    assert result.outputs["counter"] == [4]
+
+
+def test_atomic_reduction_is_schedule_independent():
+    program = _program(
+        [
+            ast.ExprStmt(ast.Call("atomic_add",
+                                  [ast.AddressOf(ast.IndexAccess(ast.VarRef("acc"),
+                                                                 ast.IntLiteral(0))),
+                                   ast.IntLiteral(5, ty.UINT)])),
+            ast.out_write(ast.IntLiteral(0)),
+        ],
+        [ast.BufferSpec("out", ty.ULONG, 6, is_output=True),
+         ast.BufferSpec("acc", ty.UINT, 1, init="zero", is_output=True)],
+        [_out_param(), _shared_param("acc")],
+        ast.LaunchSpec((6, 1, 1), (6, 1, 1)),
+    )
+    results = [
+        run_program(program, schedule_order=order, schedule_seed=seed).outputs["acc"]
+        for order, seed in [(ScheduleOrder.ROUND_ROBIN, 0), (ScheduleOrder.REVERSED, 0),
+                            (ScheduleOrder.RANDOM, 1), (ScheduleOrder.RANDOM, 99)]
+    ]
+    assert all(r == [30] for r in results)
+
+
+def test_atomic_cmpxchg_and_xchg():
+    program = _program(
+        [
+            ast.ExprStmt(ast.Call("atomic_cmpxchg",
+                                  [ast.AddressOf(ast.IndexAccess(ast.VarRef("acc"),
+                                                                 ast.IntLiteral(0))),
+                                   ast.IntLiteral(0, ty.UINT), ast.IntLiteral(9, ty.UINT)])),
+            ast.out_write(ast.IntLiteral(0)),
+        ],
+        [ast.BufferSpec("out", ty.ULONG, 2, is_output=True),
+         ast.BufferSpec("acc", ty.UINT, 1, init="zero", is_output=True)],
+        [_out_param(), _shared_param("acc")],
+        ast.LaunchSpec((2, 1, 1), (2, 1, 1)),
+    )
+    # Only the first compare-exchange succeeds; the value stays 9.
+    assert run_program(program).outputs["acc"] == [9]
+
+
+# ---------------------------------------------------------------------------
+# Barriers
+# ---------------------------------------------------------------------------
+
+
+def _barrier_exchange_program():
+    """Each thread writes its id into shared memory, barriers, then reads the
+    neighbour's slot -- only correct if the barrier really synchronises."""
+    w = 4
+    neighbour = ast.BinaryOp("%", ast.BinaryOp("+", ast.Cast(ty.INT, ast.local_linear_id()),
+                                               ast.IntLiteral(1)),
+                             ast.IntLiteral(w))
+    return _program(
+        [
+            ast.AssignStmt(ast.IndexAccess(ast.VarRef("buf"), ast.local_linear_id()),
+                           ast.Cast(ty.UINT, ast.local_linear_id())),
+            ast.BarrierStmt(),
+            ast.out_write(ast.IndexAccess(ast.VarRef("buf"), neighbour)),
+        ],
+        [ast.BufferSpec("out", ty.ULONG, w, is_output=True),
+         ast.BufferSpec("buf", ty.UINT, w, address_space=ty.LOCAL, init="zero")],
+        [_out_param(), _shared_param("buf", ty.LOCAL)],
+        ast.LaunchSpec((w, 1, 1), (w, 1, 1)),
+    )
+
+
+def test_barrier_allows_neighbour_exchange():
+    result = run_program(_barrier_exchange_program())
+    assert result.outputs["out"] == [1, 2, 3, 0]
+
+
+def test_barrier_exchange_is_schedule_independent():
+    program = _barrier_exchange_program()
+    baseline = run_program(program).outputs
+    for order in (ScheduleOrder.REVERSED, ScheduleOrder.RANDOM):
+        assert run_program(program, schedule_order=order, schedule_seed=3).outputs == baseline
+
+
+def test_barrier_divergence_is_detected():
+    divergent = ast.IfStmt(
+        ast.BinaryOp("==", ast.local_linear_id(), ast.IntLiteral(0)),
+        ast.Block([ast.BarrierStmt()]),
+    )
+    program = _program(
+        [divergent, ast.out_write(ast.IntLiteral(0))],
+        [ast.BufferSpec("out", ty.ULONG, 2, is_output=True)],
+        [_out_param()],
+        ast.LaunchSpec((2, 1, 1), (2, 1, 1)),
+    )
+    with pytest.raises(BarrierDivergenceError):
+        run_program(program)
+
+
+def test_threads_at_different_barriers_is_divergence():
+    body = [
+        ast.IfStmt(
+            ast.BinaryOp("==", ast.local_linear_id(), ast.IntLiteral(0)),
+            ast.Block([ast.BarrierStmt()]),
+            ast.Block([ast.BarrierStmt()]),
+        ),
+        ast.out_write(ast.IntLiteral(0)),
+    ]
+    program = _program(
+        body,
+        [ast.BufferSpec("out", ty.ULONG, 2, is_output=True)],
+        [_out_param()],
+        ast.LaunchSpec((2, 1, 1), (2, 1, 1)),
+    )
+    with pytest.raises(BarrierDivergenceError):
+        run_program(program)
+
+
+def test_no_inter_group_barrier_requirement():
+    """Barriers only synchronise within a group: two groups run independently."""
+    program = _program(
+        [ast.BarrierStmt(), ast.out_write(ast.group_linear_id())],
+        [ast.BufferSpec("out", ty.ULONG, 4, is_output=True)],
+        [_out_param()],
+        ast.LaunchSpec((4, 1, 1), (2, 1, 1)),
+    )
+    assert run_program(program).outputs["out"] == [0, 0, 1, 1]
+
+
+# ---------------------------------------------------------------------------
+# Race detection (paper section 3.1 definition)
+# ---------------------------------------------------------------------------
+
+
+def _racy_program(use_barrier: bool, atomic: bool = False):
+    """All threads write shared location 0; racy unless synchronised."""
+    if atomic:
+        write = ast.ExprStmt(ast.Call("atomic_add",
+                                      [ast.AddressOf(ast.IndexAccess(ast.VarRef("buf"),
+                                                                     ast.IntLiteral(0))),
+                                       ast.IntLiteral(1, ty.UINT)]))
+    else:
+        write = ast.AssignStmt(ast.IndexAccess(ast.VarRef("buf"), ast.local_linear_id()),
+                               ast.IntLiteral(1, ty.UINT))
+    read_other = ast.out_write(ast.IndexAccess(ast.VarRef("buf"), ast.IntLiteral(0)))
+    statements = [write]
+    if use_barrier:
+        statements.append(ast.BarrierStmt())
+    statements.append(read_other)
+    return _program(
+        statements,
+        [ast.BufferSpec("out", ty.ULONG, 4, is_output=True),
+         ast.BufferSpec("buf", ty.UINT, 4, address_space=ty.LOCAL, init="zero")],
+        [_out_param(), _shared_param("buf", ty.LOCAL)],
+        ast.LaunchSpec((4, 1, 1), (4, 1, 1)),
+    )
+
+
+def test_unsynchronised_conflicting_accesses_race():
+    with pytest.raises(DataRaceError):
+        run_program(_racy_program(use_barrier=False), check_races=True)
+
+
+def test_barrier_separated_accesses_do_not_race():
+    result = run_program(_racy_program(use_barrier=True), check_races=True)
+    assert result.race_reports == []
+
+
+def test_atomic_accesses_within_group_do_not_race():
+    program = _racy_program(use_barrier=True, atomic=True)
+    result = run_program(program, check_races=True)
+    assert result.race_reports == []
+
+
+def test_inter_group_conflicts_are_races_even_with_atomics_on_one_side():
+    """The paper's definition treats any cross-group conflicting access pair
+    as a race (no inter-group consistency guarantees in OpenCL 1.x)."""
+    program = _program(
+        [
+            ast.AssignStmt(ast.IndexAccess(ast.VarRef("shared"), ast.IntLiteral(0)),
+                           ast.Cast(ty.UINT, ast.global_linear_id())),
+            ast.out_write(ast.IntLiteral(0)),
+        ],
+        [ast.BufferSpec("out", ty.ULONG, 4, is_output=True),
+         ast.BufferSpec("shared", ty.UINT, 1, init="zero")],
+        [_out_param(), _shared_param("shared")],
+        ast.LaunchSpec((4, 1, 1), (2, 1, 1)),
+    )
+    with pytest.raises(DataRaceError):
+        run_program(program, check_races=True)
+
+
+def test_race_detector_collecting_mode_reports_without_throwing():
+    device = Device(check_races=True, throw_on_race=False)
+    result = device.run(_racy_program(use_barrier=False))
+    assert result.race_reports, "expected at least one race report"
+    assert "data race" in result.race_reports[0]
+
+
+def test_distinct_locations_do_not_race():
+    program = _program(
+        [
+            ast.AssignStmt(ast.IndexAccess(ast.VarRef("buf"), ast.local_linear_id()),
+                           ast.IntLiteral(1, ty.UINT)),
+            ast.out_write(ast.IndexAccess(ast.VarRef("buf"), ast.local_linear_id())),
+        ],
+        [ast.BufferSpec("out", ty.ULONG, 4, is_output=True),
+         ast.BufferSpec("buf", ty.UINT, 4, address_space=ty.LOCAL, init="zero")],
+        [_out_param(), _shared_param("buf", ty.LOCAL)],
+        ast.LaunchSpec((4, 1, 1), (4, 1, 1)),
+    )
+    assert run_program(program, check_races=True).race_reports == []

@@ -1,0 +1,168 @@
+"""Tests for the CLsmith-style generator: options, grid selection, structure
+of generated kernels per mode, reproducibility and well-definedness."""
+
+import pytest
+
+from repro.compiler import analysis
+from repro.generator import CLsmithGenerator, Mode, generate_batch, generate_kernel
+from repro.generator.grid import choose_launch
+from repro.generator.options import ALL_MODES, GeneratorOptions
+from repro.generator.rng import GeneratorRandom
+from repro.kernel_lang import ast, printer, types as ty
+from repro.kernel_lang.semantics import validate_program
+from repro.runtime.device import run_program
+
+_FAST = GeneratorOptions(min_total_threads=4, max_total_threads=16, max_group_size=4,
+                         max_statements=6)
+
+
+# ---------------------------------------------------------------------------
+# RNG and grid
+# ---------------------------------------------------------------------------
+
+
+def test_rng_is_deterministic_and_forkable():
+    a, b = GeneratorRandom(7), GeneratorRandom(7)
+    assert [a.randint(0, 100) for _ in range(5)] == [b.randint(0, 100) for _ in range(5)]
+    fork_a = GeneratorRandom(7).fork("x")
+    fork_b = GeneratorRandom(7).fork("x")
+    fork_c = GeneratorRandom(7).fork("y")
+    seq_a = [fork_a.randint(0, 100) for _ in range(5)]
+    assert seq_a == [fork_b.randint(0, 100) for _ in range(5)]
+    assert seq_a != [fork_c.randint(0, 100) for _ in range(5)]
+
+
+def test_rng_permutation_and_weighted_choice():
+    rng = GeneratorRandom(3)
+    perm = rng.permutation(8)
+    assert sorted(perm) == list(range(8))
+    assert rng.weighted_choice([("a", 0.0), ("b", 5.0)]) == "b"
+
+
+def test_grid_respects_thread_and_group_bounds():
+    options = GeneratorOptions(min_total_threads=8, max_total_threads=64, max_group_size=8)
+    for seed in range(30):
+        launch = choose_launch(GeneratorRandom(seed), options)
+        assert 8 <= launch.total_threads < 64
+        assert launch.group_size <= 8
+        for n, w in zip(launch.global_size, launch.local_size):
+            assert n % w == 0
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        GeneratorOptions(min_total_threads=10, max_total_threads=5).validate()
+    with pytest.raises(ValueError):
+        GeneratorOptions(emi_blocks=1, emi_dead_array_size=1).validate()
+
+
+# ---------------------------------------------------------------------------
+# Generated program structure
+# ---------------------------------------------------------------------------
+
+
+def test_generation_is_reproducible_per_seed():
+    a = generate_kernel(Mode.ALL, seed=11, options=_FAST)
+    b = generate_kernel(Mode.ALL, seed=11, options=_FAST)
+    c = generate_kernel(Mode.ALL, seed=12, options=_FAST)
+    assert printer.print_program(a) == printer.print_program(b)
+    assert printer.print_program(a) != printer.print_program(c)
+
+
+def test_generated_kernels_validate_and_have_globals_struct():
+    for seed in range(5):
+        program = generate_kernel(Mode.BASIC, seed=seed, options=_FAST)
+        assert validate_program(program) == []
+        assert any(s.name == "Globals" for s in program.structs)
+        assert program.buffer("out").is_output
+        assert program.metadata["mode"] == "BASIC"
+
+
+def test_mode_feature_presence():
+    vector = generate_kernel(Mode.VECTOR, seed=1, options=_FAST)
+    barrier = generate_kernel(Mode.BARRIER, seed=1, options=_FAST)
+    atomic_section = generate_kernel(Mode.ATOMIC_SECTION, seed=1, options=_FAST)
+    reduction = generate_kernel(Mode.ATOMIC_REDUCTION, seed=1, options=_FAST)
+    everything = generate_kernel(Mode.ALL, seed=1, options=_FAST)
+
+    assert analysis.uses_vectors(vector)
+    assert analysis.uses_barriers(barrier)
+    assert analysis.uses_atomics(atomic_section)
+    assert analysis.uses_atomics(reduction) and analysis.uses_barriers(reduction)
+    assert analysis.uses_vectors(everything) and analysis.uses_barriers(everything)
+    assert analysis.uses_atomics(everything)
+
+    basic = generate_kernel(Mode.BASIC, seed=1, options=_FAST)
+    assert not analysis.uses_barriers(basic)
+    assert not analysis.uses_atomics(basic)
+
+
+def test_barrier_mode_has_permutation_buffer_and_offset():
+    program = generate_kernel(Mode.BARRIER, seed=2, options=_FAST)
+    names = {b.name for b in program.buffers}
+    assert {"permutations", "A", "out"} <= names
+    decls = [n for n in program.kernel().body.walk()
+             if isinstance(n, ast.DeclStmt) and n.name == "A_offset"]
+    assert decls, "BARRIER mode must declare the per-thread A_offset"
+
+
+def test_atomic_section_mode_structure():
+    program = generate_kernel(Mode.ATOMIC_SECTION, seed=3, options=_FAST)
+    sections = [n for n in program.kernel().body.walk()
+                if isinstance(n, ast.IfStmt) and n.atomic_section]
+    assert sections
+    for section in sections:
+        text = printer.print_stmt(section)
+        assert "atomic_inc" in text and "atomic_add" in text
+
+
+def test_no_per_thread_ids_in_control_flow():
+    """The generator must never make control flow depend on global/local ids
+    (paper section 4.2) -- group ids are permitted."""
+    per_thread = {"get_global_id", "get_local_id"}
+    for mode in ALL_MODES:
+        program = generate_kernel(mode, seed=4, options=_FAST)
+        for node in program.kernel().body.walk():
+            if isinstance(node, (ast.IfStmt, ast.WhileStmt)):
+                cond_ids = {
+                    n.function for n in node.cond.walk() if isinstance(n, ast.WorkItemExpr)
+                }
+                assert not (cond_ids & per_thread)
+
+
+def test_emi_blocks_are_dead_by_construction():
+    program = generate_kernel(Mode.BASIC, seed=5, options=_FAST, emi_blocks=3)
+    blocks = [n for n in program.kernel().body.walk()
+              if isinstance(n, ast.IfStmt) and n.emi_marker is not None]
+    assert len(blocks) == 3
+    assert any(b.name == "dead" for b in program.buffers)
+    # Guards must compare dead[i] < dead[j] with j < i.
+    for block in blocks:
+        cond = block.cond
+        assert isinstance(cond, ast.BinaryOp) and cond.op == "<"
+        i = cond.left.index.value
+        j = cond.right.index.value
+        assert j < i
+    # And executing the kernel must give the same result as without blocks,
+    # because the blocks are unreachable.
+    result = run_program(program)
+    assert result.outputs["out"]
+
+
+def test_generate_batch_uses_consecutive_seeds():
+    batch = generate_batch(Mode.BASIC, 3, start_seed=100, options=_FAST)
+    assert len(batch) == 3
+    assert [p.metadata["seed"] for p in batch] == [100, 101, 102]
+
+
+def test_generated_source_looks_like_opencl():
+    text = printer.print_program(generate_kernel(Mode.ALL, seed=6, options=_FAST))
+    assert "kernel void entry(" in text
+    assert "struct Globals" in text
+    assert "safe_" in text
+
+
+def test_generator_class_api():
+    generator = CLsmithGenerator(GeneratorOptions(mode=Mode.VECTOR), seed=9)
+    program = generator.generate()
+    assert program.metadata["mode"] == "VECTOR"

@@ -1,0 +1,66 @@
+"""Property-based tests for the central claims about generated kernels
+(paper section 4): every generated kernel is free of undefined behaviour,
+free of data races, and produces a result that is independent of the thread
+interleaving and of the optimisation level.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler import compile_program
+from repro.generator import Mode, generate_kernel
+from repro.generator.options import ALL_MODES, GeneratorOptions
+from repro.runtime.device import run_program
+from repro.runtime.scheduler import ScheduleOrder
+
+_FAST = GeneratorOptions(min_total_threads=4, max_total_threads=16, max_group_size=4,
+                         max_statements=6)
+
+_SETTINGS = settings(max_examples=8, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000),
+       mode=st.sampled_from(list(ALL_MODES)))
+def test_generated_kernels_are_race_free_and_well_defined(seed, mode):
+    program = generate_kernel(mode, seed=seed, options=_FAST)
+    # check_races=True raises on both data races and any undefined behaviour.
+    result = run_program(program, check_races=True, max_steps=400_000)
+    assert result.outputs["out"]
+
+
+@_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000),
+       mode=st.sampled_from([Mode.BARRIER, Mode.ATOMIC_SECTION, Mode.ATOMIC_REDUCTION,
+                             Mode.ALL]))
+def test_communicating_kernels_are_schedule_independent(seed, mode):
+    program = generate_kernel(mode, seed=seed, options=_FAST)
+    baseline = run_program(program, max_steps=400_000).outputs
+    for order, sched_seed in ((ScheduleOrder.REVERSED, 0), (ScheduleOrder.RANDOM, 13),
+                              (ScheduleOrder.RANDOM, 14)):
+        other = run_program(program, schedule_order=order, schedule_seed=sched_seed,
+                            max_steps=400_000).outputs
+        assert other == baseline
+
+
+@_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000),
+       mode=st.sampled_from(list(ALL_MODES)))
+def test_optimisation_level_does_not_change_results(seed, mode):
+    program = generate_kernel(mode, seed=seed, options=_FAST)
+    unoptimised = compile_program(program, optimisations=False).run(max_steps=400_000)
+    optimised = compile_program(program, optimisations=True).run(max_steps=400_000)
+    assert unoptimised.outputs == optimised.outputs
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_emi_base_and_inverted_dead_array_both_well_defined(seed):
+    from repro.emi import invert_dead_array
+
+    program = generate_kernel(Mode.BASIC, seed=seed, options=_FAST, emi_blocks=2)
+    normal = run_program(program, check_races=True, max_steps=400_000)
+    inverted = run_program(invert_dead_array(program), check_races=True, max_steps=400_000)
+    assert normal.outputs["out"] is not None
+    assert inverted.outputs["out"] is not None

@@ -1,0 +1,197 @@
+"""Tests for outcome classification, the differential and EMI harnesses,
+reliability classification and campaign orchestration."""
+
+import pytest
+
+from repro.generator import Mode, generate_kernel
+from repro.generator.options import GeneratorOptions
+from repro.emi import generate_variants
+from repro.platforms import all_configurations, get_configuration
+from repro.runtime.errors import (
+    BuildFailure,
+    CompileTimeout,
+    DataRaceError,
+    ExecutionTimeout,
+    RuntimeCrash,
+)
+from repro.testing.campaign import (
+    generate_emi_bases,
+    run_clsmith_campaign,
+    run_emi_campaign,
+    worst_code,
+)
+from repro.testing.differential import MAJORITY_THRESHOLD, DifferentialHarness
+from repro.testing.emi_harness import EmiHarness
+from repro.testing.figures import figure_program
+from repro.testing.outcomes import Outcome, OutcomeCounts, classify_exception
+from repro.testing.reliability import FAILURE_THRESHOLD, ReliabilityClassifier
+
+_FAST = GeneratorOptions(min_total_threads=4, max_total_threads=12, max_group_size=4,
+                         max_statements=5)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes
+# ---------------------------------------------------------------------------
+
+
+def test_exception_classification():
+    assert classify_exception(BuildFailure("x")) is Outcome.BUILD_FAILURE
+    assert classify_exception(CompileTimeout()) is Outcome.TIMEOUT
+    assert classify_exception(ExecutionTimeout()) is Outcome.TIMEOUT
+    assert classify_exception(RuntimeCrash()) is Outcome.RUNTIME_CRASH
+    assert classify_exception(DataRaceError("r")) is Outcome.UNDEFINED_BEHAVIOUR
+
+
+def test_outcome_counts_and_wrong_code_percentage():
+    counts = OutcomeCounts()
+    for outcome in (Outcome.PASS, Outcome.PASS, Outcome.WRONG_CODE, Outcome.BUILD_FAILURE,
+                    Outcome.TIMEOUT):
+        counts.add(outcome)
+    assert counts.total == 5
+    assert counts.computed_results == 3
+    assert counts.wrong_code_percentage == pytest.approx(100.0 / 3)
+    assert counts.failure_fraction == pytest.approx(2 / 5)
+    merged = counts.merge(counts)
+    assert merged.total == 10
+    assert counts.as_dict()["w"] == 1
+
+
+def test_worst_code_ordering_matches_table3():
+    assert worst_code(["ok", "to", "w"]) == "w"
+    assert worst_code(["ok", "ng"]) == "ng"
+    assert worst_code(["ok", "c", "to"]) == "c"
+    assert worst_code(["ok"]) == "ok"
+
+
+# ---------------------------------------------------------------------------
+# Differential harness
+# ---------------------------------------------------------------------------
+
+
+def test_differential_flags_minority_as_wrong_code():
+    # Figure 1(a) on: reference + three NVIDIA configs (correct) + AMD config 5
+    # (miscompiles with optimisations) -> config 5+ must be the odd one out.
+    configs = [None, get_configuration(1), get_configuration(3), get_configuration(5)]
+    harness = DifferentialHarness(configs, optimisation_levels=(True,))
+    result = harness.run(figure_program("1a"))
+    assert result.majority_size >= MAJORITY_THRESHOLD
+    wrong = {r.config_name for r in result.wrong_code_records}
+    assert wrong == {"config5"}
+    assert result.record_for("config1", True).outcome is Outcome.PASS
+
+
+def test_differential_requires_majority_of_three():
+    harness = DifferentialHarness([None], optimisation_levels=(True,))
+    result = harness.run(figure_program("1a"))
+    assert not result.has_mismatch
+    assert result.majority_size == 1
+
+
+def test_differential_records_build_failures_and_timeouts():
+    configs = [None, get_configuration(20), get_configuration(7)]
+    harness = DifferentialHarness(configs, optimisation_levels=(True,))
+    result_1c = harness.run(figure_program("1c"))
+    assert result_1c.record_for("config20", True).outcome is Outcome.BUILD_FAILURE
+    result_1e = harness.run(figure_program("1e"))
+    assert result_1e.record_for("config7", True).outcome is Outcome.TIMEOUT
+
+
+def test_differential_result_cache_is_transparent():
+    program = generate_kernel(Mode.BASIC, seed=1, options=_FAST)
+    cached = DifferentialHarness([None, get_configuration(1)], cache_results=True).run(program)
+    uncached = DifferentialHarness([None, get_configuration(1)], cache_results=False).run(program)
+    assert [r.outcome for r in cached.records] == [r.outcome for r in uncached.records]
+
+
+# ---------------------------------------------------------------------------
+# EMI harness
+# ---------------------------------------------------------------------------
+
+
+def test_emi_harness_stable_family_on_reference():
+    base = generate_emi_bases(1, seed=3, options=_FAST)[0]
+    variants = [base] + generate_variants(base)[:6]
+    summary = EmiHarness().run_family(variants, None, optimisations=True)
+    assert summary.stable and not summary.wrong_code and not summary.bad_base
+    assert summary.distinct_values == 1
+    assert summary.worst_outcome == "ok"
+
+
+def test_emi_harness_detects_comma_defect_is_invisible_to_emi():
+    """Oclgrind's wrong code is not optimisation-sensitive, so EMI families
+    agree with each other even though they all differ from the reference
+    (paper section 7.4's explanation for Table 5's zeros on config 19)."""
+    base = generate_emi_bases(1, seed=5, options=_FAST)[0]
+    variants = [base] + generate_variants(base)[:6]
+    summary = EmiHarness().run_family(variants, get_configuration(19), optimisations=False)
+    assert not summary.wrong_code
+
+
+def test_emi_harness_compare_expected_detects_wrong_code():
+    harness = EmiHarness()
+    program = figure_program("1d")
+    from repro.compiler import compile_program
+
+    expected = compile_program(program).run()
+    outcome = harness.compare_expected(program, expected, get_configuration(17), True)
+    assert outcome is Outcome.WRONG_CODE
+    reference_outcome = harness.compare_expected(program, expected, None, True)
+    assert reference_outcome is Outcome.PASS
+
+
+# ---------------------------------------------------------------------------
+# Reliability classification (Table 1) and campaigns (Tables 4 and 5)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_reliability_report():
+    configs = [get_configuration(i) for i in (1, 5, 9, 19, 21)]
+    classifier = ReliabilityClassifier(configs, kernels_per_mode=2,
+                                       modes=(Mode.BASIC, Mode.BARRIER),
+                                       options=_FAST, max_steps=300_000)
+    return classifier.classify()
+
+
+def test_reliability_classifier_separates_good_and_bad_configs(small_reliability_report):
+    classification = small_reliability_report.classification()
+    assert classification[1] is True
+    assert classification[21] is False
+    rows = small_reliability_report.table_rows()
+    assert len(rows) == 5
+    assert all("measured_failure_fraction" in row for row in rows)
+    assert 0.0 <= FAILURE_THRESHOLD <= 1.0
+
+
+def test_clsmith_campaign_produces_table4_shaped_rows():
+    configs = [get_configuration(i) for i in (1, 9)]
+    result = run_clsmith_campaign(configs, kernels_per_mode=2,
+                                  modes=(Mode.BASIC, Mode.VECTOR), options=_FAST,
+                                  max_steps=300_000)
+    rows = result.table_rows()
+    assert len(rows) == 2 * 2 * 2  # modes x configs x opt levels
+    rendered = result.render()
+    assert "config1+" in rendered and "w%" in rendered
+    for row in rows:
+        assert row["w"] + row["bf"] + row["c"] + row["to"] + row["ok"] + row["ub"] == 2
+
+
+def test_emi_campaign_produces_table5_shaped_rows():
+    configs = [get_configuration(1), get_configuration(19)]
+    result = run_emi_campaign(configs, n_bases=2, variants_per_base=4,
+                              optimisation_levels=(True,), options=_FAST,
+                              max_steps=300_000, seed=2)
+    assert result.n_bases == 2
+    for (_, _), row in result.rows.items():
+        total = row["base_fails"] + row["w"] + row["stable"]
+        assert total <= 2 + row["bf"] + row["c"] + row["to"] + 2
+    assert "base fails" in result.render()
+
+
+def test_generate_emi_bases_filters_dead_placement():
+    bases = generate_emi_bases(2, seed=0, options=_FAST, filter_dead_placement=True)
+    assert len(bases) == 2
+    for base in bases:
+        assert base.metadata["emi_blocks"] >= 1
+        assert "emi_base_fingerprint" in base.metadata

@@ -1,0 +1,334 @@
+"""Tests for the memory model and the kernel interpreter (single work-item
+semantics: expressions, control flow, structs/unions/pointers, UB detection).
+"""
+
+import pytest
+
+from repro.kernel_lang import ast, types as ty, values as vals
+from repro.runtime import memory
+from repro.runtime.device import run_program
+from repro.runtime.errors import ExecutionTimeout, UndefinedBehaviourError
+from repro.kernel_lang.semantics import UBKind
+
+
+def run_kernel(statements, buffers=None, params=None, launch=None, structs=None,
+               functions=None, max_steps=200_000):
+    """Build a single-thread kernel around ``statements`` and run it."""
+    params = params or [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))]
+    buffers = buffers or [ast.BufferSpec("out", ty.ULONG, 1, is_output=True)]
+    launch = launch or ast.LaunchSpec((1, 1, 1), (1, 1, 1))
+    kernel = ast.FunctionDecl("entry", ty.VOID, params, ast.Block(statements), is_kernel=True)
+    program = ast.Program(
+        structs=list(structs or []),
+        functions=list(functions or []) + [kernel],
+        buffers=buffers,
+        launch=launch,
+    )
+    return run_program(program, max_steps=max_steps)
+
+
+def out0(statements, **kwargs):
+    return run_kernel(statements, **kwargs).outputs["out"][0]
+
+
+# ---------------------------------------------------------------------------
+# Memory model
+# ---------------------------------------------------------------------------
+
+
+def test_lvalue_navigation_into_struct_and_array():
+    s = ty.StructType("S", (ty.FieldDecl("a", ty.INT), ty.FieldDecl("b", ty.ArrayType(ty.INT, 3))))
+    cell = memory.Cell("s", s, vals.zero_value(s))
+    lv = memory.LValue(cell).member("b").index(2)
+    lv.write(vals.scalar(ty.INT, 9))
+    assert memory.LValue(cell).member("b").index(2).read().value == 9
+    assert lv.type is ty.INT
+
+
+def test_lvalue_out_of_bounds_is_ub():
+    arr = ty.ArrayType(ty.INT, 2)
+    cell = memory.Cell("a", arr, vals.zero_value(arr))
+    with pytest.raises(UndefinedBehaviourError):
+        memory.LValue(cell).index(5).read()
+
+
+def test_environment_scoping_and_lookup():
+    env = memory.Environment()
+    env.declare(memory.Cell("x", ty.INT, vals.scalar(ty.INT, 1)))
+    child = env.child()
+    child.declare(memory.Cell("y", ty.INT, vals.scalar(ty.INT, 2)))
+    assert child.lookup("x").value.value == 1
+    assert child.contains("y") and not env.contains("y")
+    with pytest.raises(KeyError):
+        env.lookup("y")
+
+
+def test_pointer_roundtrip_through_lvalue():
+    cell = memory.Cell("x", ty.INT, vals.scalar(ty.INT, 5))
+    ptr = memory.LValue(cell).as_pointer()
+    assert memory.lvalue_from_pointer(ptr).read().value == 5
+    with pytest.raises(UndefinedBehaviourError):
+        memory.lvalue_from_pointer(vals.PointerValue(ty.PointerType(ty.INT)))
+
+
+# ---------------------------------------------------------------------------
+# Expression and statement semantics
+# ---------------------------------------------------------------------------
+
+
+def test_arithmetic_and_promotion():
+    value = out0([
+        ast.DeclStmt("a", ty.CHAR, ast.IntLiteral(100, ty.CHAR)),
+        ast.DeclStmt("b", ty.CHAR, ast.IntLiteral(100, ty.CHAR)),
+        # char + char promotes to int, so 200 does not overflow.
+        ast.out_write(ast.BinaryOp("+", ast.VarRef("a"), ast.VarRef("b"))),
+    ])
+    assert value == 200
+
+
+def test_signed_overflow_is_detected_as_ub():
+    with pytest.raises(UndefinedBehaviourError) as err:
+        out0([
+            ast.DeclStmt("a", ty.INT, ast.IntLiteral(ty.INT.max_value)),
+            ast.out_write(ast.BinaryOp("+", ast.VarRef("a"), ast.IntLiteral(1))),
+        ])
+    assert err.value.kind is UBKind.SIGNED_OVERFLOW
+
+
+def test_unsigned_arithmetic_wraps_silently():
+    value = out0([
+        ast.DeclStmt("a", ty.UINT, ast.IntLiteral(0xFFFFFFFF, ty.UINT)),
+        ast.out_write(ast.BinaryOp("+", ast.VarRef("a"), ast.IntLiteral(1, ty.UINT))),
+    ])
+    assert value == 0
+
+
+def test_division_by_zero_and_shift_range_are_ub():
+    with pytest.raises(UndefinedBehaviourError):
+        out0([ast.out_write(ast.BinaryOp("/", ast.IntLiteral(1), ast.IntLiteral(0)))])
+    with pytest.raises(UndefinedBehaviourError):
+        out0([ast.out_write(ast.BinaryOp("<<", ast.IntLiteral(1), ast.IntLiteral(40)))])
+
+
+def test_logical_operators_short_circuit():
+    # The right operand would divide by zero; && must not evaluate it.
+    value = out0([
+        ast.out_write(
+            ast.BinaryOp(
+                "&&",
+                ast.IntLiteral(0),
+                ast.BinaryOp("/", ast.IntLiteral(1), ast.IntLiteral(0)),
+            )
+        )
+    ])
+    assert value == 0
+
+
+def test_comma_operator_yields_right_operand():
+    value = out0([
+        ast.DeclStmt("x", ty.INT, ast.IntLiteral(5)),
+        ast.out_write(ast.BinaryOp(",", ast.VarRef("x"), ast.IntLiteral(7))),
+    ])
+    assert value == 7
+
+
+def test_conditional_expression_and_cast():
+    value = out0([
+        ast.out_write(
+            ast.Conditional(ast.IntLiteral(1), ast.Cast(ty.UCHAR, ast.IntLiteral(300)),
+                            ast.IntLiteral(9))
+        )
+    ])
+    assert value == 300 % 256
+
+
+def test_for_loop_with_break_and_continue():
+    value = out0([
+        ast.DeclStmt("acc", ty.INT, ast.IntLiteral(0)),
+        ast.ForStmt(
+            ast.DeclStmt("i", ty.INT, ast.IntLiteral(0)),
+            ast.BinaryOp("<", ast.VarRef("i"), ast.IntLiteral(10)),
+            ast.AssignStmt(ast.VarRef("i"), ast.IntLiteral(1), "+="),
+            ast.Block([
+                ast.IfStmt(ast.BinaryOp("==", ast.VarRef("i"), ast.IntLiteral(3)),
+                           ast.Block([ast.ContinueStmt()])),
+                ast.IfStmt(ast.BinaryOp("==", ast.VarRef("i"), ast.IntLiteral(6)),
+                           ast.Block([ast.BreakStmt()])),
+                ast.AssignStmt(ast.VarRef("acc"), ast.VarRef("i"), "+="),
+            ]),
+        ),
+        ast.out_write(ast.VarRef("acc")),
+    ])
+    assert value == 0 + 1 + 2 + 4 + 5
+
+
+def test_while_loop_and_timeout_budget():
+    with pytest.raises(ExecutionTimeout):
+        out0([
+            ast.WhileStmt(ast.IntLiteral(1), ast.Block([])),
+            ast.out_write(ast.IntLiteral(0)),
+        ], max_steps=5_000)
+
+
+def test_function_call_with_pointer_argument():
+    helper = ast.FunctionDecl(
+        "bump", ty.VOID, [ast.ParamDecl("p", ty.PointerType(ty.INT))],
+        ast.Block([ast.AssignStmt(ast.Deref(ast.VarRef("p")), ast.IntLiteral(41))]),
+    )
+    value = out0([
+        ast.DeclStmt("x", ty.INT, ast.IntLiteral(0)),
+        ast.ExprStmt(ast.Call("bump", [ast.AddressOf(ast.VarRef("x"))])),
+        ast.out_write(ast.BinaryOp("+", ast.VarRef("x"), ast.IntLiteral(1))),
+    ], functions=[helper])
+    assert value == 42
+
+
+def test_function_return_value_and_recursion_limit():
+    helper = ast.FunctionDecl(
+        "same", ty.INT, [ast.ParamDecl("v", ty.INT)],
+        ast.Block([ast.ReturnStmt(ast.Call("safe_add", [ast.VarRef("v"), ast.IntLiteral(1)]))]),
+    )
+    value = out0([
+        ast.out_write(ast.Call("same", [ast.IntLiteral(9)])),
+    ], functions=[helper])
+    assert value == 10
+
+    recursive = ast.FunctionDecl(
+        "loop", ty.INT, [],
+        ast.Block([ast.ReturnStmt(ast.Call("loop", []))]),
+    )
+    with pytest.raises(UndefinedBehaviourError):
+        out0([ast.out_write(ast.Call("loop", []))], functions=[recursive])
+
+
+def test_struct_declaration_assignment_and_field_access():
+    s = ty.StructType("S", (ty.FieldDecl("a", ty.INT), ty.FieldDecl("b", ty.INT)))
+    value = out0([
+        ast.DeclStmt("s", s, ast.InitList([ast.IntLiteral(1), ast.IntLiteral(2)])),
+        ast.DeclStmt("t", s),
+        ast.AssignStmt(ast.VarRef("t"), ast.VarRef("s")),
+        ast.AssignStmt(ast.FieldAccess(ast.VarRef("s"), "a"), ast.IntLiteral(99)),
+        # t must hold the old values: struct assignment copies.
+        ast.out_write(ast.BinaryOp("+", ast.FieldAccess(ast.VarRef("t"), "a"),
+                                   ast.FieldAccess(ast.VarRef("t"), "b"))),
+    ], structs=[s])
+    assert value == 3
+
+
+def test_union_initialiser_initialises_first_member():
+    inner = ty.StructType("S", (ty.FieldDecl("c", ty.SHORT), ty.FieldDecl("d", ty.LONG)))
+    u = ty.UnionType("U", (ty.FieldDecl("a", ty.UINT), ty.FieldDecl("b", inner)))
+    value = out0([
+        ast.DeclStmt("u", u, ast.InitList([ast.IntLiteral(1)])),
+        ast.out_write(ast.FieldAccess(ast.VarRef("u"), "a")),
+    ], structs=[inner, u])
+    assert value == 1
+
+
+def test_vector_literal_component_and_componentwise_ops():
+    v2 = ty.VectorType(ty.UINT, 2)
+    value = out0([
+        ast.DeclStmt("v", v2, ast.VectorLiteral(v2, [ast.IntLiteral(3, ty.UINT),
+                                                     ast.IntLiteral(4, ty.UINT)])),
+        ast.DeclStmt("w", v2, ast.BinaryOp("+", ast.VarRef("v"), ast.VarRef("v"))),
+        ast.out_write(ast.VectorComponent(ast.VarRef("w"), 1)),
+    ])
+    assert value == 8
+
+
+def test_vector_component_on_temporary_value():
+    v2 = ty.VectorType(ty.UINT, 2)
+    rotate = ast.Call("rotate", [
+        ast.VectorLiteral(v2, [ast.IntLiteral(1, ty.UINT), ast.IntLiteral(1, ty.UINT)]),
+        ast.VectorLiteral(v2, [ast.IntLiteral(0, ty.UINT), ast.IntLiteral(0, ty.UINT)]),
+    ])
+    assert out0([ast.out_write(ast.VectorComponent(rotate, 0))]) == 1
+
+
+def test_vector_comparison_yields_minus_one_for_true():
+    v2 = ty.VectorType(ty.INT, 2)
+    value = out0([
+        ast.DeclStmt("v", v2, ast.VectorLiteral(v2, [ast.IntLiteral(5), ast.IntLiteral(1)])),
+        ast.DeclStmt("c", v2, ast.BinaryOp(">", ast.VarRef("v"),
+                                           ast.VectorLiteral(v2, [ast.IntLiteral(2),
+                                                                  ast.IntLiteral(2)]))),
+        ast.out_write(ast.Cast(ty.UINT, ast.VectorComponent(ast.VarRef("c"), 0))),
+    ])
+    assert value == 0xFFFFFFFF
+
+
+def test_buffer_indexing_and_scalar_kernel_arguments():
+    result = run_kernel(
+        [
+            ast.out_write(
+                ast.BinaryOp("+", ast.IndexAccess(ast.VarRef("data"), ast.IntLiteral(2)),
+                             ast.VarRef("bias"))
+            )
+        ],
+        params=[
+            ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL)),
+            ast.ParamDecl("data", ty.PointerType(ty.INT, ty.GLOBAL)),
+            ast.ParamDecl("bias", ty.INT),
+        ],
+        buffers=[
+            ast.BufferSpec("out", ty.ULONG, 1, is_output=True),
+            ast.BufferSpec("data", ty.INT, 4, init=[10, 20, 30, 40]),
+        ],
+    )
+    assert result.outputs["out"][0] == 30  # bias defaults to 0
+
+
+def test_scalar_kernel_argument_from_metadata():
+    kernel = ast.FunctionDecl(
+        "entry", ty.VOID,
+        [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL)),
+         ast.ParamDecl("bias", ty.INT)],
+        ast.Block([ast.out_write(ast.VarRef("bias"))]), is_kernel=True,
+    )
+    program = ast.Program(
+        functions=[kernel],
+        buffers=[ast.BufferSpec("out", ty.ULONG, 1, is_output=True)],
+        launch=ast.LaunchSpec((1, 1, 1), (1, 1, 1)),
+        metadata={"scalar_args": {"bias": 7}},
+    )
+    assert run_program(program).outputs["out"][0] == 7
+
+
+def test_null_pointer_dereference_is_ub():
+    with pytest.raises(UndefinedBehaviourError) as err:
+        out0([
+            ast.DeclStmt("p", ty.PointerType(ty.INT), ast.IntLiteral(0)),
+            ast.out_write(ast.Deref(ast.VarRef("p"))),
+        ])
+    assert err.value.kind is UBKind.NULL_DEREFERENCE
+
+
+def test_out_of_bounds_buffer_access_is_ub():
+    with pytest.raises(UndefinedBehaviourError) as err:
+        out0([
+            ast.AssignStmt(ast.IndexAccess(ast.VarRef("out"), ast.IntLiteral(50)),
+                           ast.IntLiteral(1)),
+        ])
+    assert err.value.kind is UBKind.OUT_OF_BOUNDS
+
+
+def test_clamp_with_inverted_bounds_reports_builtin_ub():
+    with pytest.raises(UndefinedBehaviourError) as err:
+        out0([
+            ast.out_write(ast.Call("clamp", [ast.IntLiteral(1), ast.IntLiteral(5),
+                                             ast.IntLiteral(0)]))
+        ])
+    assert err.value.kind is UBKind.BUILTIN_UNDEFINED
+
+
+def test_workitem_functions_reflect_launch_geometry():
+    result = run_kernel(
+        [ast.out_write(ast.BinaryOp(
+            "+",
+            ast.BinaryOp("*", ast.WorkItemExpr("get_global_size", 0), ast.IntLiteral(100)),
+            ast.WorkItemExpr("get_global_id", 0),
+        ))],
+        buffers=[ast.BufferSpec("out", ty.ULONG, 4, is_output=True)],
+        launch=ast.LaunchSpec((4, 1, 1), (2, 1, 1)),
+    )
+    assert result.outputs["out"] == [400, 401, 402, 403]

@@ -1,0 +1,58 @@
+"""Micro-benchmark: campaign throughput (kernels/sec) for the serial and
+process-parallel orchestration backends.
+
+This records a performance trajectory for the campaign engine: future PRs
+that touch the orchestration layer (async backends, distributed sharding,
+cache tuning) can compare their kernels/sec against the numbers printed
+here.  The parallel run must also reproduce the serial tables exactly —
+throughput work is not allowed to change results.
+
+At this reduced scale the process backend's fork/IPC overhead can outweigh
+the win, so no speedup is asserted; the numbers are recorded, not gated.
+"""
+
+import time
+
+from conftest import BENCH_OPTIONS, MAX_STEPS
+
+from repro.generator.options import Mode
+from repro.platforms import get_configuration
+from repro.testing.campaign import run_clsmith_campaign
+
+_MODES = (Mode.BASIC, Mode.VECTOR)
+_KERNELS_PER_MODE = 4
+_CONFIG_IDS = (1, 9, 19)
+_PARALLELISM = 2
+
+
+def _run(parallelism):
+    configs = [get_configuration(i) for i in _CONFIG_IDS]
+    start = time.perf_counter()
+    result = run_clsmith_campaign(
+        configs,
+        kernels_per_mode=_KERNELS_PER_MODE,
+        modes=_MODES,
+        options=BENCH_OPTIONS,
+        max_steps=MAX_STEPS,
+        parallelism=parallelism,
+    )
+    elapsed = time.perf_counter() - start
+    kernels = _KERNELS_PER_MODE * len(_MODES)
+    return result, kernels / elapsed, elapsed
+
+
+def test_campaign_throughput_serial_vs_parallel():
+    serial_result, serial_rate, serial_elapsed = _run(None)
+    parallel_result, parallel_rate, parallel_elapsed = _run(_PARALLELISM)
+
+    print("\nCampaign throughput (CLsmith differential, "
+          f"{_KERNELS_PER_MODE * len(_MODES)} kernels x {len(_CONFIG_IDS)} configs):")
+    print(f"  serial:                {serial_rate:8.2f} kernels/sec  "
+          f"({serial_elapsed:.2f} s)")
+    print(f"  process (x{_PARALLELISM}):          {parallel_rate:8.2f} kernels/sec  "
+          f"({parallel_elapsed:.2f} s)")
+    print(f"  cache (serial run):    {serial_result.cache_stats.as_dict()}")
+
+    assert serial_rate > 0 and parallel_rate > 0
+    # The engine's core guarantee: sharding never changes the table.
+    assert serial_result.table_rows() == parallel_result.table_rows()

@@ -34,7 +34,7 @@ def _run_campaign():
 def test_table5_clsmith_emi_campaign(benchmark):
     result = benchmark.pedantic(_run_campaign, iterations=1, rounds=1)
     print("\nTable 5 (reproduced, scaled): CLsmith+EMI testing")
-    print(f"bases: {result.n_bases}, variants per base (incl. base): {result.n_variants}")
+    print(f"bases: {result.n_bases}, pruned variants per base: {result.n_variants}")
     print(result.render())
 
     assert result.n_bases >= 1

@@ -26,7 +26,7 @@ _CODES = {
     Outcome.WRONG_CODE: "w",
     Outcome.RUNTIME_CRASH: "c",
     Outcome.TIMEOUT: "to",
-    Outcome.BUILD_FAILURE: "ng",
+    Outcome.BUILD_FAILURE: "bf",
     Outcome.UNDEFINED_BEHAVIOUR: "ng",
 }
 
@@ -54,8 +54,8 @@ def main() -> None:
 
     print("Worst EMI outcome per (benchmark, configuration) -- Table 3 style")
     print(grid.render(names, [f"config{i}" for i in CONFIG_IDS]))
-    print("\nlegend: w = wrong result, c = crash, to = timeout, "
-          "ng = cannot build/run, ok = all variants agree")
+    print("\nlegend: w = wrong result, bf = build failure, c = crash, "
+          "to = timeout, ng = cannot run, ok = all variants agree")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ differential-testing campaign over the configurations that lie above the
 threshold and prints a Table 4 style summary.
 
 Run with:  python examples/fuzzing_campaign.py
-Scale up with: python examples/fuzzing_campaign.py --kernels-per-mode 20
+Scale up with: python examples/fuzzing_campaign.py --kernels-per-mode 20 --parallelism 4
 """
 
 import argparse
@@ -22,6 +22,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels-per-mode", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--parallelism", type=int, default=None,
+                        help="worker processes for the campaign (default: serial)")
     args = parser.parse_args()
 
     options = GeneratorOptions(min_total_threads=4, max_total_threads=24,
@@ -54,6 +56,7 @@ def main() -> None:
         options=options,
         curate_on=get_configuration(1),
         seed=args.seed,
+        parallelism=args.parallelism,
     )
     print(result.render())
 

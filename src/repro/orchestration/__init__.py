@@ -1,0 +1,45 @@
+"""Sharded, process-parallel campaign execution engine.
+
+The campaigns behind Tables 3-5 are embarrassingly parallel at the kernel /
+EMI-base granularity.  This package turns them into explicit job lists:
+
+* :mod:`repro.orchestration.jobs` — :class:`CampaignJob` / :class:`JobResult`,
+  value objects that serialise one (kernel-seed, mode, configurations,
+  optimisation-levels) work unit so generation happens inside workers;
+* :mod:`repro.orchestration.pool` — :class:`WorkerPool`, with a deterministic
+  in-process ``serial`` backend and a :mod:`multiprocessing` ``process``
+  backend that shards jobs across cores;
+* :mod:`repro.orchestration.cache` — :class:`ResultCache`, the bounded LRU
+  execution-result cache shared by the harnesses, with hit/miss counters
+  surfaced in campaign results.
+
+``repro.testing.campaign`` routes all campaign work through this engine; see
+ORCHESTRATION.md at the repository root for the design notes.
+"""
+
+from repro.orchestration.cache import DEFAULT_CACHE_SIZE, CacheStats, ResultCache
+from repro.orchestration.jobs import (
+    CLSMITH_CURATE,
+    CLSMITH_DIFFERENTIAL,
+    EMI_BASE_FILTER,
+    EMI_FAMILY,
+    CampaignJob,
+    JobResult,
+    execute_job,
+)
+from repro.orchestration.pool import BACKENDS, WorkerPool
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "CacheStats",
+    "ResultCache",
+    "CLSMITH_CURATE",
+    "CLSMITH_DIFFERENTIAL",
+    "EMI_BASE_FILTER",
+    "EMI_FAMILY",
+    "CampaignJob",
+    "JobResult",
+    "execute_job",
+    "BACKENDS",
+    "WorkerPool",
+]

@@ -1,0 +1,221 @@
+"""Serialisable campaign work units and their interpreter.
+
+A :class:`CampaignJob` describes one unit of campaign work by *value*: a
+generator seed, a mode, configuration ids and optimisation levels — never a
+live AST or harness (the one exception is ``program``, used when a caller
+hands pre-built base programs to ``run_emi_campaign``).  Jobs therefore
+pickle cheaply across process boundaries and workers regenerate kernels
+locally from the seed, which is both cheaper than shipping ASTs and
+guarantees that the serial and process backends execute byte-identical work.
+
+Four job kinds cover the campaigns of Tables 3-5:
+
+``clsmith-differential``
+    Generate one kernel from ``(mode, seed)`` and differential-test it across
+    every ``(configuration, optimisation level)`` cell.  The whole kernel is
+    one job because the majority vote of section 7.3 spans all cells of a
+    kernel; sharding below kernel granularity would change verdicts.
+``clsmith-curate``
+    Generate one candidate kernel and report whether it survives the paper's
+    test-curation step (build + run on the curation configuration with
+    optimisations on).
+``emi-base-filter``
+    Generate one EMI base candidate and apply the dead-array-inversion
+    filter of section 7.4; report acceptance.
+``emi-family``
+    Materialise one EMI base (from seed, or ``program``), expand its pruned
+    variant family and run it on every ``(configuration, optimisation
+    level)`` pair.
+
+:func:`execute_job` interprets a job and returns a :class:`JobResult` of
+plain aggregates (``OutcomeCounts`` per cell, ``EmiBaseResult`` rows, an
+acceptance flag) plus the cache hit/miss delta the job produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.emi.variants import generate_variants, invert_dead_array, mark_base_fingerprint
+from repro.generator import generate_kernel
+from repro.generator.options import GeneratorOptions, Mode
+from repro.kernel_lang import ast
+from repro.orchestration.cache import CacheStats, ResultCache
+from repro.platforms.config import DeviceConfig
+from repro.platforms.registry import get_configuration
+from repro.testing.differential import DifferentialHarness
+from repro.testing.emi_harness import EmiBaseResult, EmiHarness
+from repro.testing.outcomes import Outcome, OutcomeCounts
+
+#: Job kinds understood by :func:`execute_job`.
+CLSMITH_DIFFERENTIAL = "clsmith-differential"
+CLSMITH_CURATE = "clsmith-curate"
+EMI_BASE_FILTER = "emi-base-filter"
+EMI_FAMILY = "emi-family"
+
+
+@dataclass
+class CampaignJob:
+    """One (kernel-seed, mode, configurations, optimisation levels) work unit.
+
+    ``config_ids`` holds Table 1 configuration ids; ``None`` denotes the
+    bug-free reference configuration.  ``program`` overrides seed-based
+    generation for ``emi-family`` jobs built from caller-supplied bases.
+    """
+
+    kind: str
+    seed: int
+    mode: str = Mode.ALL.value
+    config_ids: Tuple[Optional[int], ...] = ()
+    optimisation_levels: Tuple[bool, ...] = (False, True)
+    options: Optional[GeneratorOptions] = None
+    max_steps: int = 500_000
+    emi_blocks: int = 0
+    variants_per_base: Optional[int] = None
+    variant_seed: int = 0
+    program: Optional[ast.Program] = None
+    #: When set, these configuration objects are used verbatim instead of
+    #: resolving ``config_ids`` against the registry.  Campaigns set this when
+    #: a caller passes modified or unregistered DeviceConfig objects (e.g. a
+    #: registry configuration with its bug models stripped), which must not
+    #: be silently swapped for their registry namesakes.
+    config_overrides: Optional[Tuple[Optional[DeviceConfig], ...]] = None
+
+    def resolve_configs(self) -> List[Optional[DeviceConfig]]:
+        """The job's live configurations: the shipped overrides, or the
+        registry entries for the Table 1 ids."""
+        if self.config_overrides is not None:
+            return list(self.config_overrides)
+        return [
+            get_configuration(config_id) if config_id is not None else None
+            for config_id in self.config_ids
+        ]
+
+    def materialise_program(self) -> ast.Program:
+        """The job's program: the shipped one, or regenerated from the seed."""
+        if self.program is not None:
+            return self.program
+        return generate_kernel(
+            Mode(self.mode), self.seed, options=self.options, emi_blocks=self.emi_blocks
+        )
+
+
+@dataclass
+class JobResult:
+    """Aggregates produced by one executed :class:`CampaignJob`.
+
+    Only the fields relevant to the job's kind are populated; ``cache`` holds
+    the hit/miss/eviction delta this job contributed to its worker's cache.
+    """
+
+    kind: str
+    seed: int
+    emi_blocks: int = 0
+    accepted: bool = True
+    counts: Dict[Tuple[str, str, bool], OutcomeCounts] = field(default_factory=dict)
+    emi_cells: List[EmiBaseResult] = field(default_factory=list)
+    n_variants: Optional[int] = None
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+def execute_job(job: CampaignJob, cache: Optional[ResultCache] = None) -> JobResult:
+    """Run one job (in whatever process this is called from)."""
+    if cache is None:
+        cache = ResultCache()
+    before = cache.snapshot()
+    if job.kind == CLSMITH_DIFFERENTIAL:
+        result = _execute_clsmith_differential(job, cache)
+    elif job.kind == CLSMITH_CURATE:
+        result = _execute_clsmith_curate(job, cache)
+    elif job.kind == EMI_BASE_FILTER:
+        result = _execute_emi_base_filter(job, cache)
+    elif job.kind == EMI_FAMILY:
+        result = _execute_emi_family(job, cache)
+    else:
+        raise ValueError(f"unknown campaign job kind: {job.kind!r}")
+    result.cache = cache.snapshot().since(before)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Per-kind interpreters
+# ---------------------------------------------------------------------------
+
+
+def _execute_clsmith_differential(job: CampaignJob, cache: ResultCache) -> JobResult:
+    program = job.materialise_program()
+    harness = DifferentialHarness(
+        job.resolve_configs(),
+        optimisation_levels=job.optimisation_levels,
+        max_steps=job.max_steps,
+        cache=cache,
+    )
+    counts: Dict[Tuple[str, str, bool], OutcomeCounts] = {}
+    for record in harness.run(program).records:
+        key = (job.mode, record.config_name, record.optimisations)
+        counts.setdefault(key, OutcomeCounts()).add(record.outcome)
+    return JobResult(job.kind, job.seed, counts=counts)
+
+
+def _execute_clsmith_curate(job: CampaignJob, cache: ResultCache) -> JobResult:
+    program = job.materialise_program()
+    harness = DifferentialHarness(
+        job.resolve_configs(),
+        optimisation_levels=job.optimisation_levels,
+        max_steps=job.max_steps,
+        cache=cache,
+    )
+    record = harness.run(program).records[0]
+    accepted = record.outcome not in (Outcome.BUILD_FAILURE, Outcome.TIMEOUT)
+    return JobResult(job.kind, job.seed, accepted=accepted)
+
+
+def _execute_emi_base_filter(job: CampaignJob, cache: ResultCache) -> JobResult:
+    candidate = job.materialise_program()
+    harness = EmiHarness(max_steps=job.max_steps, cache=cache)
+    normal_outcome, normal = harness.run_single(candidate, None, True)
+    inverted_outcome, inverted = harness.run_single(
+        invert_dead_array(candidate), None, True
+    )
+    accepted = normal_outcome is Outcome.PASS and inverted_outcome is Outcome.PASS
+    if accepted and normal is not None and inverted is not None:
+        # Identical outputs under dead-array inversion mean every EMI block
+        # landed in already-dead code; the paper discards such bases.
+        accepted = normal.outputs != inverted.outputs
+    return JobResult(job.kind, job.seed, emi_blocks=job.emi_blocks, accepted=accepted)
+
+
+def _execute_emi_family(job: CampaignJob, cache: ResultCache) -> JobResult:
+    if job.program is not None:
+        base = job.program
+    else:
+        base = mark_base_fingerprint(job.materialise_program())
+    variants = generate_variants(base, seed=job.variant_seed)
+    if job.variants_per_base is not None:
+        variants = variants[: job.variants_per_base]
+    family = [base] + variants
+    harness = EmiHarness(max_steps=job.max_steps, cache=cache)
+    cells = [
+        harness.run_family(family, config, optimisations)
+        for config in job.resolve_configs()
+        for optimisations in job.optimisation_levels
+    ]
+    return JobResult(
+        job.kind,
+        job.seed,
+        emi_blocks=job.emi_blocks,
+        emi_cells=cells,
+        n_variants=len(variants),
+    )
+
+
+__all__ = [
+    "CLSMITH_DIFFERENTIAL",
+    "CLSMITH_CURATE",
+    "EMI_BASE_FILTER",
+    "EMI_FAMILY",
+    "CampaignJob",
+    "JobResult",
+    "execute_job",
+]

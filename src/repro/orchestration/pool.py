@@ -1,0 +1,123 @@
+"""Sharded campaign execution: serial and process-parallel backends.
+
+:class:`WorkerPool` takes a list of :class:`~repro.orchestration.jobs.CampaignJob`
+units and executes them either
+
+* in-process (``backend="serial"``) — deterministic, dependency-free, used by
+  the tier-1 tests and any ``parallelism<=1`` campaign; all jobs share one
+  bounded :class:`~repro.orchestration.cache.ResultCache`; or
+* across ``parallelism`` worker processes (``backend="process"``), built on
+  :mod:`multiprocessing` with the ``fork`` start method where available.
+  Each worker owns a process-local result cache created by the pool
+  initialiser; jobs are distributed in chunks and results are returned in
+  submission order, so merging is order-stable and the aggregated tables are
+  byte-identical to a serial run of the same jobs.  The underlying process
+  pool is created on first use and reused across ``run()`` calls (a campaign
+  issues several: curation batches, then the main job list), which keeps the
+  per-worker caches warm; call :meth:`WorkerPool.close` (or use the pool as
+  a context manager) to release the workers.
+
+Because jobs carry seeds rather than ASTs, kernel generation happens inside
+the workers; the parent process only ships small value objects and receives
+plain aggregates back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, List, Optional
+
+from repro.orchestration.cache import DEFAULT_CACHE_SIZE, ResultCache
+from repro.orchestration.jobs import CampaignJob, JobResult, execute_job
+
+#: Backend names accepted by :class:`WorkerPool`.
+BACKENDS = ("serial", "process")
+
+#: Process-local execution-result cache, created by :func:`_initialise_worker`
+#: when a worker process starts and shared by every job that worker runs.
+_WORKER_CACHE: Optional[ResultCache] = None
+
+
+def _initialise_worker(cache_size: int) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = ResultCache(cache_size)
+
+
+def _execute_in_worker(job: CampaignJob) -> JobResult:
+    return execute_job(job, cache=_WORKER_CACHE)
+
+
+class WorkerPool:
+    """Executes campaign jobs on a serial or process-parallel backend.
+
+    ``parallelism`` of ``None``, 0 or 1 selects the serial backend;
+    anything larger selects the process backend with that many workers.
+    ``backend`` overrides the choice explicitly (e.g. ``backend="serial"``
+    with ``parallelism=4`` for debugging a parallel plan deterministically).
+    """
+
+    def __init__(
+        self,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if backend is None:
+            backend = "process" if parallelism is not None and parallelism > 1 else "serial"
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self.backend = backend
+        self.parallelism = max(1, int(parallelism or 1))
+        self.cache_size = cache_size
+        self._cache = ResultCache(cache_size)
+        self._process_pool = None
+
+    @property
+    def cache(self) -> ResultCache:
+        """The serial backend's shared result cache."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Iterable[CampaignJob]) -> List[JobResult]:
+        """Execute ``jobs``, returning results in submission order."""
+        job_list = list(jobs)
+        if not job_list:
+            return []
+        if self.backend == "serial" or self.parallelism <= 1:
+            return [execute_job(job, cache=self._cache) for job in job_list]
+        return self._run_processes(job_list)
+
+    def close(self) -> None:
+        """Shut down the worker processes (no-op for the serial backend)."""
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool.join()
+            self._process_pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_processes(self, jobs: List[CampaignJob]) -> List[JobResult]:
+        if self._process_pool is None:
+            self._process_pool = self._context().Pool(
+                processes=self.parallelism,
+                initializer=_initialise_worker,
+                initargs=(self.cache_size,),
+            )
+        chunksize = max(1, len(jobs) // (self.parallelism * 4))
+        return self._process_pool.map(_execute_in_worker, jobs, chunksize)
+
+    @staticmethod
+    def _context():
+        # Prefer fork (cheap, inherits the imported registry); fall back to
+        # the platform default where fork is unavailable.
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+
+__all__ = ["BACKENDS", "WorkerPool"]

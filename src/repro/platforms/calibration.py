@@ -57,6 +57,26 @@ def program_fingerprint(program: ast.Program) -> str:
     return h.hexdigest()
 
 
+def execution_cache_key(
+    program: ast.Program, execution_flags: Dict[str, bool], max_steps: int
+) -> Tuple[str, Tuple[Tuple[str, bool], ...], int]:
+    """Cache key for the execution result of a *compiled* program.
+
+    Execution is fully determined by the post-compilation program, the defect
+    flags the bug models attached to it, and the step budget (which decides
+    whether a long-running kernel passes or times out), so
+    (:func:`program_fingerprint`, sorted flags, ``max_steps``) keys the shared
+    result caches of the differential and EMI harnesses (see
+    :mod:`repro.orchestration.cache`).  Including the budget matters because
+    one cache may serve harnesses with different ``max_steps``.
+    """
+    return (
+        program_fingerprint(program),
+        tuple(sorted(execution_flags.items())),
+        max_steps,
+    )
+
+
 def _uniform(fingerprint: str, *salt: object) -> float:
     """Deterministic pseudo-uniform draw in [0, 1) keyed on program + salt."""
     h = hashlib.sha256()
@@ -438,4 +458,5 @@ __all__ = [
     "DEFECT_PROFILES",
     "defect_models_for",
     "program_fingerprint",
+    "execution_cache_key",
 ]

@@ -6,6 +6,17 @@ structure the paper reports.  The benchmark harnesses under ``benchmarks/``
 call these functions with small-but-meaningful sizes and print the resulting
 tables; EXPERIMENTS.md records the sizes used and compares the shapes with
 the paper.
+
+All campaign work is routed through the sharded execution engine of
+:mod:`repro.orchestration`: each campaign builds a list of serialisable
+:class:`~repro.orchestration.jobs.CampaignJob` units (seeds, not ASTs — the
+workers regenerate kernels locally) and hands it to a
+:class:`~repro.orchestration.pool.WorkerPool`.  The ``parallelism=`` knob on
+:func:`run_clsmith_campaign`, :func:`run_emi_campaign` and
+:func:`generate_emi_bases` selects the backend: ``None``/``1`` runs the
+deterministic in-process serial backend, larger values shard the jobs across
+that many worker processes.  Both backends produce byte-identical tables for
+the same seed (see ORCHESTRATION.md and ``tests/test_orchestration.py``).
 """
 
 from __future__ import annotations
@@ -13,14 +24,50 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.emi.variants import generate_variants, invert_dead_array, mark_base_fingerprint
+from repro.emi.variants import mark_base_fingerprint
 from repro.generator import generate_kernel
 from repro.generator.options import ALL_MODES, GeneratorOptions, Mode
 from repro.kernel_lang import ast
+from repro.orchestration.cache import CacheStats
+from repro.orchestration.jobs import (
+    CLSMITH_CURATE,
+    CLSMITH_DIFFERENTIAL,
+    EMI_BASE_FILTER,
+    EMI_FAMILY,
+    CampaignJob,
+    JobResult,
+)
+from repro.orchestration.pool import WorkerPool
 from repro.platforms.config import DeviceConfig
-from repro.testing.differential import DifferentialHarness
-from repro.testing.emi_harness import EmiHarness
-from repro.testing.outcomes import Outcome, OutcomeCounts
+from repro.platforms.registry import get_configuration
+from repro.testing.outcomes import OutcomeCounts
+
+
+def _serialise_configs(
+    configs: Sequence[Optional[DeviceConfig]],
+) -> Tuple[Tuple[Optional[int], ...], Optional[Tuple[Optional[DeviceConfig], ...]]]:
+    """(config_ids, config_overrides) for shipping configurations to workers.
+
+    Registry configurations travel as their Table 1 ids (cheap; workers
+    re-resolve them locally).  Modified or unregistered DeviceConfig objects
+    (e.g. a registry configuration with its bug models stripped) cannot be
+    reconstructed from an id, so the whole configuration list is shipped by
+    value instead of being silently swapped for registry namesakes.
+    """
+    needs_override = False
+    ids: List[Optional[int]] = []
+    for config in configs:
+        if config is None:
+            ids.append(None)
+            continue
+        ids.append(config.config_id)
+        try:
+            registered = get_configuration(config.config_id)
+        except KeyError:
+            registered = None
+        if registered is not config:
+            needs_override = True
+    return tuple(ids), tuple(configs) if needs_override else None
 
 
 # ---------------------------------------------------------------------------
@@ -34,6 +81,8 @@ class ClsmithCampaignResult:
 
     kernels_per_mode: int
     counts: Dict[Tuple[str, str, bool], OutcomeCounts] = field(default_factory=dict)
+    #: Aggregated execution-result cache counters across all workers.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
         return self.counts.setdefault(
@@ -74,6 +123,7 @@ def run_clsmith_campaign(
     curate_on: Optional[DeviceConfig] = None,
     max_steps: int = 500_000,
     seed: int = 0,
+    parallelism: Optional[int] = None,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -81,44 +131,105 @@ def run_clsmith_campaign(
     that fail to build (or time out) on that configuration with optimisations
     enabled are discarded and replaced, which is why Table 4 shows zero build
     failures for configuration 1+.
+
+    One job covers one curated kernel across every (configuration,
+    optimisation level) cell — the majority vote of section 7.3 spans all
+    cells of a kernel, so kernels are the sharding granularity.
+    ``parallelism`` > 1 distributes kernels (and curation candidates) over
+    that many worker processes; the aggregated table is identical to a serial
+    run with the same seed.
     """
+    config_ids, config_overrides = _serialise_configs(configs)
     result = ClsmithCampaignResult(kernels_per_mode)
-    harness = DifferentialHarness(list(configs), max_steps=max_steps)
-    for mode_index, mode in enumerate(modes):
-        kernels = _curated_kernels(
-            mode, kernels_per_mode, seed + mode_index * 10_000, options, curate_on, max_steps
-        )
-        for kernel in kernels:
-            diff = harness.run(kernel)
-            for record in diff.records:
-                result.cell(mode, record.config_name, record.optimisations).add(record.outcome)
+    with WorkerPool(parallelism) as pool:
+        jobs: List[CampaignJob] = []
+        for mode_index, mode in enumerate(modes):
+            kernel_seeds, curation_stats = _curated_seeds(
+                pool, mode, kernels_per_mode, seed + mode_index * 10_000, options,
+                curate_on, max_steps,
+            )
+            result.cache_stats = result.cache_stats.merge(curation_stats)
+            jobs.extend(
+                CampaignJob(
+                    kind=CLSMITH_DIFFERENTIAL,
+                    seed=kernel_seed,
+                    mode=mode.value,
+                    config_ids=config_ids,
+                    config_overrides=config_overrides,
+                    optimisation_levels=(False, True),
+                    options=options,
+                    max_steps=max_steps,
+                )
+                for kernel_seed in kernel_seeds
+            )
+        for job_result in pool.run(jobs):
+            for key, cell_counts in job_result.counts.items():
+                result.counts[key] = result.counts.get(key, OutcomeCounts()).merge(cell_counts)
+            result.cache_stats = result.cache_stats.merge(job_result.cache)
     return result
 
 
-def _curated_kernels(
+def _scan_accepted(
+    pool: WorkerPool,
+    count: int,
+    budget: int,
+    job_for_attempt,
+) -> Tuple[List[JobResult], CacheStats]:
+    """The first ``count`` accepted candidates of at most ``budget`` attempts.
+
+    Candidates are evaluated in attempt order (the serial backend one at a
+    time, the process backend a chunk at a time), so the accepted set is
+    independent of the backend.  Returns the accepted job results plus the
+    merged cache delta of every candidate evaluated.
+    """
+    chunk = 1 if pool.backend == "serial" else pool.parallelism * 2
+    accepted: List[JobResult] = []
+    stats = CacheStats()
+    attempt = 0
+    while len(accepted) < count and attempt < budget:
+        batch = [
+            job_for_attempt(attempt + offset)
+            for offset in range(min(chunk, budget - attempt))
+        ]
+        for job_result in pool.run(batch):
+            attempt += 1
+            stats = stats.merge(job_result.cache)
+            if job_result.accepted and len(accepted) < count:
+                accepted.append(job_result)
+    return accepted, stats
+
+
+def _curated_seeds(
+    pool: WorkerPool,
     mode: Mode,
     count: int,
     seed: int,
     options: Optional[GeneratorOptions],
     curate_on: Optional[DeviceConfig],
     max_steps: int,
-) -> List[ast.Program]:
-    kernels: List[ast.Program] = []
-    attempt = 0
-    curation = (
-        DifferentialHarness([curate_on], optimisation_levels=(True,), max_steps=max_steps)
-        if curate_on is not None
-        else None
-    )
-    while len(kernels) < count and attempt < count * 5:
-        kernel = generate_kernel(mode, seed + attempt, options=options)
-        attempt += 1
-        if curation is not None:
-            record = curation.run(kernel).records[0]
-            if record.outcome in (Outcome.BUILD_FAILURE, Outcome.TIMEOUT):
-                continue
-        kernels.append(kernel)
-    return kernels
+) -> Tuple[List[int], CacheStats]:
+    """Seeds of the first ``count`` candidates that survive test curation.
+
+    Without curation every candidate survives and no jobs run.
+    """
+    if curate_on is None:
+        return [seed + attempt for attempt in range(count)], CacheStats()
+    curation_ids, curation_overrides = _serialise_configs([curate_on])
+
+    def job_for_attempt(attempt: int) -> CampaignJob:
+        return CampaignJob(
+            kind=CLSMITH_CURATE,
+            seed=seed + attempt,
+            mode=mode.value,
+            config_ids=curation_ids,
+            config_overrides=curation_overrides,
+            optimisation_levels=(True,),
+            options=options,
+            max_steps=max_steps,
+        )
+
+    accepted, stats = _scan_accepted(pool, count, count * 5, job_for_attempt)
+    return [job_result.seed for job_result in accepted], stats
 
 
 # ---------------------------------------------------------------------------
@@ -131,8 +242,11 @@ class EmiCampaignResult:
     """Per-configuration base-program counts in the shape of Table 5."""
 
     n_bases: int
+    #: Pruned variants run per base, *excluding* the base program itself.
     n_variants: int
     rows: Dict[Tuple[str, bool], Dict[str, int]] = field(default_factory=dict)
+    #: Aggregated execution-result cache counters across all workers.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
         return self.rows.setdefault(
@@ -160,35 +274,57 @@ def generate_emi_bases(
     options: Optional[GeneratorOptions] = None,
     filter_dead_placement: bool = True,
     max_steps: int = 500_000,
+    parallelism: Optional[int] = None,
 ) -> List[ast.Program]:
     """Generate ALL-mode base kernels with 1-5 EMI blocks.
 
     When ``filter_dead_placement`` is set, candidates whose results do not
     change when the ``dead`` array is inverted are discarded -- the paper's
     check that EMI blocks were not all placed in already-dead code
-    (section 7.4).
+    (section 7.4).  With ``parallelism`` > 1 the filter runs candidates in
+    parallel worker processes; the accepted set is identical either way.
     """
-    harness = EmiHarness(max_steps=max_steps)
-    bases: List[ast.Program] = []
-    attempt = 0
     base_options = options or GeneratorOptions()
-    while len(bases) < n_bases and attempt < n_bases * 6:
-        emi_blocks = 1 + (attempt % 5)
-        candidate = generate_kernel(
-            Mode.ALL, seed + attempt, options=base_options, emi_blocks=emi_blocks
+    with WorkerPool(parallelism) as pool:
+        specs, _ = _emi_base_specs(pool, n_bases, seed, options, max_steps,
+                                   filter_dead_placement)
+    return [
+        mark_base_fingerprint(
+            generate_kernel(Mode.ALL, base_seed, options=base_options, emi_blocks=emi_blocks)
         )
-        attempt += 1
-        if filter_dead_placement:
-            normal_outcome, normal = harness._run_one(candidate, None, True)
-            inverted_outcome, inverted = harness._run_one(
-                invert_dead_array(candidate), None, True
-            )
-            if normal_outcome is not Outcome.PASS or inverted_outcome is not Outcome.PASS:
-                continue
-            if normal is not None and inverted is not None and normal.outputs == inverted.outputs:
-                continue  # every EMI block landed in dead code; discard
-        bases.append(mark_base_fingerprint(candidate))
-    return bases
+        for base_seed, emi_blocks in specs
+    ]
+
+
+def _emi_base_specs(
+    pool: WorkerPool,
+    count: int,
+    seed: int,
+    options: Optional[GeneratorOptions],
+    max_steps: int,
+    filter_dead_placement: bool,
+) -> Tuple[List[Tuple[int, int]], CacheStats]:
+    """(seed, emi_blocks) pairs of the first ``count`` accepted candidates.
+
+    Without the dead-placement filter every candidate is accepted and no
+    jobs run.
+    """
+    base_options = options or GeneratorOptions()
+    if not filter_dead_placement:
+        return [(seed + attempt, 1 + (attempt % 5)) for attempt in range(count)], CacheStats()
+
+    def job_for_attempt(attempt: int) -> CampaignJob:
+        return CampaignJob(
+            kind=EMI_BASE_FILTER,
+            seed=seed + attempt,
+            mode=Mode.ALL.value,
+            options=base_options,
+            emi_blocks=1 + (attempt % 5),
+            max_steps=max_steps,
+        )
+
+    accepted, stats = _scan_accepted(pool, count, count * 6, job_for_attempt)
+    return [(jr.seed, jr.emi_blocks) for jr in accepted], stats
 
 
 def run_emi_campaign(
@@ -200,38 +336,75 @@ def run_emi_campaign(
     max_steps: int = 500_000,
     seed: int = 0,
     bases: Optional[List[ast.Program]] = None,
+    parallelism: Optional[int] = None,
 ) -> EmiCampaignResult:
-    """Reproduce the Table 5 experiment at a configurable scale."""
-    if bases is None:
-        bases = generate_emi_bases(n_bases, seed=seed, options=options, max_steps=max_steps)
-    harness = EmiHarness(max_steps=max_steps)
-    n_variants = 0
-    result = EmiCampaignResult(len(bases), 0)
-    for base in bases:
-        variants = generate_variants(base, seed=seed)
-        if variants_per_base is not None:
-            variants = variants[:variants_per_base]
-        family = [base] + variants
-        n_variants = len(family)
-        for config in configs:
-            for optimisations in optimisation_levels:
-                summary = harness.run_family(family, config, optimisations)
-                row = result.row(summary.config_name, optimisations)
-                if summary.bad_base:
-                    row["base_fails"] += 1
-                    continue
-                if summary.wrong_code:
-                    row["w"] += 1
-                if summary.induced_build_failure:
-                    row["bf"] += 1
-                if summary.induced_crash:
-                    row["c"] += 1
-                if summary.induced_timeout:
-                    row["to"] += 1
-                if summary.stable:
-                    row["stable"] += 1
-    result.n_variants = n_variants
+    """Reproduce the Table 5 experiment at a configurable scale.
+
+    One job covers one EMI base: the worker materialises the base (from its
+    seed, or from ``bases`` when supplied), expands the pruned variant family
+    and runs it on every (configuration, optimisation level) pair.
+    """
+    config_ids, config_overrides = _serialise_configs(configs)
+    family_job = dict(
+        kind=EMI_FAMILY,
+        mode=Mode.ALL.value,
+        config_ids=config_ids,
+        config_overrides=config_overrides,
+        optimisation_levels=tuple(optimisation_levels),
+        options=options or GeneratorOptions(),
+        max_steps=max_steps,
+        variants_per_base=variants_per_base,
+        variant_seed=seed,
+    )
+    filter_stats = CacheStats()
+    with WorkerPool(parallelism) as pool:
+        if bases is not None:
+            jobs = [CampaignJob(seed=seed, program=base, **family_job) for base in bases]
+        else:
+            specs, filter_stats = _emi_base_specs(
+                pool, n_bases, seed, options, max_steps, filter_dead_placement=True
+            )
+            jobs = [
+                CampaignJob(seed=base_seed, emi_blocks=emi_blocks, **family_job)
+                for base_seed, emi_blocks in specs
+            ]
+        result = EmiCampaignResult(len(jobs), 0)
+        result.cache_stats = result.cache_stats.merge(filter_stats)
+        _merge_emi_job_results(result, pool.run(jobs))
     return result
+
+
+def _merge_emi_job_results(result: EmiCampaignResult, job_results: Sequence[JobResult]) -> None:
+    """Fold per-base family results into the Table 5 rows.
+
+    Every base must expand to the same number of variants (the pruning grid
+    is fixed per campaign); heterogeneous families would make ``n_variants``
+    and cross-row comparisons meaningless, so they are rejected.
+    """
+    variant_counts = {jr.n_variants for jr in job_results}
+    if len(variant_counts) > 1:
+        raise ValueError(
+            "heterogeneous EMI families: per-base variant counts "
+            f"{sorted(variant_counts)}"
+        )
+    result.n_variants = variant_counts.pop() if variant_counts else 0
+    for job_result in job_results:
+        result.cache_stats = result.cache_stats.merge(job_result.cache)
+        for summary in job_result.emi_cells:
+            row = result.row(summary.config_name, summary.optimisations)
+            if summary.bad_base:
+                row["base_fails"] += 1
+                continue
+            if summary.wrong_code:
+                row["w"] += 1
+            if summary.induced_build_failure:
+                row["bf"] += 1
+            if summary.induced_crash:
+                row["c"] += 1
+            if summary.induced_timeout:
+                row["to"] += 1
+            if summary.stable:
+                row["stable"] += 1
 
 
 # ---------------------------------------------------------------------------
@@ -262,7 +435,14 @@ class BenchmarkEmiResult:
         return "\n".join(lines)
 
 
-_OUTCOME_SEVERITY = {"w": 4, "c": 3, "to": 2, "ng": 1, "ok": 0, "?": -1}
+#: Table 3 outcome codes ranked from most to least severe:
+#: wrong code (w) > build failure (bf) > runtime crash (c) > timeout (to) >
+#: cannot-build-or-run (ng) > clean pass (ok).  Wrong code outranks
+#: everything because a silently wrong result is the paper's headline defect
+#: class; a build failure dominates every outcome of a test that at least
+#: built (crash, timeout, pass) because nothing at all could be observed on
+#: the configuration, matching the Table 3 legend.
+_OUTCOME_SEVERITY = {"w": 5, "bf": 4, "c": 3, "to": 2, "ng": 1, "ok": 0, "?": -1}
 
 
 def worst_code(codes: Sequence[str]) -> str:

@@ -10,22 +10,27 @@ Because most configurations compile most programs identically (the injected
 bug models fire only on matching programs), execution results are cached by
 the fingerprint of the *compiled* program plus its execution flags; this
 keeps campaign-scale runs tractable on the pure-Python interpreter without
-changing any outcome.
+changing any outcome.  The cache is a bounded LRU
+(:class:`repro.orchestration.cache.ResultCache`) and can be shared between
+harnesses — the campaign engine hands every harness in a worker the same
+cache so curation, differential and EMI runs reuse each other's executions.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.compiler.driver import CompilerDriver
 from repro.kernel_lang import ast
-from repro.platforms.calibration import program_fingerprint
 from repro.platforms.config import DeviceConfig
 from repro.runtime.device import KernelResult
 from repro.runtime.errors import KernelRuntimeError, BuildFailure
 from repro.testing.outcomes import Outcome, TestRecord, classify_exception
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.orchestration.cache import ResultCache
 
 #: Minimum size of the majority required to call a disagreeing result wrong.
 MAJORITY_THRESHOLD = 3
@@ -63,12 +68,17 @@ class DifferentialHarness:
         optimisation_levels: Sequence[bool] = (False, True),
         max_steps: int = 2_000_000,
         cache_results: bool = True,
+        cache: Optional["ResultCache"] = None,
     ) -> None:
+        # Imported lazily: repro.orchestration itself imports this module.
+        from repro.orchestration.cache import ResultCache
+
         self.configs = list(configs)
         self.optimisation_levels = list(optimisation_levels)
         self.max_steps = max_steps
-        self.cache_results = cache_results
-        self._cache: Dict[Tuple[str, Tuple[Tuple[str, bool], ...]], KernelResult] = {}
+        self.cache = cache if cache is not None else ResultCache()
+        #: Live switch: flipping it after construction (dis)engages the cache.
+        self.cache_results = True if cache is not None else cache_results
 
     # ------------------------------------------------------------------
 
@@ -110,24 +120,21 @@ class DifferentialHarness:
         return TestRecord(name, optimisations, Outcome.PASS, result=result)
 
     def _execute(self, compiled) -> KernelResult:
-        key = None
-        if self.cache_results:
-            flags = tuple(sorted(compiled.execution_flags.items()))
-            key = (program_fingerprint(compiled.program), flags)
-            cached = self._cache.get(key)
-            if cached is not None:
-                return cached
-        result = compiled.run(max_steps=self.max_steps)
-        if key is not None:
-            self._cache[key] = result
-        return result
+        from repro.orchestration.cache import cached_run
+
+        cache = self.cache if self.cache_results else None
+        return cached_run(cache, compiled, self.max_steps)
 
     @staticmethod
     def _majority(values: Iterable[str]) -> Tuple[Optional[str], int]:
         counter = Counter(values)
         if not counter:
             return None, 0
-        value, count = counter.most_common(1)[0]
+        # ``Counter.most_common`` breaks ties by insertion order, which would
+        # let the ordering of ``configs`` decide which value becomes the
+        # majority reference.  Break ties by (count desc, value asc) so the
+        # verdicts are independent of configuration order.
+        value, count = min(counter.items(), key=lambda item: (-item[1], item[0]))
         return value, count
 
 

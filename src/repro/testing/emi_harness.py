@@ -17,16 +17,18 @@ Table 5 bookkeeping:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.compiler.driver import CompilerDriver
 from repro.kernel_lang import ast
-from repro.platforms.calibration import program_fingerprint
 from repro.platforms.config import DeviceConfig
 from repro.runtime.device import KernelResult
 from repro.runtime.errors import BuildFailure, KernelRuntimeError
 from repro.testing.outcomes import Outcome, classify_exception
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.orchestration.cache import ResultCache
 
 
 @dataclass
@@ -46,14 +48,18 @@ class EmiBaseResult:
 
     @property
     def worst_outcome(self) -> str:
-        """The Table 3 style worst-case code for this base."""
+        """The Table 3 style worst-case code for this base, following the
+        severity order of ``repro.testing.campaign._OUTCOME_SEVERITY``:
+        w > bf > c > to > ng > ok."""
         if self.wrong_code:
             return "w"
+        if self.induced_build_failure:
+            return "bf"
         if self.induced_crash:
             return "c"
         if self.induced_timeout:
             return "to"
-        if self.bad_base or self.induced_build_failure:
+        if self.bad_base:
             return "ng"
         return "ok"
 
@@ -61,10 +67,19 @@ class EmiBaseResult:
 class EmiHarness:
     """Runs EMI variant families against one configuration at a time."""
 
-    def __init__(self, max_steps: int = 2_000_000, cache_results: bool = True) -> None:
+    def __init__(
+        self,
+        max_steps: int = 2_000_000,
+        cache_results: bool = True,
+        cache: Optional["ResultCache"] = None,
+    ) -> None:
+        # Imported lazily: repro.orchestration itself imports this module.
+        from repro.orchestration.cache import ResultCache
+
         self.max_steps = max_steps
-        self.cache_results = cache_results
-        self._cache: Dict[Tuple[str, Tuple[Tuple[str, bool], ...]], KernelResult] = {}
+        self.cache = cache if cache is not None else ResultCache()
+        #: Live switch: flipping it after construction (dis)engages the cache.
+        self.cache_results = True if cache is not None else cache_results
 
     # ------------------------------------------------------------------
 
@@ -79,7 +94,7 @@ class EmiHarness:
         outcomes: List[Outcome] = []
         values: List[str] = []
         for variant in variants:
-            outcome, result = self._run_one(variant, config, optimisations)
+            outcome, result = self.run_single(variant, config, optimisations)
             outcomes.append(outcome)
             if outcome is Outcome.PASS and result is not None:
                 values.append(result.result_hash())
@@ -112,7 +127,7 @@ class EmiHarness:
     ) -> Outcome:
         """Table 3 style check: run one variant and compare against the
         benchmark's expected output (generated with an empty EMI block)."""
-        outcome, result = self._run_one(program, config, optimisations)
+        outcome, result = self.run_single(program, config, optimisations)
         if outcome is Outcome.PASS and result is not None:
             if result.outputs != expected.outputs:
                 return Outcome.WRONG_CODE
@@ -120,12 +135,14 @@ class EmiHarness:
 
     # ------------------------------------------------------------------
 
-    def _run_one(
+    def run_single(
         self,
         program: ast.Program,
         config: Optional[DeviceConfig],
         optimisations: bool,
     ) -> Tuple[Outcome, Optional[KernelResult]]:
+        """Compile and run one program on one (configuration, optimisation
+        level) pair, returning its outcome and (for passing runs) result."""
         try:
             compiled = CompilerDriver(config).compile(program, optimisations=optimisations)
         except (BuildFailure, KernelRuntimeError) as error:
@@ -137,17 +154,10 @@ class EmiHarness:
         return Outcome.PASS, result
 
     def _execute(self, compiled) -> KernelResult:
-        key = None
-        if self.cache_results:
-            flags = tuple(sorted(compiled.execution_flags.items()))
-            key = (program_fingerprint(compiled.program), flags)
-            cached = self._cache.get(key)
-            if cached is not None:
-                return cached
-        result = compiled.run(max_steps=self.max_steps)
-        if key is not None:
-            self._cache[key] = result
-        return result
+        from repro.orchestration.cache import cached_run
+
+        cache = self.cache if self.cache_results else None
+        return cached_run(cache, compiled, self.max_steps)
 
 
 __all__ = ["EmiHarness", "EmiBaseResult"]

@@ -21,7 +21,7 @@ from repro.testing.campaign import (
     worst_code,
 )
 from repro.testing.differential import MAJORITY_THRESHOLD, DifferentialHarness
-from repro.testing.emi_harness import EmiHarness
+from repro.testing.emi_harness import EmiBaseResult, EmiHarness
 from repro.testing.figures import figure_program
 from repro.testing.outcomes import Outcome, OutcomeCounts, classify_exception
 from repro.testing.reliability import FAILURE_THRESHOLD, ReliabilityClassifier
@@ -64,6 +64,16 @@ def test_worst_code_ordering_matches_table3():
     assert worst_code(["ok"]) == "ok"
 
 
+def test_worst_code_ranks_build_failure_between_wrong_code_and_crash():
+    """Regression: "bf" was missing from the severity table, so a build
+    failure ranked *below* a clean pass.  Table 3's legend puts it above every
+    crash-free outcome and below wrong code."""
+    assert worst_code(["ok", "bf"]) == "bf"
+    assert worst_code(["to", "bf", "c"]) == "bf"
+    assert worst_code(["bf", "w"]) == "w"
+    assert worst_code(["bf", "ng", "ok"]) == "bf"
+
+
 # ---------------------------------------------------------------------------
 # Differential harness
 # ---------------------------------------------------------------------------
@@ -97,6 +107,17 @@ def test_differential_records_build_failures_and_timeouts():
     assert result_1e.record_for("config7", True).outcome is Outcome.TIMEOUT
 
 
+def test_differential_majority_tie_break_is_order_independent():
+    """A 2-2 split must elect the same reference value no matter in which
+    order the configurations voted (count desc, then value asc)."""
+    assert DifferentialHarness._majority(["a", "a", "b", "b"]) == ("a", 2)
+    assert DifferentialHarness._majority(["b", "b", "a", "a"]) == ("a", 2)
+    assert DifferentialHarness._majority(["b", "a", "b", "a"]) == ("a", 2)
+    assert DifferentialHarness._majority([]) == (None, 0)
+    # A strict majority still wins regardless of value ordering.
+    assert DifferentialHarness._majority(["b", "b", "a"]) == ("b", 2)
+
+
 def test_differential_result_cache_is_transparent():
     program = generate_kernel(Mode.BASIC, seed=1, options=_FAST)
     cached = DifferentialHarness([None, get_configuration(1)], cache_results=True).run(program)
@@ -118,6 +139,20 @@ def test_emi_harness_stable_family_on_reference():
     assert summary.worst_outcome == "ok"
 
 
+def test_emi_base_result_worst_outcome_reports_build_failure_as_bf():
+    """worst_outcome follows the Table 3 severity order w > bf > c > to > ng,
+    so an induced build failure outranks crashes and timeouts."""
+    summary = EmiBaseResult(
+        config_name="config20", optimisations=True,
+        variant_outcomes=[Outcome.BUILD_FAILURE, Outcome.RUNTIME_CRASH, Outcome.PASS],
+        distinct_values=1, bad_base=False, wrong_code=False,
+        induced_build_failure=True, induced_crash=True, induced_timeout=True,
+        stable=False,
+    )
+    assert summary.worst_outcome == "bf"
+    assert worst_code([summary.worst_outcome, "c", "ok"]) == "bf"
+
+
 def test_emi_harness_detects_comma_defect_is_invisible_to_emi():
     """Oclgrind's wrong code is not optimisation-sensitive, so EMI families
     agree with each other even though they all differ from the reference
@@ -126,6 +161,19 @@ def test_emi_harness_detects_comma_defect_is_invisible_to_emi():
     variants = [base] + generate_variants(base)[:6]
     summary = EmiHarness().run_family(variants, get_configuration(19), optimisations=False)
     assert not summary.wrong_code
+
+
+def test_emi_harness_run_single_is_public_and_classifies_outcomes():
+    """generate_emi_bases used to reach into the private ``_run_one``; the
+    public ``run_single`` covers that use."""
+    harness = EmiHarness()
+    program = generate_kernel(Mode.BASIC, seed=1, options=_FAST)
+    outcome, result = harness.run_single(program, None, True)
+    assert outcome is Outcome.PASS and result is not None
+    failing_outcome, failing_result = harness.run_single(
+        figure_program("1c"), get_configuration(20), True
+    )
+    assert failing_outcome is Outcome.BUILD_FAILURE and failing_result is None
 
 
 def test_emi_harness_compare_expected_detects_wrong_code():
@@ -183,6 +231,9 @@ def test_emi_campaign_produces_table5_shaped_rows():
                               optimisation_levels=(True,), options=_FAST,
                               max_steps=300_000, seed=2)
     assert result.n_bases == 2
+    # Regression: n_variants used to report len(family) of the *last* base
+    # (base + variants, off by one); it must be the per-base variant count.
+    assert result.n_variants == 4
     for (_, _), row in result.rows.items():
         total = row["base_fails"] + row["w"] + row["stable"]
         assert total <= 2 + row["bf"] + row["c"] + row["to"] + 2

@@ -8,12 +8,15 @@ threshold and prints a Table 4 style summary.
 
 Run with:  python examples/fuzzing_campaign.py
 Scale up with: python examples/fuzzing_campaign.py --kernels-per-mode 20 --parallelism 4
+Engines produce identical tables; ``--engine reference`` trades speed for
+the tree-walking baseline (see ENGINE.md).
 """
 
 import argparse
 
 from repro.generator.options import GeneratorOptions, Mode
 from repro.platforms import all_configurations, get_configuration
+from repro.runtime.engine import available_engines
 from repro.testing.campaign import run_clsmith_campaign
 from repro.testing.reliability import ReliabilityClassifier
 
@@ -24,6 +27,9 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--parallelism", type=int, default=None,
                         help="worker processes for the campaign (default: serial)")
+    parser.add_argument("--engine", choices=available_engines(), default="compiled",
+                        help="execution engine for every campaign cell "
+                             "(default: compiled)")
     args = parser.parse_args()
 
     options = GeneratorOptions(min_total_threads=4, max_total_threads=24,
@@ -57,6 +63,7 @@ def main() -> None:
         curate_on=get_configuration(1),
         seed=args.seed,
         parallelism=args.parallelism,
+        engine=args.engine,
     )
     print(result.render())
 

@@ -4,17 +4,30 @@ the paper's configurations, run it on the simulated device and compare the
 results (random differential testing in a dozen lines).
 
 Run with:  python examples/quickstart.py
+Pick an execution engine with:  python examples/quickstart.py --engine reference
+(``compiled`` is the default: the closure-lowering fast path produces
+byte-identical results to the reference interpreter, only faster; see
+ENGINE.md.)
 """
+
+import argparse
 
 from repro.compiler import compile_program
 from repro.generator import Mode, generate_kernel
 from repro.kernel_lang.printer import print_program
 from repro.platforms import get_configuration
+from repro.runtime.engine import available_engines
 from repro.testing.differential import DifferentialHarness
 from repro.testing.outcomes import Outcome
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=available_engines(), default="compiled",
+                        help="execution engine for every kernel run "
+                             "(default: compiled)")
+    args = parser.parse_args()
+
     # 1. Generate a deterministic, communicating kernel (BARRIER mode).
     program = generate_kernel(Mode.BARRIER, seed=2024)
     print("=== Generated kernel (OpenCL C view) ===")
@@ -22,9 +35,9 @@ def main() -> None:
 
     # 2. Compile and run it with the conformant reference compiler, with and
     #    without optimisations -- the results must agree.
-    unoptimised = compile_program(program, optimisations=False).run()
-    optimised = compile_program(program, optimisations=True).run()
-    print("=== Reference execution ===")
+    unoptimised = compile_program(program, optimisations=False).run(engine=args.engine)
+    optimised = compile_program(program, optimisations=True).run(engine=args.engine)
+    print(f"=== Reference execution (engine: {args.engine}) ===")
     print("out (opt-):", unoptimised.result_string()[:70], "...")
     print("results agree across optimisation levels:",
           unoptimised.outputs == optimised.outputs)
@@ -32,7 +45,7 @@ def main() -> None:
     # 3. Differential-test the kernel across a few of the paper's
     #    configurations (Table 1) and report any mismatch.
     configs = [get_configuration(i) for i in (1, 4, 9, 12, 19)]
-    harness = DifferentialHarness(configs)
+    harness = DifferentialHarness(configs, engine=args.engine)
     verdict = harness.run(program)
     print("=== Differential testing across configurations ===")
     for record in verdict.records:

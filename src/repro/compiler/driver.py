@@ -25,6 +25,7 @@ from repro.compiler.pipeline import OptimisationLevel, Pipeline, default_pipelin
 from repro.kernel_lang import ast
 from repro.kernel_lang.semantics import ValidationError, validate_program
 from repro.runtime.device import Device, KernelResult
+from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import BuildFailure, ExecutionTimeout, RuntimeCrash
 from repro.runtime.scheduler import ScheduleOrder
 
@@ -56,6 +57,7 @@ class CompiledKernel:
         schedule_seed: int = 0,
         check_races: bool = False,
         max_steps: int = 2_000_000,
+        engine: str = DEFAULT_ENGINE,
     ) -> KernelResult:
         """Execute the compiled kernel on the simulated device."""
         if self.execution_flags.get("force_runtime_crash"):
@@ -68,6 +70,7 @@ class CompiledKernel:
             check_races=check_races,
             max_steps=max_steps,
             comma_yields_zero=bool(self.execution_flags.get("comma_yields_zero")),
+            engine=engine,
         )
         return device.run(self.program)
 

@@ -119,22 +119,30 @@ class ResultCache:
         return self._stats.copy()
 
 
-def cached_run(cache: Optional[ResultCache], compiled: Any, max_steps: int) -> Any:
+def cached_run(
+    cache: Optional[ResultCache],
+    compiled: Any,
+    max_steps: int,
+    engine: str = "reference",
+) -> Any:
     """Execute a compiled program, memoising through ``cache`` when given.
 
     This is the single execution-caching path shared by the differential and
     EMI harnesses, so the key policy (program fingerprint + execution flags +
-    step budget) and the hit/miss accounting cannot drift between them.
+    step budget + execution engine) and the hit/miss accounting cannot drift
+    between them.
     """
     if cache is None:
-        return compiled.run(max_steps=max_steps)
+        return compiled.run(max_steps=max_steps, engine=engine)
     from repro.platforms.calibration import execution_cache_key
 
-    key = execution_cache_key(compiled.program, compiled.execution_flags, max_steps)
+    key = execution_cache_key(
+        compiled.program, compiled.execution_flags, max_steps, engine
+    )
     cached = cache.get(key)
     if cached is not None:
         return cached
-    result = compiled.run(max_steps=max_steps)
+    result = compiled.run(max_steps=max_steps, engine=engine)
     cache.put(key, result)
     return result
 

@@ -44,6 +44,7 @@ from repro.kernel_lang import ast
 from repro.orchestration.cache import CacheStats, ResultCache
 from repro.platforms.config import DeviceConfig
 from repro.platforms.registry import get_configuration
+from repro.runtime.engine import DEFAULT_ENGINE
 from repro.testing.differential import DifferentialHarness
 from repro.testing.emi_harness import EmiBaseResult, EmiHarness
 from repro.testing.outcomes import Outcome, OutcomeCounts
@@ -75,6 +76,11 @@ class CampaignJob:
     variants_per_base: Optional[int] = None
     variant_seed: int = 0
     program: Optional[ast.Program] = None
+    #: Execution engine every cell of this job runs on (registry name; see
+    #: :mod:`repro.runtime.engine`).  Part of the job's identity: workers
+    #: construct their harnesses with it and the shared result caches key on
+    #: it, so jobs differing only in engine never share cached executions.
+    engine: str = DEFAULT_ENGINE
     #: When set, these configuration objects are used verbatim instead of
     #: resolving ``config_ids`` against the registry.  Campaigns set this when
     #: a caller passes modified or unregistered DeviceConfig objects (e.g. a
@@ -150,6 +156,7 @@ def _execute_clsmith_differential(job: CampaignJob, cache: ResultCache) -> JobRe
         optimisation_levels=job.optimisation_levels,
         max_steps=job.max_steps,
         cache=cache,
+        engine=job.engine,
     )
     counts: Dict[Tuple[str, str, bool], OutcomeCounts] = {}
     for record in harness.run(program).records:
@@ -165,6 +172,7 @@ def _execute_clsmith_curate(job: CampaignJob, cache: ResultCache) -> JobResult:
         optimisation_levels=job.optimisation_levels,
         max_steps=job.max_steps,
         cache=cache,
+        engine=job.engine,
     )
     record = harness.run(program).records[0]
     accepted = record.outcome not in (Outcome.BUILD_FAILURE, Outcome.TIMEOUT)
@@ -173,7 +181,7 @@ def _execute_clsmith_curate(job: CampaignJob, cache: ResultCache) -> JobResult:
 
 def _execute_emi_base_filter(job: CampaignJob, cache: ResultCache) -> JobResult:
     candidate = job.materialise_program()
-    harness = EmiHarness(max_steps=job.max_steps, cache=cache)
+    harness = EmiHarness(max_steps=job.max_steps, cache=cache, engine=job.engine)
     normal_outcome, normal = harness.run_single(candidate, None, True)
     inverted_outcome, inverted = harness.run_single(
         invert_dead_array(candidate), None, True
@@ -195,7 +203,7 @@ def _execute_emi_family(job: CampaignJob, cache: ResultCache) -> JobResult:
     if job.variants_per_base is not None:
         variants = variants[: job.variants_per_base]
     family = [base] + variants
-    harness = EmiHarness(max_steps=job.max_steps, cache=cache)
+    harness = EmiHarness(max_steps=job.max_steps, cache=cache, engine=job.engine)
     cells = [
         harness.run_family(family, config, optimisations)
         for config in job.resolve_configs()

@@ -58,22 +58,30 @@ def program_fingerprint(program: ast.Program) -> str:
 
 
 def execution_cache_key(
-    program: ast.Program, execution_flags: Dict[str, bool], max_steps: int
-) -> Tuple[str, Tuple[Tuple[str, bool], ...], int]:
+    program: ast.Program,
+    execution_flags: Dict[str, bool],
+    max_steps: int,
+    engine: str = "reference",
+) -> Tuple[str, Tuple[Tuple[str, bool], ...], int, str]:
     """Cache key for the execution result of a *compiled* program.
 
     Execution is fully determined by the post-compilation program, the defect
-    flags the bug models attached to it, and the step budget (which decides
-    whether a long-running kernel passes or times out), so
-    (:func:`program_fingerprint`, sorted flags, ``max_steps``) keys the shared
-    result caches of the differential and EMI harnesses (see
-    :mod:`repro.orchestration.cache`).  Including the budget matters because
-    one cache may serve harnesses with different ``max_steps``.
+    flags the bug models attached to it, the step budget (which decides
+    whether a long-running kernel passes or times out) and the execution
+    engine, so (:func:`program_fingerprint`, sorted flags, ``max_steps``,
+    ``engine``) keys the shared result caches of the differential and EMI
+    harnesses (see :mod:`repro.orchestration.cache`).  Including the budget
+    matters because one cache may serve harnesses with different
+    ``max_steps``; including the engine keeps engine-vs-engine differential
+    runs honest -- a shared cache must never satisfy a ``"compiled"`` lookup
+    with a ``"reference"`` execution (or vice versa), even though the two
+    are property-tested to agree.
     """
     return (
         program_fingerprint(program),
         tuple(sorted(execution_flags.items())),
         max_steps,
+        engine,
     )
 
 

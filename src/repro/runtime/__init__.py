@@ -8,6 +8,13 @@ paper's Table 1.  The entry point for running a kernel is
 """
 
 from repro.runtime.device import Device, KernelResult, run_program
+from repro.runtime.engine import (
+    DEFAULT_ENGINE,
+    ExecutionEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.runtime.errors import (
     BarrierDivergenceError,
     DataRaceError,
@@ -21,6 +28,11 @@ __all__ = [
     "Device",
     "KernelResult",
     "run_program",
+    "DEFAULT_ENGINE",
+    "ExecutionEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "KernelRuntimeError",
     "UndefinedBehaviourError",
     "DataRaceError",

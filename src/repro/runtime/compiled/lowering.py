@@ -1,0 +1,2164 @@
+"""Lowering pass: kernel AST -> nested Python closures.
+
+The reference interpreter pays, for every AST node a thread touches, a
+generator resume, an isinstance dispatch chain and a handful of method calls.
+This module removes all of that from the per-thread hot path by walking the
+AST *once per launch* and emitting a tree of closures:
+
+* **dispatch is pre-resolved** -- each closure knows statically which node it
+  executes, which builtin it calls, which operator it applies;
+* **variables are slot-resolved** -- lexical scoping is resolved at lowering
+  time into indices into a flat per-frame ``locals`` list, so there is no
+  name lookup (and no Environment chain) at runtime;
+* **memory is pre-bound** -- global/constant buffer cells are bound at
+  prepare time, local buffer cells at group-bind time, and per-thread
+  work-item values (``get_global_id`` and friends, with the linear ids
+  precomputed by :class:`ThreadContext`) are materialised once per thread;
+* **coroutine overhead is paid only where scheduling can happen** -- a yield
+  analysis (barriers, atomics, calls to functions that transitively contain
+  them) decides per subtree whether a closure must be a generator; straight
+  line compute compiles to plain closures.
+
+Semantics are *not* reimplemented here: operators, conversions, builtins and
+pointer targets come from :mod:`repro.runtime.ops`, the same functions the
+reference interpreter delegates to, and memory accesses go through the same
+:class:`~repro.runtime.memory.LValue` machinery (so access hooks fire for
+the race detector exactly as they do under the reference engine).
+
+Step-budget semantics: closures tick the shared
+:class:`~repro.runtime.interpreter.ExecutionLimits` at the same AST points
+as the interpreter, so completed launches report byte-identical step counts
+and a launch times out under this engine iff it times out under the
+reference engine.  The only permitted divergence is the step value carried
+*inside* an :class:`~repro.runtime.errors.ExecutionTimeout` exception: nodes
+the interpreter ticks twice (e.g. an rvalue variable reference) tick once
+with weight two here, so the exception may report a count up to one step
+higher.  Timeout classification and all observable results are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kernel_lang import ast, builtins, types as ty, values as vals
+from repro.kernel_lang.semantics import UBKind
+from repro.runtime import memory, ops
+from repro.runtime.engine import ExecutionEngine, PreparedGroup, PreparedLaunch
+from repro.runtime.errors import (
+    ExecutionTimeout,
+    RuntimeCrash,
+    UndefinedBehaviourError,
+)
+from repro.runtime.interpreter import (
+    ATOMIC_EVENT,
+    BARRIER_EVENT,
+    ExecutionLimits,
+    SchedulerEvent,
+    ThreadContext,
+    _MAX_CALL_DEPTH,
+)
+
+# ---------------------------------------------------------------------------
+# Runtime representation
+# ---------------------------------------------------------------------------
+
+
+class _RT:
+    """Mutable per-thread execution state threaded through every closure."""
+
+    __slots__ = ("hook", "wi", "locals", "depth")
+
+    def __init__(self) -> None:
+        self.hook: Optional[memory.AccessHook] = None
+        self.wi: List[vals.ScalarValue] = []
+        self.locals: Optional[List[Optional[memory.Cell]]] = None
+        self.depth = 0
+
+
+class _C:
+    """A compiled node: a closure plus whether it is a generator."""
+
+    __slots__ = ("fn", "yields")
+
+    def __init__(self, fn: Callable, yields: bool) -> None:
+        self.fn = fn
+        self.yields = yields
+
+
+def _ev(c: "_C", rt: _RT):
+    """Evaluate a compiled node from inside a generator closure.
+
+    ``yield from _ev(c, rt)`` delegates to ``c`` whether or not it is a
+    generator; the plain-closure case returns immediately.  Only yielding
+    code paths pay for the extra generator frame.
+    """
+    if c.yields:
+        return (yield from c.fn(rt))
+    return c.fn(rt)
+
+
+# Control-flow results of statement closures.  Normal completion is ``None``
+# (the fastest check); break/continue are singletons; return is a
+# ``("ret", value)`` tuple so ``fl.__class__ is tuple`` identifies it.
+_BRK = "break"
+_CNT = "continue"
+_RET_NONE = ("ret", None)
+
+_INT0 = vals.ScalarValue(ty.INT, 0)
+_INT1 = vals.ScalarValue(ty.INT, 1)
+
+#: Shared atomic scheduling-point event (the scheduler only reads ``kind``).
+_ATOMIC_EVENT = SchedulerEvent(ATOMIC_EVENT)
+
+_SV = vals.ScalarValue
+_PV = vals.PointerValue
+_SHARED_SPACES = (ty.LOCAL, ty.GLOBAL)
+
+
+def _apply_builtin_fast(spec: builtins.BuiltinSpec, args: List[vals.Value]) -> vals.Value:
+    """All-scalar fast path of :func:`ops.apply_scalar_builtin` (same
+    semantics, unchecked result construction); anything else falls back."""
+    if not args:
+        return ops.apply_scalar_builtin(spec, args)
+    for a in args:
+        if a.__class__ is not _SV:
+            return ops.apply_scalar_builtin(spec, args)
+    scalar_type = args[0].type
+    try:
+        result = spec.fn(*[a.value for a in args], scalar_type)
+    except builtins.BuiltinUndefined as exc:
+        raise UndefinedBehaviourError(UBKind.BUILTIN_UNDEFINED, str(exc)) from exc
+    return _mk_scalar(scalar_type, scalar_type.wrap(result))
+
+
+def _mk_scalar(type_: ty.IntType, wrapped: int) -> vals.ScalarValue:
+    """Construct a ScalarValue from an already-wrapped raw value.
+
+    ``ScalarValue.wrap`` wraps and then re-validates in ``__post_init__``;
+    when the raw value has already been wrapped into range (by
+    ``type_.wrap``, ``ops.scalar_arith``, ...) that validation is redundant,
+    and skipping the dataclass constructor is a large win on the hottest
+    paths.  The resulting object is indistinguishable from a checked one.
+    """
+    value = _SV.__new__(_SV)
+    value.type = type_
+    value.value = wrapped
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Lexical scopes -> frame slots
+# ---------------------------------------------------------------------------
+
+
+class _FnSlots:
+    """Allocates ``locals`` indices for one function (or the kernel)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def new(self) -> int:
+        slot = self.count
+        self.count += 1
+        return slot
+
+
+class _Scope:
+    """Lowering-time lexical scope mapping names to (slot, declared type)."""
+
+    def __init__(self, slots: _FnSlots, parent: Optional["_Scope"] = None) -> None:
+        self._slots = slots
+        self._parent = parent
+        self._names: Dict[str, Tuple[int, ty.Type]] = {}
+
+    def declare(self, name: str, type_: ty.Type) -> int:
+        slot = self._slots.new()
+        self._names[name] = (slot, type_)
+        return slot
+
+    def lookup(self, name: str) -> Optional[Tuple[int, ty.Type]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            entry = scope._names.get(name)
+            if entry is not None:
+                return entry
+            scope = scope._parent
+        return None
+
+    def child(self) -> "_Scope":
+        return _Scope(self._slots, self)
+
+
+class _FnRecord:
+    """Late-bound compiled function (supports recursion: the call closure
+    reads ``body``/``nslots`` at call time, after compilation completed)."""
+
+    __slots__ = ("body", "nslots", "default_return")
+
+    def __init__(self) -> None:
+        self.body: Optional[Callable] = None
+        self.nslots = 0
+        self.default_return: Callable[[], vals.Value] = lambda: _INT0
+
+
+# ---------------------------------------------------------------------------
+# The lowerer
+# ---------------------------------------------------------------------------
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        program: ast.Program,
+        global_memory: memory.GlobalMemory,
+        limits: ExecutionLimits,
+        comma_yields_zero: bool,
+    ) -> None:
+        self.program = program
+        self.global_memory = global_memory
+        self.limits = limits
+        self.comma_yields_zero = comma_yields_zero
+        self._functions: Dict[str, ast.FunctionDecl] = {
+            fn.name: fn for fn in program.functions if fn.body is not None
+        }
+        self._yielding_fns = self._compute_yielding_functions()
+        self._fn_records: Dict[str, _FnRecord] = {}
+        self._wi_map: Dict[Tuple[str, int], int] = {}
+        self._wi_specs: List[Tuple[str, int]] = []
+
+        self._max_steps = max_steps = limits.max_steps
+
+        def tick(n: int = 1) -> None:
+            s = limits.steps + n
+            limits.steps = s
+            if s > max_steps:
+                raise ExecutionTimeout(s)
+
+        self._tick = tick
+
+    # -- yield analysis -------------------------------------------------
+
+    def _compute_yielding_functions(self) -> frozenset:
+        """Names of user functions that can reach a scheduling point."""
+        calls: Dict[str, set] = {}
+        syncing = set()
+        for name, fn in self._functions.items():
+            callees = set()
+            for node in fn.body.walk():
+                if isinstance(node, ast.BarrierStmt):
+                    syncing.add(name)
+                elif isinstance(node, ast.Call):
+                    if node.name in builtins.ATOMIC_BUILTINS:
+                        syncing.add(name)
+                    elif node.name in self._functions:
+                        callees.add(node.name)
+            calls[name] = callees
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name not in syncing and callees & syncing:
+                    syncing.add(name)
+                    changed = True
+        return frozenset(syncing)
+
+    # -- entry point ----------------------------------------------------
+
+    def lower(self) -> "CompiledLaunch":
+        kernel = self.program.kernel()
+        slots = _FnSlots()
+        scope = _Scope(slots)
+        scalar_args: Dict[str, int] = dict(self.program.metadata.get("scalar_args", {}))
+
+        # (slot, name, type, payload, is_raise); payload is the initial value
+        # for resolved params, a local-buffer marker for LOCAL pointers, or an
+        # exception factory mirroring the interpreter's per-thread UB raise.
+        param_specs: List[Tuple[int, str, ty.Type, object, bool]] = []
+        for param in kernel.params:
+            slot = scope.declare(param.name, param.type)
+            if isinstance(param.type, ty.PointerType):
+                space = param.type.address_space
+                if space in (ty.GLOBAL, ty.CONSTANT):
+                    cell = self.global_memory.cell(param.name)
+                    value = vals.PointerValue(param.type, cell, ())
+                    param_specs.append((slot, param.name, param.type, value, False))
+                elif space == ty.LOCAL:
+                    param_specs.append((slot, param.name, param.type, "local", False))
+                else:
+                    param_specs.append(
+                        (
+                            slot,
+                            param.name,
+                            param.type,
+                            _raiser(
+                                UBKind.NULL_DEREFERENCE,
+                                f"kernel pointer parameter {param.name!r} in private space",
+                            ),
+                            True,
+                        )
+                    )
+            elif isinstance(param.type, ty.IntType):
+                raw = scalar_args.get(param.name, 0)
+                value = vals.ScalarValue.wrap(param.type, raw)
+                param_specs.append((slot, param.name, param.type, value, False))
+            else:
+                param_specs.append(
+                    (
+                        slot,
+                        param.name,
+                        param.type,
+                        _raiser(
+                            UBKind.INVALID_FIELD,
+                            f"unsupported kernel parameter type {param.type}",
+                        ),
+                        True,
+                    )
+                )
+
+        body = self._compile_block(kernel.body, scope)
+        return CompiledLaunch(
+            program=self.program,
+            body=body,
+            nslots=slots.count,
+            param_specs=param_specs,
+            wi_specs=list(self._wi_specs),
+        )
+
+    # -- work-item values -----------------------------------------------
+
+    def _wi_index(self, function: str, dimension: int) -> int:
+        key = (function, dimension)
+        if key not in self._wi_map:
+            self._wi_map[key] = len(self._wi_specs)
+            self._wi_specs.append(key)
+        return self._wi_map[key]
+
+    # -- conversions ----------------------------------------------------
+
+    def _make_convert(self, target: Optional[ty.Type]):
+        """``conv(value, lv)`` mirroring ``ops.convert_for_store``.
+
+        With a statically-known target type the integer fast path skips the
+        isinstance dispatch; without one the target is the lvalue's dynamic
+        type, exactly as the interpreter computes it.
+        """
+        if target is None:
+            def conv_dynamic(value, lv):
+                return ops.convert_for_store(value, lv.type)
+            return conv_dynamic
+        if isinstance(target, ty.IntType):
+            def conv_int(value, lv=None, _t=target, _wrap=target.wrap):
+                if value.__class__ is _SV:
+                    return _mk_scalar(_t, _wrap(value.value))
+                return ops.convert_for_store(value, _t)
+            return conv_int
+
+        def conv_static(value, lv=None, _t=target):
+            return ops.convert_for_store(value, _t)
+        return conv_static
+
+    # -- static shape analysis (mirrors the interpreter's env checks) ----
+
+    def _is_pointer_expr(self, expr: ast.Expr, scope: _Scope) -> bool:
+        if isinstance(expr, ast.VarRef):
+            entry = scope.lookup(expr.name)
+            return entry is not None and isinstance(entry[1], ty.PointerType)
+        return False
+
+    def _is_lvalue_shaped(self, expr: ast.Expr, scope: _Scope) -> bool:
+        if isinstance(expr, (ast.VarRef, ast.Deref)):
+            return True
+        if isinstance(expr, ast.FieldAccess):
+            if expr.arrow:
+                return True
+            return self._is_lvalue_shaped(expr.base, scope)
+        if isinstance(expr, ast.IndexAccess):
+            if self._is_pointer_expr(expr.base, scope):
+                return True
+            return self._is_lvalue_shaped(expr.base, scope)
+        if isinstance(expr, ast.VectorComponent):
+            return self._is_lvalue_shaped(expr.base, scope)
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _compile_block(self, blk: ast.Block, scope: _Scope) -> _C:
+        inner = scope.child()
+        compiled = [self._compile_stmt(stmt, inner) for stmt in blk.statements]
+        if not any(c.yields for c in compiled):
+            fns = [c.fn for c in compiled]
+            # Unrolled variants for the common short blocks (a block adds no
+            # behaviour of its own -- scoping was resolved at lowering time).
+            if len(fns) == 0:
+                def run_block0(rt):
+                    return None
+                return _C(run_block0, False)
+            if len(fns) == 1:
+                return compiled[0]
+            if len(fns) == 2:
+                s0, s1 = fns
+
+                def run_block2(rt):
+                    fl = s0(rt)
+                    if fl is not None:
+                        return fl
+                    return s1(rt)
+                return _C(run_block2, False)
+            if len(fns) == 3:
+                s0, s1, s2 = fns
+
+                def run_block3(rt):
+                    fl = s0(rt)
+                    if fl is not None:
+                        return fl
+                    fl = s1(rt)
+                    if fl is not None:
+                        return fl
+                    return s2(rt)
+                return _C(run_block3, False)
+
+            def run_block(rt):
+                for s in fns:
+                    fl = s(rt)
+                    if fl is not None:
+                        return fl
+                return None
+
+            return _C(run_block, False)
+
+        pairs = [(c.fn, c.yields) for c in compiled]
+
+        def run_block_gen(rt):
+            for s, y in pairs:
+                fl = (yield from s(rt)) if y else s(rt)
+                if fl is not None:
+                    return fl
+            return None
+
+        return _C(run_block_gen, True)
+
+    def _compile_stmt(self, stmt: ast.Stmt, scope: _Scope) -> _C:
+        tick = self._tick
+        if isinstance(stmt, ast.Block):
+            inner = self._compile_block(stmt, scope)
+            if not inner.yields:
+                def run_nested(rt, _b=inner.fn):
+                    tick()
+                    return _b(rt)
+                return _C(run_nested, False)
+
+            def run_nested_gen(rt, _b=inner.fn):
+                tick()
+                return (yield from _b(rt))
+            return _C(run_nested_gen, True)
+        if isinstance(stmt, ast.DeclStmt):
+            return self._compile_decl(stmt, scope)
+        if isinstance(stmt, ast.AssignStmt):
+            # The statement tick is folded into the assignment's entry tick
+            # (they are contiguous: nothing observable happens in between).
+            assign = self._compile_assign(
+                stmt.target, stmt.value, stmt.op, scope, extra_ticks=1
+            )
+            if not assign.yields:
+                def run_assign(rt, _a=assign.fn):
+                    _a(rt)
+                    return None
+                return _C(run_assign, False)
+
+            def run_assign_gen(rt, _a=assign.fn):
+                yield from _a(rt)
+                return None
+            return _C(run_assign_gen, True)
+        if isinstance(stmt, ast.ExprStmt):
+            value = self._compile_expr(stmt.expr, scope)
+            if not value.yields:
+                limits = self.limits
+                max_steps = self._max_steps
+
+                def run_expr(rt, _v=value.fn):
+                    s = limits.steps + 1
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    _v(rt)
+                    return None
+                return _C(run_expr, False)
+
+            def run_expr_gen(rt, _v=value.fn):
+                tick()
+                yield from _v(rt)
+                return None
+            return _C(run_expr_gen, True)
+        if isinstance(stmt, ast.IfStmt):
+            return self._compile_if(stmt, scope)
+        if isinstance(stmt, ast.ForStmt):
+            return self._compile_for(stmt, scope)
+        if isinstance(stmt, ast.WhileStmt):
+            return self._compile_while(stmt, scope)
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                def run_return_void(rt):
+                    tick()
+                    return _RET_NONE
+                return _C(run_return_void, False)
+            value = self._compile_expr(stmt.value, scope)
+            if not value.yields:
+                def run_return(rt, _v=value.fn):
+                    tick()
+                    return ("ret", _v(rt))
+                return _C(run_return, False)
+
+            def run_return_gen(rt, _v=value.fn):
+                tick()
+                return ("ret", (yield from _v(rt)))
+            return _C(run_return_gen, True)
+        if isinstance(stmt, ast.BreakStmt):
+            def run_break(rt):
+                tick()
+                return _BRK
+            return _C(run_break, False)
+        if isinstance(stmt, ast.ContinueStmt):
+            def run_continue(rt):
+                tick()
+                return _CNT
+            return _C(run_continue, False)
+        if isinstance(stmt, ast.BarrierStmt):
+            event = SchedulerEvent(BARRIER_EVENT, barrier_site=id(stmt), fence=stmt.fence)
+
+            def run_barrier(rt):
+                tick()
+                yield event
+                return None
+            return _C(run_barrier, True)
+        return self._raise_c(
+            1, UBKind.INVALID_FIELD, f"unknown statement {type(stmt).__name__}"
+        )
+
+    def _compile_decl(self, stmt: ast.DeclStmt, scope: _Scope) -> _C:
+        tick = self._tick
+        limits = self.limits
+        max_steps = self._max_steps
+        name, type_, volatile = stmt.name, stmt.type, stmt.volatile
+        if stmt.init is None:
+            slot = scope.declare(name, type_)
+
+            def run_decl_uninit(rt):
+                tick()
+                rt.locals[slot] = memory.Cell.uninitialised(name, type_, volatile=volatile)
+                return None
+            return _C(run_decl_uninit, False)
+
+        # The initialiser is compiled *before* the name is declared: like the
+        # interpreter (which evaluates the initialiser before env.declare), a
+        # reference to the name inside its own initialiser sees the outer
+        # binding, not the cell being initialised.
+        init = self._compile_init_value(stmt.init, type_, scope)
+        slot = scope.declare(name, type_)
+        if not init.yields:
+            def run_decl(rt, _i=init.fn):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                rt.locals[slot] = memory.Cell(name, type_, _i(rt), volatile=volatile)
+                return None
+            return _C(run_decl, False)
+
+        def run_decl_gen(rt, _i=init.fn):
+            tick()
+            value = yield from _i(rt)
+            rt.locals[slot] = memory.Cell(name, type_, value, volatile=volatile)
+            return None
+        return _C(run_decl_gen, True)
+
+    def _compile_if(self, stmt: ast.IfStmt, scope: _Scope) -> _C:
+        tick = self._tick
+        limits = self.limits
+        max_steps = self._max_steps
+        cond = self._compile_expr(stmt.cond, scope)
+        then = self._compile_block(stmt.then_block, scope)
+        other = self._compile_block(stmt.else_block, scope) if stmt.else_block else None
+        parts = [cond, then] + ([other] if other else [])
+        if not any(c.yields for c in parts):
+            cfn, tfn = cond.fn, then.fn
+            if other is None:
+                def run_if(rt):
+                    s = limits.steps + 1
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    c = cfn(rt)
+                    if c.value != 0 if c.__class__ is _SV else ops.truthy(c):
+                        return tfn(rt)
+                    return None
+                return _C(run_if, False)
+            ofn = other.fn
+
+            def run_if_else(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                c = cfn(rt)
+                if c.value != 0 if c.__class__ is _SV else ops.truthy(c):
+                    return tfn(rt)
+                return ofn(rt)
+            return _C(run_if_else, False)
+
+        def run_if_gen(rt):
+            tick()
+            if ops.truthy((yield from _ev(cond, rt))):
+                return (yield from _ev(then, rt))
+            if other is not None:
+                return (yield from _ev(other, rt))
+            return None
+        return _C(run_if_gen, True)
+
+    def _compile_for(self, stmt: ast.ForStmt, scope: _Scope) -> _C:
+        tick = self._tick
+        inner = scope.child()
+        init = self._compile_stmt(stmt.init, inner) if stmt.init is not None else None
+        cond = self._compile_expr(stmt.cond, inner) if stmt.cond is not None else None
+        body = self._compile_block(stmt.body, inner)
+        update = self._compile_stmt(stmt.update, inner) if stmt.update is not None else None
+        parts = [c for c in (init, cond, body, update) if c is not None]
+        if not any(c.yields for c in parts):
+            ifn = init.fn if init is not None else None
+            cfn = cond.fn if cond is not None else None
+            bfn = body.fn
+            ufn = update.fn if update is not None else None
+            limits = self.limits
+            max_steps = self._max_steps
+
+            def run_for(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                if ifn is not None:
+                    fl = ifn(rt)
+                    if fl is not None and fl.__class__ is tuple:
+                        return fl
+                while True:
+                    s = limits.steps + 1
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    if cfn is not None:
+                        c = cfn(rt)
+                        if not (c.value != 0 if c.__class__ is _SV else ops.truthy(c)):
+                            break
+                    fl = bfn(rt)
+                    if fl is not None:
+                        if fl is _BRK:
+                            break
+                        if fl.__class__ is tuple:
+                            return fl
+                    if ufn is not None:
+                        fl = ufn(rt)
+                        if fl is not None and fl.__class__ is tuple:
+                            return fl
+                return None
+            return _C(run_for, False)
+
+        def run_for_gen(rt):
+            tick()
+            if init is not None:
+                fl = yield from _ev(init, rt)
+                if fl is not None and fl.__class__ is tuple:
+                    return fl
+            while True:
+                tick()
+                if cond is not None and not ops.truthy((yield from _ev(cond, rt))):
+                    break
+                fl = yield from _ev(body, rt)
+                if fl is not None:
+                    if fl is _BRK:
+                        break
+                    if fl.__class__ is tuple:
+                        return fl
+                if update is not None:
+                    fl = yield from _ev(update, rt)
+                    if fl is not None and fl.__class__ is tuple:
+                        return fl
+            return None
+        return _C(run_for_gen, True)
+
+    def _compile_while(self, stmt: ast.WhileStmt, scope: _Scope) -> _C:
+        tick = self._tick
+        cond = self._compile_expr(stmt.cond, scope)
+        body = self._compile_block(stmt.body, scope)
+        if not cond.yields and not body.yields:
+            cfn, bfn = cond.fn, body.fn
+            limits = self.limits
+            max_steps = self._max_steps
+
+            def run_while(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                while True:
+                    s = limits.steps + 1
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    c = cfn(rt)
+                    if not (c.value != 0 if c.__class__ is _SV else ops.truthy(c)):
+                        break
+                    fl = bfn(rt)
+                    if fl is not None:
+                        if fl is _BRK:
+                            break
+                        if fl.__class__ is tuple:
+                            return fl
+                return None
+            return _C(run_while, False)
+
+        def run_while_gen(rt):
+            tick()
+            while True:
+                tick()
+                if not ops.truthy((yield from _ev(cond, rt))):
+                    break
+                fl = yield from _ev(body, rt)
+                if fl is not None:
+                    if fl is _BRK:
+                        break
+                    if fl.__class__ is tuple:
+                        return fl
+            return None
+        return _C(run_while_gen, True)
+
+    # ------------------------------------------------------------------
+    # Assignments
+    # ------------------------------------------------------------------
+
+    def _compile_assign(
+        self,
+        target: ast.Expr,
+        value: ast.Expr,
+        op: str,
+        scope: _Scope,
+        extra_ticks: int = 0,
+    ) -> _C:
+        """The write of ``target op= value``.
+
+        ``extra_ticks`` folds the caller's preceding tick (the statement tick
+        of an ``AssignStmt``, or the expression tick of an ``AssignExpr``)
+        into this closure's entry tick -- the two are contiguous, with no
+        observable effect in between.
+        """
+        tick = self._tick
+        limits = self.limits
+        max_steps = self._max_steps
+        value_c = self._compile_expr(value, scope)
+        base_op = op[:-1] if op != "=" else None
+
+        # Fast path: ``ptr[idx] = value`` (the CLsmith result-reporting idiom
+        # and most generated stores).  No LValue allocation; hook, bounds
+        # checks and conversion mirror LValue.write/_store exactly.
+        if (
+            base_op is None
+            and not value_c.yields
+            and isinstance(target, ast.IndexAccess)
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = scope.lookup(target.base.name)
+            if entry is not None and isinstance(entry[1], ty.PointerType):
+                index_c = self._compile_expr(target.index, scope)
+                if not index_c.yields:
+                    pslot = entry[0]
+                    ifn = index_c.fn
+                    vfn = value_c.fn
+                    entry_ticks = 1 + extra_ticks  # the _eval_lvalue tick
+                    type_at_path = memory.type_at_path
+                    store = memory._store
+
+                    def run_buf_store(rt):
+                        s = limits.steps + entry_ticks
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        idx = ifn(rt)
+                        i = idx.value if idx.__class__ is _SV else ops.as_int(idx)
+                        s = limits.steps + 2  # pointer VarRef eval + lvalue ticks
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        ptr = rt.locals[pslot].value
+                        if ptr.__class__ is _PV:
+                            cell = ptr.cell
+                            if cell is None:
+                                raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+                            path = ptr.path + (i,)
+                        else:
+                            lv = ops.pointer_target(ptr)  # raises: non-pointer
+                            cell = lv.cell
+                            path = lv.path + (i,)
+                        rhs = vfn(rt)
+                        element_type = type_at_path(cell.type, path)
+                        if rhs.__class__ is _SV and isinstance(element_type, ty.IntType):
+                            new = _mk_scalar(element_type, element_type.wrap(rhs.value))
+                        else:
+                            new = ops.convert_for_store(rhs, element_type)
+                        hook = rt.hook
+                        if hook is not None and cell.address_space in _SHARED_SPACES:
+                            hook(cell, path, True, False)
+                        container = cell.value
+                        if container.__class__ is vals.ArrayValue and len(path) == 1:
+                            # Inline of _store for the single-index case.
+                            if not 0 <= i < container.type.length:
+                                raise UndefinedBehaviourError(
+                                    UBKind.OUT_OF_BOUNDS, f"index {i!r} out of bounds"
+                                )
+                            container.elements[i] = new
+                        else:
+                            cell.value = store(container, path, new)
+                        cell.initialised = True
+                    return _C(run_buf_store, False)
+
+        # Fast path: ``var.field = value`` on a local struct.
+        if (
+            base_op is None
+            and not value_c.yields
+            and isinstance(target, ast.FieldAccess)
+            and not target.arrow
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = scope.lookup(target.base.name)
+            if (
+                entry is not None
+                and isinstance(entry[1], ty.StructType)
+                and entry[1].has_field(target.field)
+            ):
+                slot = entry[0]
+                fname = target.field
+                field_type = entry[1].field(fname).type
+                conv_field = self._make_convert(field_type)
+                vfn = value_c.fn
+                # stmt/expr tick + FieldAccess lvalue tick + VarRef lvalue tick
+                entry_ticks = 2 + extra_ticks
+                store = memory._store
+                path = (fname,)
+
+                def run_field_assign(rt):
+                    s = limits.steps + entry_ticks
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    cell = rt.locals[slot]
+                    rhs = vfn(rt)
+                    new = conv_field(rhs)
+                    container = cell.value
+                    if container.__class__ is vals.StructValue and fname in container.fields:
+                        container.fields[fname] = new
+                    else:
+                        cell.value = store(container, path, new)
+                    cell.initialised = True
+                return _C(run_field_assign, False)
+
+        # Fast path: ``var.x = value`` on a local vector.
+        if (
+            base_op is None
+            and not value_c.yields
+            and isinstance(target, ast.VectorComponent)
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = scope.lookup(target.base.name)
+            if (
+                entry is not None
+                and isinstance(entry[1], ty.VectorType)
+                and 0 <= target.component < entry[1].length
+            ):
+                slot = entry[0]
+                comp = target.component
+                element_type = entry[1].element
+                element_wrap = element_type.wrap
+                conv_elem = self._make_convert(element_type)
+                vfn = value_c.fn
+                # stmt/expr tick + component lvalue tick + VarRef lvalue tick
+                entry_ticks = 2 + extra_ticks
+                store = memory._store
+                path = (comp,)
+
+                def run_component_assign(rt):
+                    s = limits.steps + entry_ticks
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    cell = rt.locals[slot]
+                    rhs = vfn(rt)
+                    new = conv_elem(rhs)
+                    container = cell.value
+                    if container.__class__ is vals.VectorValue and new.__class__ is _SV:
+                        container.elements[comp] = element_wrap(new.value)
+                    else:
+                        cell.value = store(container, path, new)
+                    cell.initialised = True
+                return _C(run_component_assign, False)
+
+        # Fast path: plain variable target (always a private cell; no hook).
+        if isinstance(target, ast.VarRef) and not value_c.yields:
+            entry = scope.lookup(target.name)
+            if entry is not None:
+                slot, decl_type = entry
+                vfn = value_c.fn
+                entry_ticks = 1 + extra_ticks  # the _eval_lvalue(VarRef) tick
+                int_type = decl_type if isinstance(decl_type, ty.IntType) else None
+                conv = self._make_convert(decl_type)
+                if base_op is None and int_type is not None:
+                    wrap = int_type.wrap
+
+                    def run_var_assign_int(rt):
+                        s = limits.steps + entry_ticks
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        cell = rt.locals[slot]
+                        rhs = vfn(rt)
+                        if rhs.__class__ is _SV:
+                            cell.value = _mk_scalar(int_type, wrap(rhs.value))
+                        else:
+                            cell.value = ops.convert_for_store(rhs, int_type)
+                        cell.initialised = True
+                    return _C(run_var_assign_int, False)
+                if base_op is None:
+                    def run_var_assign(rt):
+                        s = limits.steps + entry_ticks
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        cell = rt.locals[slot]
+                        rhs = vfn(rt)
+                        cell.value = conv(rhs)
+                        cell.initialised = True
+                    return _C(run_var_assign, False)
+
+                def run_var_compound(rt):
+                    s = limits.steps + entry_ticks
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    cell = rt.locals[slot]
+                    rhs = vfn(rt)
+                    rhs = ops.binary(base_op, cell.value, rhs)
+                    cell.value = conv(rhs)
+                    cell.initialised = True
+                return _C(run_var_compound, False)
+
+        lv_c, static_type = self._compile_lvalue(target, scope)
+        conv = self._make_convert(static_type)
+        if not lv_c.yields and not value_c.yields:
+            lfn, vfn = lv_c.fn, value_c.fn
+            if base_op is None:
+                def run_assign(rt):
+                    if extra_ticks:
+                        tick(extra_ticks)
+                    lv = lfn(rt)
+                    rhs = vfn(rt)
+                    lv.write(conv(rhs, lv), rt.hook)
+                return _C(run_assign, False)
+
+            def run_compound(rt):
+                if extra_ticks:
+                    tick(extra_ticks)
+                lv = lfn(rt)
+                rhs = vfn(rt)
+                rhs = ops.binary(base_op, lv.read(rt.hook), rhs)
+                lv.write(conv(rhs, lv), rt.hook)
+            return _C(run_compound, False)
+
+        def run_assign_gen(rt):
+            if extra_ticks:
+                tick(extra_ticks)
+            lv = yield from _ev(lv_c, rt)
+            rhs = yield from _ev(value_c, rt)
+            if base_op is not None:
+                rhs = ops.binary(base_op, lv.read(rt.hook), rhs)
+            lv.write(conv(rhs, lv), rt.hook)
+        return _C(run_assign_gen, True)
+
+    # ------------------------------------------------------------------
+    # Initialisers
+    # ------------------------------------------------------------------
+
+    def _compile_init_value(self, init: ast.Expr, target_type: ty.Type, scope: _Scope) -> _C:
+        """Mirror of ``Interpreter._eval_initialiser`` (no tick of its own)."""
+        if isinstance(init, ast.InitList):
+            return self._compile_initlist(init, target_type, scope)
+        value_c = self._compile_expr(init, scope)
+        conv = self._make_convert(target_type)
+        if not value_c.yields:
+            vfn = value_c.fn
+
+            def run_init(rt):
+                return conv(vfn(rt))
+            return _C(run_init, False)
+
+        def run_init_gen(rt):
+            return conv((yield from value_c.fn(rt)))
+        return _C(run_init_gen, True)
+
+    def _compile_initlist(self, init: ast.InitList, target_type: ty.Type, scope: _Scope) -> _C:
+        if isinstance(target_type, ty.StructType):
+            pairs = [
+                (fdecl.name, self._compile_init_value(elem, fdecl.type, scope))
+                for fdecl, elem in zip(target_type.fields, init.elements)
+            ]
+            if not any(c.yields for _, c in pairs):
+                plain = [(n, c.fn) for n, c in pairs]
+
+                def run_struct(rt):
+                    result = vals.StructValue.zero(target_type)
+                    for fname, efn in plain:
+                        result.set(fname, efn(rt))
+                    return result
+                return _C(run_struct, False)
+
+            def run_struct_gen(rt):
+                result = vals.StructValue.zero(target_type)
+                for fname, ec in pairs:
+                    result.set(fname, (yield from _ev(ec, rt)))
+                return result
+            return _C(run_struct_gen, True)
+        if isinstance(target_type, ty.UnionType):
+            # C semantics: a braced initialiser for a union initialises its
+            # *first* member (Figure 2(a) depends on this).
+            if not init.elements:
+                def run_union_empty(rt):
+                    return vals.UnionValue.zero(target_type)
+                return _C(run_union_empty, False)
+            first = target_type.fields[0]
+            elem = self._compile_init_value(init.elements[0], first.type, scope)
+            fname = first.name
+            if not elem.yields:
+                efn = elem.fn
+
+                def run_union(rt):
+                    result = vals.UnionValue.zero(target_type)
+                    result.set(fname, efn(rt))
+                    return result
+                return _C(run_union, False)
+
+            def run_union_gen(rt):
+                result = vals.UnionValue.zero(target_type)
+                result.set(fname, (yield from elem.fn(rt)))
+                return result
+            return _C(run_union_gen, True)
+        if isinstance(target_type, ty.ArrayType):
+            length = target_type.length
+            compiled = [
+                self._compile_init_value(elem, target_type.element, scope)
+                for elem in init.elements[:length]
+            ]
+            overflow = len(init.elements) > length
+            if not any(c.yields for c in compiled):
+                fns = [c.fn for c in compiled]
+
+                def run_array(rt):
+                    result = vals.ArrayValue.zero(target_type)
+                    for i, efn in enumerate(fns):
+                        result.set(i, efn(rt))
+                    if overflow:
+                        raise UndefinedBehaviourError(
+                            UBKind.OUT_OF_BOUNDS, "excess elements in array initialiser"
+                        )
+                    return result
+                return _C(run_array, False)
+
+            def run_array_gen(rt):
+                result = vals.ArrayValue.zero(target_type)
+                for i, ec in enumerate(compiled):
+                    result.set(i, (yield from _ev(ec, rt)))
+                if overflow:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, "excess elements in array initialiser"
+                    )
+                return result
+            return _C(run_array_gen, True)
+        if isinstance(target_type, (ty.IntType, ty.VectorType)):
+            if len(init.elements) != 1:
+                return self._raise_c(
+                    0, UBKind.INVALID_FIELD, "scalar initialised with a list"
+                )
+            value_c = self._compile_expr(init.elements[0], scope)
+            conv = self._make_convert(target_type)
+            if not value_c.yields:
+                vfn = value_c.fn
+
+                def run_scalar_init(rt):
+                    return conv(vfn(rt))
+                return _C(run_scalar_init, False)
+
+            def run_scalar_init_gen(rt):
+                return conv((yield from value_c.fn(rt)))
+            return _C(run_scalar_init_gen, True)
+        return self._raise_c(
+            0, UBKind.INVALID_FIELD, f"cannot initialise {target_type} from a list"
+        )
+
+    # ------------------------------------------------------------------
+    # L-values
+    # ------------------------------------------------------------------
+
+    def _compile_lvalue(self, expr: ast.Expr, scope: _Scope) -> Tuple[_C, Optional[ty.Type]]:
+        """Compiled lvalue (own tick included) plus its static type if known."""
+        tick = self._tick
+        limits = self.limits
+        max_steps = self._max_steps
+        if isinstance(expr, ast.VarRef):
+            entry = scope.lookup(expr.name)
+            if entry is None:
+                name = expr.name
+
+                def run_unknown(rt):
+                    tick()
+                    raise UndefinedBehaviourError(
+                        UBKind.UNINITIALISED_READ, f"unknown variable {name!r}"
+                    )
+                return _C(run_unknown, False), None
+            slot, decl_type = entry
+
+            def run_var_lv(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                return memory.LValue(rt.locals[slot])
+            return _C(run_var_lv, False), decl_type
+        if isinstance(expr, ast.Deref):
+            operand = self._compile_expr(expr.operand, scope)
+            if not operand.yields:
+                ofn = operand.fn
+
+                def run_deref_lv(rt):
+                    tick()
+                    return ops.deref_target(ofn(rt))
+                return _C(run_deref_lv, False), None
+
+            def run_deref_lv_gen(rt):
+                tick()
+                return ops.deref_target((yield from operand.fn(rt)))
+            return _C(run_deref_lv_gen, True), None
+        if isinstance(expr, ast.FieldAccess):
+            fname = expr.field
+            if expr.arrow:
+                base = self._compile_expr(expr.base, scope)
+                if not base.yields:
+                    bfn = base.fn
+
+                    def run_arrow_lv(rt):
+                        tick()
+                        return ops.pointer_target(bfn(rt)).member(fname)
+                    return _C(run_arrow_lv, False), None
+
+                def run_arrow_lv_gen(rt):
+                    tick()
+                    return ops.pointer_target((yield from base.fn(rt))).member(fname)
+                return _C(run_arrow_lv_gen, True), None
+            base_c, base_type = self._compile_lvalue(expr.base, scope)
+            static = None
+            if isinstance(base_type, (ty.StructType, ty.UnionType)) and base_type.has_field(fname):
+                static = base_type.field(fname).type
+            if not base_c.yields:
+                bfn = base_c.fn
+
+                def run_member_lv(rt):
+                    tick()
+                    return bfn(rt).member(fname)
+                return _C(run_member_lv, False), static
+
+            def run_member_lv_gen(rt):
+                tick()
+                return (yield from base_c.fn(rt)).member(fname)
+            return _C(run_member_lv_gen, True), static
+        if isinstance(expr, ast.IndexAccess):
+            index = self._compile_expr(expr.index, scope)
+            if self._is_pointer_expr(expr.base, scope):
+                base = self._compile_expr(expr.base, scope)
+                if not index.yields and not base.yields:
+                    ifn, bfn = index.fn, base.fn
+
+                    def run_ptr_index_lv(rt):
+                        s = limits.steps + 1
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        idx = ifn(rt)
+                        i = idx.value if idx.__class__ is _SV else ops.as_int(idx)
+                        ptr = bfn(rt)
+                        if ptr.__class__ is _PV and ptr.cell is not None:
+                            return memory.LValue(ptr.cell, ptr.path + (i,))
+                        return ops.pointer_target(ptr).index(i)
+                    return _C(run_ptr_index_lv, False), None
+
+                def run_ptr_index_lv_gen(rt):
+                    tick()
+                    idx = ops.as_int((yield from _ev(index, rt)))
+                    return ops.pointer_target((yield from _ev(base, rt))).index(idx)
+                return _C(run_ptr_index_lv_gen, True), None
+            base_c, base_type = self._compile_lvalue(expr.base, scope)
+            static = base_type.element if isinstance(base_type, ty.ArrayType) else None
+            if not index.yields and not base_c.yields:
+                ifn, bfn = index.fn, base_c.fn
+
+                def run_index_lv(rt):
+                    tick()
+                    idx = ops.as_int(ifn(rt))
+                    return bfn(rt).index(idx)
+                return _C(run_index_lv, False), static
+
+            def run_index_lv_gen(rt):
+                tick()
+                idx = ops.as_int((yield from _ev(index, rt)))
+                return (yield from base_c.fn(rt)).index(idx)
+            return _C(run_index_lv_gen, True), static
+        if isinstance(expr, ast.VectorComponent):
+            comp = expr.component
+            base_c, base_type = self._compile_lvalue(expr.base, scope)
+            static = base_type.element if isinstance(base_type, ty.VectorType) else None
+            if not base_c.yields:
+                bfn = base_c.fn
+
+                def run_comp_lv(rt):
+                    tick()
+                    return bfn(rt).index(comp)
+                return _C(run_comp_lv, False), static
+
+            def run_comp_lv_gen(rt):
+                tick()
+                return (yield from base_c.fn(rt)).index(comp)
+            return _C(run_comp_lv_gen, True), static
+        return (
+            self._raise_c(
+                1,
+                UBKind.INVALID_FIELD,
+                f"expression is not an lvalue: {type(expr).__name__}",
+            ),
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr, scope: _Scope) -> _C:
+        tick = self._tick
+        limits = self.limits
+        max_steps = self._max_steps
+        if isinstance(expr, ast.IntLiteral):
+            value = vals.ScalarValue.wrap(expr.type, expr.value)
+
+            def run_literal(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                return value
+            return _C(run_literal, False)
+        if isinstance(expr, ast.VarRef):
+            entry = scope.lookup(expr.name)
+            if entry is None:
+                return self._raise_c(
+                    2, UBKind.UNINITIALISED_READ, f"unknown variable {expr.name!r}"
+                )
+            slot, decl_type = entry
+            aggregate = isinstance(decl_type, (ty.StructType, ty.UnionType, ty.ArrayType))
+            if aggregate:
+                def run_var_agg(rt):
+                    tick(2)  # the _eval tick plus the _eval_lvalue tick
+                    return rt.locals[slot].value.copy()
+                return _C(run_var_agg, False)
+
+            def run_var(rt):
+                s = limits.steps + 2  # the _eval tick plus the _eval_lvalue tick
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                return rt.locals[slot].value
+            return _C(run_var, False)
+        if isinstance(expr, ast.WorkItemExpr):
+            if expr.function not in ast.WORKITEM_FUNCTIONS:  # pragma: no cover
+                return self._raise_c(
+                    1, UBKind.INVALID_FIELD, f"unknown work-item fn {expr.function}"
+                )
+            index = self._wi_index(expr.function, expr.dimension)
+
+            def run_workitem(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                return rt.wi[index]
+            return _C(run_workitem, False)
+        if isinstance(expr, ast.VectorLiteral):
+            return self._compile_vector_literal(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            op = expr.op
+            operand = self._compile_expr(expr.operand, scope)
+            if not operand.yields:
+                ofn = operand.fn
+
+                def run_unary(rt):
+                    tick()
+                    return ops.unary(op, ofn(rt))
+                return _C(run_unary, False)
+
+            def run_unary_gen(rt):
+                tick()
+                return ops.unary(op, (yield from operand.fn(rt)))
+            return _C(run_unary_gen, True)
+        if isinstance(expr, ast.AddressOf):
+            lv_c, _ = self._compile_lvalue(expr.operand, scope)
+            if not lv_c.yields:
+                lfn = lv_c.fn
+
+                def run_addressof(rt):
+                    tick()
+                    return lfn(rt).as_pointer()
+                return _C(run_addressof, False)
+
+            def run_addressof_gen(rt):
+                tick()
+                return (yield from lv_c.fn(rt)).as_pointer()
+            return _C(run_addressof_gen, True)
+        if isinstance(expr, ast.Deref):
+            operand = self._compile_expr(expr.operand, scope)
+            if not operand.yields:
+                ofn = operand.fn
+
+                def run_deref(rt):
+                    tick(2)  # _eval tick + _eval_lvalue tick
+                    lv = ops.deref_target(ofn(rt))
+                    return ops.decay(lv.read(rt.hook))
+                return _C(run_deref, False)
+
+            def run_deref_gen(rt):
+                tick(2)
+                lv = ops.deref_target((yield from operand.fn(rt)))
+                return ops.decay(lv.read(rt.hook))
+            return _C(run_deref_gen, True)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            cond = self._compile_expr(expr.cond, scope)
+            then = self._compile_expr(expr.then, scope)
+            other = self._compile_expr(expr.otherwise, scope)
+            if not (cond.yields or then.yields or other.yields):
+                cfn, tfn, ofn = cond.fn, then.fn, other.fn
+
+                def run_conditional(rt):
+                    s = limits.steps + 1
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    c = cfn(rt)
+                    if c.value != 0 if c.__class__ is _SV else ops.truthy(c):
+                        return tfn(rt)
+                    return ofn(rt)
+                return _C(run_conditional, False)
+
+            def run_conditional_gen(rt):
+                tick()
+                if ops.truthy((yield from _ev(cond, rt))):
+                    return (yield from _ev(then, rt))
+                return (yield from _ev(other, rt))
+            return _C(run_conditional_gen, True)
+        if isinstance(expr, ast.Cast):
+            target = expr.type
+            operand = self._compile_expr(expr.operand, scope)
+            int_target = target if isinstance(target, ty.IntType) else None
+            if not operand.yields:
+                ofn = operand.fn
+                if int_target is not None:
+                    wrap = int_target.wrap
+
+                    def run_cast_int(rt):
+                        s = limits.steps + 1
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        value = ofn(rt)
+                        if value.__class__ is _SV:
+                            return _mk_scalar(int_target, wrap(value.value))
+                        return ops.cast_value(value, int_target)
+                    return _C(run_cast_int, False)
+
+                def run_cast(rt):
+                    tick()
+                    return ops.cast_value(ofn(rt), target)
+                return _C(run_cast, False)
+
+            def run_cast_gen(rt):
+                tick()
+                return ops.cast_value((yield from operand.fn(rt)), target)
+            return _C(run_cast_gen, True)
+        if isinstance(expr, (ast.FieldAccess, ast.IndexAccess, ast.VectorComponent)):
+            buf_load = self._compile_buffer_load(expr, scope)
+            if buf_load is not None:
+                return buf_load
+            struct_load = self._compile_struct_load(expr, scope)
+            if struct_load is not None:
+                return struct_load
+            vector_load = self._compile_vector_load(expr, scope)
+            if vector_load is not None:
+                return vector_load
+            if self._is_lvalue_shaped(expr, scope):
+                lv_c, _ = self._compile_lvalue(expr, scope)
+                if not lv_c.yields:
+                    lfn = lv_c.fn
+
+                    def run_access(rt):
+                        s = limits.steps + 1  # the _eval tick; the lvalue ticks itself
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        return ops.decay(lfn(rt).read(rt.hook))
+                    return _C(run_access, False)
+
+                def run_access_gen(rt):
+                    tick()
+                    lv = yield from lv_c.fn(rt)
+                    return ops.decay(lv.read(rt.hook))
+                return _C(run_access_gen, True)
+            return self._compile_rvalue_access(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr, scope)
+        if isinstance(expr, ast.AssignExpr):
+            # The _eval tick is folded into the assignment's entry tick.
+            assign = self._compile_assign(
+                expr.target, expr.value, expr.op, scope, extra_ticks=1
+            )
+            lv_c, _ = self._compile_lvalue(expr.target, scope)
+            if not assign.yields and not lv_c.yields:
+                afn, lfn = assign.fn, lv_c.fn
+
+                def run_assign_expr(rt):
+                    afn(rt)
+                    return ops.decay(lfn(rt).read(rt.hook))
+                return _C(run_assign_expr, False)
+
+            def run_assign_expr_gen(rt):
+                yield from _ev(assign, rt)
+                lv = yield from _ev(lv_c, rt)
+                return ops.decay(lv.read(rt.hook))
+            return _C(run_assign_expr_gen, True)
+        if isinstance(expr, ast.InitList):
+            return self._raise_c(
+                1, UBKind.INVALID_FIELD, "initialiser list outside a declaration"
+            )
+        return self._raise_c(
+            1, UBKind.INVALID_FIELD, f"unknown expression {type(expr).__name__}"
+        )
+
+    def _compile_buffer_load(self, expr: ast.Expr, scope: _Scope) -> Optional[_C]:
+        """Specialised closure for ``ptr[idx]`` reads (the hottest access
+        shape in generated kernels): no LValue allocation, inlined hook
+        check, inlined ticks.  Mirrors the generic path exactly: tick for
+        the rvalue eval + lvalue entry, index evaluation, ticks for the
+        pointer variable read, pointer-target checks, hook, navigate, decay.
+        """
+        if not isinstance(expr, ast.IndexAccess) or not isinstance(expr.base, ast.VarRef):
+            return None
+        entry = scope.lookup(expr.base.name)
+        if entry is None or not isinstance(entry[1], ty.PointerType):
+            return None
+        index_c = self._compile_expr(expr.index, scope)
+        if index_c.yields:
+            return None
+        pslot = entry[0]
+        ifn = index_c.fn
+        limits = self.limits
+        max_steps = self._max_steps
+        navigate = memory._navigate
+
+        def run_buf_load(rt):
+            s = limits.steps + 2  # rvalue-access eval tick + lvalue tick
+            limits.steps = s
+            if s > max_steps:
+                raise ExecutionTimeout(s)
+            idx = ifn(rt)
+            i = idx.value if idx.__class__ is _SV else ops.as_int(idx)
+            s = limits.steps + 2  # the pointer VarRef eval + lvalue ticks
+            limits.steps = s
+            if s > max_steps:
+                raise ExecutionTimeout(s)
+            ptr = rt.locals[pslot].value
+            if ptr.__class__ is _PV:
+                cell = ptr.cell
+                if cell is None:
+                    raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+                path = ptr.path + (i,)
+            else:
+                lv = ops.pointer_target(ptr)  # raises: non-pointer value
+                cell = lv.cell
+                path = lv.path + (i,)
+            hook = rt.hook
+            if hook is not None and cell.address_space in _SHARED_SPACES:
+                hook(cell, path, False, False)
+            container = cell.value
+            if container.__class__ is vals.ArrayValue and len(path) == 1:
+                # Inline of _navigate for the single-index case.
+                if not 0 <= i < container.type.length:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS,
+                        f"index {i} out of bounds for length {container.type.length}",
+                    )
+                value = container.elements[i]
+            else:
+                value = navigate(container, path)
+            if value.__class__ is _SV:
+                return value
+            return ops.decay(value)
+        return _C(run_buf_load, False)
+
+    def _compile_struct_load(self, expr: ast.Expr, scope: _Scope) -> Optional[_C]:
+        """Specialised closure for ``var.field`` reads on a local struct:
+        slot access plus a dict lookup instead of LValue + _navigate."""
+        if (
+            not isinstance(expr, ast.FieldAccess)
+            or expr.arrow
+            or not isinstance(expr.base, ast.VarRef)
+        ):
+            return None
+        entry = scope.lookup(expr.base.name)
+        if entry is None or not isinstance(entry[1], ty.StructType):
+            return None
+        slot = entry[0]
+        fname = expr.field
+        navigate = memory._navigate
+        limits = self.limits
+        max_steps = self._max_steps
+        path = (fname,)
+
+        def run_struct_load(rt):
+            # _eval tick + FieldAccess lvalue tick + VarRef lvalue tick.
+            s = limits.steps + 3
+            limits.steps = s
+            if s > max_steps:
+                raise ExecutionTimeout(s)
+            container = rt.locals[slot].value
+            if container.__class__ is vals.StructValue and fname in container.fields:
+                value = container.fields[fname]
+            else:
+                value = navigate(container, path)
+            if value.__class__ is _SV:
+                return value
+            return ops.decay(value)
+        return _C(run_struct_load, False)
+
+    def _compile_vector_load(self, expr: ast.Expr, scope: _Scope) -> Optional[_C]:
+        """Specialised closure for ``var.x`` reads on a local vector."""
+        if not isinstance(expr, ast.VectorComponent) or not isinstance(expr.base, ast.VarRef):
+            return None
+        entry = scope.lookup(expr.base.name)
+        if entry is None or not isinstance(entry[1], ty.VectorType):
+            return None
+        slot = entry[0]
+        comp = expr.component
+        element_type = entry[1].element
+        navigate = memory._navigate
+        limits = self.limits
+        max_steps = self._max_steps
+        length = entry[1].length
+        path = (comp,)
+
+        def run_vector_load(rt):
+            # _eval tick + VectorComponent lvalue tick + VarRef lvalue tick.
+            s = limits.steps + 3
+            limits.steps = s
+            if s > max_steps:
+                raise ExecutionTimeout(s)
+            container = rt.locals[slot].value
+            if container.__class__ is vals.VectorValue and 0 <= comp < length:
+                return _mk_scalar(element_type, container.elements[comp])
+            return navigate(container, path)
+        return _C(run_vector_load, False)
+
+    def _compile_vector_literal(self, expr: ast.VectorLiteral, scope: _Scope) -> _C:
+        tick = self._tick
+        vtype = expr.type
+        length = vtype.length
+        elements = [self._compile_expr(e, scope) for e in expr.elements]
+        if not any(c.yields for c in elements):
+            fns = [c.fn for c in elements]
+
+            def run_vector(rt):
+                tick()
+                components: List[int] = []
+                for efn in fns:
+                    value = efn(rt)
+                    if isinstance(value, vals.VectorValue):
+                        components.extend(value.elements)
+                    else:
+                        components.append(ops.as_int(value))
+                if len(components) == 1:
+                    components = components * length
+                if len(components) != length:
+                    raise UndefinedBehaviourError(
+                        UBKind.INVALID_FIELD,
+                        f"vector literal with {len(components)} components for {vtype}",
+                    )
+                return vals.VectorValue(vtype, components)
+            return _C(run_vector, False)
+
+        def run_vector_gen(rt):
+            tick()
+            components: List[int] = []
+            for ec in elements:
+                value = yield from _ev(ec, rt)
+                if isinstance(value, vals.VectorValue):
+                    components.extend(value.elements)
+                else:
+                    components.append(ops.as_int(value))
+            if len(components) == 1:
+                components = components * length
+            if len(components) != length:
+                raise UndefinedBehaviourError(
+                    UBKind.INVALID_FIELD,
+                    f"vector literal with {len(components)} components for {vtype}",
+                )
+            return vals.VectorValue(vtype, components)
+        return _C(run_vector_gen, True)
+
+    def _compile_binary(self, expr: ast.BinaryOp, scope: _Scope) -> _C:
+        tick = self._tick
+        limits = self.limits
+        max_steps = self._max_steps
+        op = expr.op
+        left = self._compile_expr(expr.left, scope)
+        right = self._compile_expr(expr.right, scope)
+        plain = not left.yields and not right.yields
+        if op in ("&&", "||"):
+            is_and = op == "&&"
+            if plain:
+                lfn, rfn = left.fn, right.fn
+
+                def run_logical(rt):
+                    tick()
+                    lhs = lfn(rt)
+                    left_true = lhs.value != 0 if lhs.__class__ is _SV else ops.truthy(lhs)
+                    if is_and and not left_true:
+                        return _INT0
+                    if not is_and and left_true:
+                        return _INT1
+                    rhs = rfn(rt)
+                    right_true = rhs.value != 0 if rhs.__class__ is _SV else ops.truthy(rhs)
+                    return _INT1 if right_true else _INT0
+                return _C(run_logical, False)
+
+            def run_logical_gen(rt):
+                tick()
+                left_true = ops.truthy((yield from _ev(left, rt)))
+                if is_and and not left_true:
+                    return _INT0
+                if not is_and and left_true:
+                    return _INT1
+                return _INT1 if ops.truthy((yield from _ev(right, rt))) else _INT0
+            return _C(run_logical_gen, True)
+        if op == ",":
+            comma_zero = self.comma_yields_zero
+            if plain:
+                lfn, rfn = left.fn, right.fn
+                if not comma_zero:
+                    def run_comma(rt):
+                        tick()
+                        lfn(rt)
+                        return rfn(rt)
+                    return _C(run_comma, False)
+
+                def run_comma_zero(rt):
+                    tick()
+                    lfn(rt)
+                    value = rfn(rt)
+                    # Injected Oclgrind defect (Figure 2(f)).
+                    if isinstance(value, vals.ScalarValue):
+                        return vals.ScalarValue(value.type, 0)
+                    return value
+                return _C(run_comma_zero, False)
+
+            def run_comma_gen(rt):
+                tick()
+                yield from _ev(left, rt)
+                value = yield from _ev(right, rt)
+                if comma_zero:
+                    if isinstance(value, vals.ScalarValue):
+                        return vals.ScalarValue(value.type, 0)
+                return value
+            return _C(run_comma_gen, True)
+        is_comparison = op in ast.COMPARISON_OPERATORS
+        if plain:
+            lfn, rfn = left.fn, right.fn
+            scalar_arith = ops.scalar_arith
+            common_scalar_type = ty.common_scalar_type
+            compare = ops.compare
+
+            def run_binary(rt):
+                s = limits.steps + 1
+                limits.steps = s
+                if s > max_steps:
+                    raise ExecutionTimeout(s)
+                lhs = lfn(rt)
+                rhs = rfn(rt)
+                # Scalar-scalar fast path, identical to ops.binary's
+                # (scalar_arith returns an already-wrapped raw value).
+                if lhs.__class__ is _SV and rhs.__class__ is _SV:
+                    if is_comparison:
+                        return _mk_scalar(ty.INT, compare(op, lhs.value, rhs.value))
+                    result_type = common_scalar_type(lhs.type, rhs.type)
+                    raw = scalar_arith(op, lhs.value, rhs.value, result_type)
+                    return _mk_scalar(result_type, raw)
+                return ops.binary(op, lhs, rhs)
+            return _C(run_binary, False)
+
+        def run_binary_gen(rt):
+            tick()
+            lhs = yield from _ev(left, rt)
+            rhs = yield from _ev(right, rt)
+            return ops.binary(op, lhs, rhs)
+        return _C(run_binary_gen, True)
+
+    def _compile_rvalue_access(self, expr: ast.Expr, scope: _Scope) -> _C:
+        """Field/index/component access into a temporary value."""
+        tick = self._tick
+        if isinstance(expr, ast.VectorComponent):
+            comp = expr.component
+            base = self._compile_expr(expr.base, scope)
+            if not base.yields:
+                bfn = base.fn
+
+                def run_rv_component(rt):
+                    tick()
+                    value = bfn(rt)
+                    return _rvalue_component(value, comp)
+                return _C(run_rv_component, False)
+
+            def run_rv_component_gen(rt):
+                tick()
+                value = yield from base.fn(rt)
+                return _rvalue_component(value, comp)
+            return _C(run_rv_component_gen, True)
+        if isinstance(expr, ast.FieldAccess):
+            fname = expr.field
+            base = self._compile_expr(expr.base, scope)
+            if not base.yields:
+                bfn = base.fn
+
+                def run_rv_field(rt):
+                    tick()
+                    return _rvalue_field(bfn(rt), fname)
+                return _C(run_rv_field, False)
+
+            def run_rv_field_gen(rt):
+                tick()
+                return _rvalue_field((yield from base.fn(rt)), fname)
+            return _C(run_rv_field_gen, True)
+        if isinstance(expr, ast.IndexAccess):
+            index = self._compile_expr(expr.index, scope)
+            base = self._compile_expr(expr.base, scope)
+            if not index.yields and not base.yields:
+                ifn, bfn = index.fn, base.fn
+
+                def run_rv_index(rt):
+                    tick()
+                    idx = ops.as_int(ifn(rt))
+                    return _rvalue_index(bfn(rt), idx)
+                return _C(run_rv_index, False)
+
+            def run_rv_index_gen(rt):
+                tick()
+                idx = ops.as_int((yield from _ev(index, rt)))
+                return _rvalue_index((yield from _ev(base, rt)), idx)
+            return _C(run_rv_index_gen, True)
+        return self._raise_c(  # pragma: no cover - defensive
+            1, UBKind.INVALID_FIELD, f"unsupported rvalue access {type(expr).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _compile_call(self, expr: ast.Call, scope: _Scope) -> _C:
+        tick = self._tick
+        name = expr.name
+        if name == "__trap":
+            def run_trap(rt):
+                tick()
+                raise RuntimeCrash("injected runtime fault")
+            return _C(run_trap, False)
+        if name in builtins.ATOMIC_BUILTINS:
+            return self._compile_atomic(expr, scope)
+        if name in builtins.SCALAR_BUILTINS:
+            spec = builtins.SCALAR_BUILTINS[name]
+            args = [self._compile_expr(a, scope) for a in expr.args]
+            if not any(c.yields for c in args):
+                fns = [c.fn for c in args]
+                limits = self.limits
+                max_steps = self._max_steps
+                raw_fn = spec.fn
+                if len(fns) == 2:
+                    f0, f1 = fns
+
+                    def run_builtin2(rt):
+                        s = limits.steps + 1
+                        limits.steps = s
+                        if s > max_steps:
+                            raise ExecutionTimeout(s)
+                        a = f0(rt)
+                        b = f1(rt)
+                        if a.__class__ is _SV and b.__class__ is _SV:
+                            scalar_type = a.type
+                            try:
+                                result = raw_fn(a.value, b.value, scalar_type)
+                            except builtins.BuiltinUndefined as exc:
+                                raise UndefinedBehaviourError(
+                                    UBKind.BUILTIN_UNDEFINED, str(exc)
+                                ) from exc
+                            return _mk_scalar(scalar_type, scalar_type.wrap(result))
+                        return ops.apply_scalar_builtin(spec, [a, b])
+                    return _C(run_builtin2, False)
+
+                def run_builtin(rt):
+                    s = limits.steps + 1
+                    limits.steps = s
+                    if s > max_steps:
+                        raise ExecutionTimeout(s)
+                    return _apply_builtin_fast(spec, [fn(rt) for fn in fns])
+                return _C(run_builtin, False)
+
+            def run_builtin_gen(rt):
+                tick()
+                values = []
+                for c in args:
+                    values.append((yield from _ev(c, rt)))
+                return ops.apply_scalar_builtin(spec, values)
+            return _C(run_builtin_gen, True)
+        return self._compile_user_call(expr, scope)
+
+    def _compile_atomic(self, expr: ast.Call, scope: _Scope) -> _C:
+        tick = self._tick
+        atomic_fn = ops.ATOMIC_OPS[expr.name]
+        pointer = self._compile_expr(expr.args[0], scope)
+        operands = [self._compile_expr(a, scope) for a in expr.args[1:]]
+
+        def run_atomic(rt):
+            tick()
+            ptr = yield from _ev(pointer, rt)
+            target = ops.pointer_target(ptr)
+            values = []
+            for c in operands:
+                values.append(ops.as_int((yield from _ev(c, rt))))
+            # Scheduling point: the interleaving of atomics across threads is
+            # the only non-determinism OpenCL 1.x permits in our kernels.
+            yield _ATOMIC_EVENT
+            old = ops.as_int(target.read(rt.hook, atomic=True))
+            result_type = target.type if isinstance(target.type, ty.IntType) else ty.UINT
+            new = atomic_fn(old, values)
+            target.write(vals.ScalarValue.wrap(result_type, new), rt.hook, atomic=True)
+            return vals.ScalarValue.wrap(result_type, old)
+        return _C(run_atomic, True)
+
+    def _compile_user_call(self, expr: ast.Call, scope: _Scope) -> _C:
+        tick = self._tick
+        name = expr.name
+        decl = self._functions.get(name)
+        if decl is None:
+            def run_undefined(rt):
+                tick()
+                if rt.depth >= _MAX_CALL_DEPTH:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, "call depth limit exceeded"
+                    )
+                raise UndefinedBehaviourError(
+                    UBKind.INVALID_FIELD, f"call to undefined function {name!r}"
+                )
+            return _C(run_undefined, False)
+        if len(expr.args) != len(decl.params):
+            def run_arity(rt):
+                tick()
+                if rt.depth >= _MAX_CALL_DEPTH:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, "call depth limit exceeded"
+                    )
+                raise UndefinedBehaviourError(
+                    UBKind.INVALID_FIELD, f"arity mismatch calling {name!r}"
+                )
+            return _C(run_arity, False)
+        record = self._function_record(name)
+        callee_yields = name in self._yielding_fns
+        args = [self._compile_expr(a, scope) for a in expr.args]
+        params = [
+            (p.name, p.type, self._make_convert(p.type)) for p in decl.params
+        ]
+        arg_steps = list(zip(args, params))
+        if not callee_yields and not any(c.yields for c in args):
+            plain_steps = [(c.fn, p) for c, p in arg_steps]
+
+            def run_call(rt):
+                tick()
+                if rt.depth >= _MAX_CALL_DEPTH:
+                    raise UndefinedBehaviourError(
+                        UBKind.OUT_OF_BOUNDS, "call depth limit exceeded"
+                    )
+                frame: List[Optional[memory.Cell]] = [None] * record.nslots
+                slot = 0
+                for afn, (pname, ptype, conv) in plain_steps:
+                    value = conv(afn(rt))
+                    frame[slot] = memory.Cell(pname, ptype, vals.copy_value(value))
+                    slot += 1
+                saved = rt.locals
+                rt.locals = frame
+                rt.depth += 1
+                fl = record.body(rt)
+                rt.depth -= 1
+                rt.locals = saved
+                if fl is not None and fl.__class__ is tuple and fl[1] is not None:
+                    return fl[1]
+                return record.default_return()
+            return _C(run_call, False)
+
+        def run_call_gen(rt):
+            tick()
+            if rt.depth >= _MAX_CALL_DEPTH:
+                raise UndefinedBehaviourError(
+                    UBKind.OUT_OF_BOUNDS, "call depth limit exceeded"
+                )
+            frame: List[Optional[memory.Cell]] = [None] * record.nslots
+            slot = 0
+            for ac, (pname, ptype, conv) in arg_steps:
+                value = conv((yield from _ev(ac, rt)))
+                frame[slot] = memory.Cell(pname, ptype, vals.copy_value(value))
+                slot += 1
+            saved = rt.locals
+            rt.locals = frame
+            rt.depth += 1
+            if callee_yields:
+                fl = yield from record.body(rt)
+            else:
+                fl = record.body(rt)
+            rt.depth -= 1
+            rt.locals = saved
+            if fl is not None and fl.__class__ is tuple and fl[1] is not None:
+                return fl[1]
+            return record.default_return()
+        return _C(run_call_gen, True)
+
+    def _function_record(self, name: str) -> _FnRecord:
+        record = self._fn_records.get(name)
+        if record is not None:
+            return record
+        record = _FnRecord()
+        self._fn_records[name] = record
+        decl = self._functions[name]
+        slots = _FnSlots()
+        scope = _Scope(slots)
+        for param in decl.params:
+            scope.declare(param.name, param.type)
+        body = self._compile_block(decl.body, scope)
+        record.body = body.fn
+        record.nslots = slots.count
+        return_type = decl.return_type
+        if isinstance(return_type, ty.VoidType):
+            record.default_return = lambda: _INT0
+        elif isinstance(return_type, ty.IntType):
+            # Falling off the end of a value-returning function: C leaves the
+            # value unspecified; the model defines it as 0 (deterministic).
+            zero = vals.zero_value(return_type)
+            record.default_return = lambda: zero
+        else:
+            record.default_return = lambda: vals.zero_value(return_type)
+        return record
+
+    # ------------------------------------------------------------------
+
+    def _raise_c(self, ticks: int, kind: UBKind, message: str) -> _C:
+        """A closure that ticks ``ticks`` steps and then raises UB.
+
+        Used for constructs that are statically known to be erroneous when
+        executed: the interpreter raises these at evaluation time, so the
+        compiled engine must as well (never at lowering time -- the code
+        may be dynamically unreachable).
+        """
+        tick = self._tick
+
+        def run_raise(rt):
+            if ticks:
+                tick(ticks)
+            raise UndefinedBehaviourError(kind, message)
+        return _C(run_raise, False)
+
+
+# ---------------------------------------------------------------------------
+# Rvalue access helpers (shared between plain and generator variants)
+# ---------------------------------------------------------------------------
+
+
+def _rvalue_component(value: vals.Value, comp: int) -> vals.Value:
+    if not isinstance(value, vals.VectorValue):
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, "component access on a non-vector value"
+        )
+    if not 0 <= comp < value.type.length:
+        raise UndefinedBehaviourError(UBKind.OUT_OF_BOUNDS, f"vector component {comp}")
+    return value.component(comp)
+
+
+def _rvalue_field(value: vals.Value, fname: str) -> vals.Value:
+    if isinstance(value, (vals.StructValue, vals.UnionValue)):
+        if not value.type.has_field(fname):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"no field {fname!r} in {value.type}"
+            )
+        return ops.decay(value.get(fname))
+    raise UndefinedBehaviourError(
+        UBKind.INVALID_FIELD, "field access on a non-aggregate value"
+    )
+
+
+def _rvalue_index(value: vals.Value, idx: int) -> vals.Value:
+    if isinstance(value, vals.ArrayValue):
+        if not 0 <= idx < value.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
+            )
+        return ops.decay(value.get(idx))
+    if isinstance(value, vals.VectorValue):
+        if not 0 <= idx < value.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
+            )
+        return value.component(idx)
+    raise UndefinedBehaviourError(
+        UBKind.INVALID_FIELD, "index access on a non-array value"
+    )
+
+
+def _workitem_raw(function: str, dimension: int, context: ThreadContext) -> int:
+    if function == "get_global_id":
+        return context.global_id[dimension]
+    if function == "get_local_id":
+        return context.local_id[dimension]
+    if function == "get_group_id":
+        return context.group_id[dimension]
+    if function == "get_global_size":
+        return context.global_size[dimension]
+    if function == "get_local_size":
+        return context.local_size[dimension]
+    if function == "get_num_groups":
+        return context.num_groups[dimension]
+    if function == "get_linear_global_id":
+        return context.global_linear_id
+    if function == "get_linear_local_id":
+        return context.local_linear_id
+    if function == "get_linear_group_id":
+        return context.group_linear_id
+    raise UndefinedBehaviourError(  # pragma: no cover - defensive
+        UBKind.INVALID_FIELD, f"unknown work-item fn {function}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Launch / group wrappers
+# ---------------------------------------------------------------------------
+
+
+class CompiledLaunch(PreparedLaunch):
+    """A kernel lowered to closures for one launch."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        body: _C,
+        nslots: int,
+        param_specs: List[Tuple[int, str, ty.Type, object, bool]],
+        wi_specs: List[Tuple[str, int]],
+    ) -> None:
+        self.program = program
+        self._body = body
+        self._nslots = nslots
+        self._param_specs = param_specs
+        self._wi_specs = wi_specs
+
+    def bind_group(self, local_memory: memory.LocalMemory) -> "CompiledGroup":
+        inits: List[Tuple[int, str, ty.Type, object, bool]] = []
+        for slot, name, type_, payload, is_raise in self._param_specs:
+            if payload == "local" and not is_raise:
+                value = vals.PointerValue(type_, local_memory.cell(name), ())
+                inits.append((slot, name, type_, value, False))
+            else:
+                inits.append((slot, name, type_, payload, is_raise))
+        return CompiledGroup(self, inits)
+
+
+class CompiledGroup(PreparedGroup):
+    def __init__(
+        self,
+        launch: CompiledLaunch,
+        param_inits: List[Tuple[int, str, ty.Type, object, bool]],
+    ) -> None:
+        self._launch = launch
+        self._param_inits = param_inits
+
+    def thread(
+        self,
+        context: ThreadContext,
+        access_hook: Optional[memory.AccessHook] = None,
+    ):
+        launch = self._launch
+        rt = _RT()
+        rt.hook = access_hook
+        rt.wi = [
+            vals.ScalarValue.wrap(ty.SIZE_T, _workitem_raw(fn, dim, context))
+            for fn, dim in launch._wi_specs
+        ]
+        nslots = launch._nslots
+        param_inits = self._param_inits
+        body = launch._body
+
+        if body.yields:
+            def run_thread_gen():
+                rt.locals = [None] * nslots
+                for slot, name, type_, payload, is_raise in param_inits:
+                    if is_raise:
+                        payload()
+                    rt.locals[slot] = memory.Cell(name, type_, payload)
+                yield from body.fn(rt)
+            return run_thread_gen()
+
+        def run_thread():
+            rt.locals = [None] * nslots
+            for slot, name, type_, payload, is_raise in param_inits:
+                if is_raise:
+                    payload()
+                rt.locals[slot] = memory.Cell(name, type_, payload)
+            body.fn(rt)
+            return
+            yield  # pragma: no cover - makes this function a generator
+        return run_thread()
+
+
+def _raiser(kind: UBKind, message: str):
+    def raise_it():
+        raise UndefinedBehaviourError(kind, message)
+    return raise_it
+
+
+class CompiledEngine(ExecutionEngine):
+    """The compile-to-closures fast path."""
+
+    name = "compiled"
+
+    def prepare(
+        self,
+        program: ast.Program,
+        global_memory: memory.GlobalMemory,
+        limits: ExecutionLimits,
+        comma_yields_zero: bool = False,
+    ) -> CompiledLaunch:
+        return _Lowerer(program, global_memory, limits, comma_yields_zero).lower()
+
+
+__all__ = ["CompiledEngine", "CompiledLaunch", "CompiledGroup"]

@@ -14,12 +14,18 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.kernel_lang import ast, types as ty
 from repro.runtime import memory
+from repro.runtime.engine import (
+    DEFAULT_ENGINE,
+    ExecutionEngine,
+    PreparedLaunch,
+    get_engine,
+)
 from repro.runtime.errors import ExecutionTimeout, KernelRuntimeError
-from repro.runtime.interpreter import ExecutionLimits, Interpreter, ThreadContext
+from repro.runtime.interpreter import ExecutionLimits, ThreadContext
 from repro.runtime.racecheck import RaceDetector
 from repro.runtime.scheduler import ScheduleOrder, WorkGroupScheduler, make_slot
 
@@ -52,6 +58,10 @@ class KernelResult:
             return NotImplemented
         return self.outputs == other.outputs
 
+    # Equality is output-only, so results must not be used as dict/set keys;
+    # fail loudly instead of silently inheriting an id()-based hash.
+    __hash__ = None
+
 
 class Device:
     """A simulated OpenCL device.
@@ -70,7 +80,12 @@ class Device:
     max_steps:
         Interpretation-step budget standing in for the paper's 60 s timeout.
     comma_yields_zero:
-        Propagated to the interpreter to model the Oclgrind comma defect.
+        Propagated to the execution engine to model the Oclgrind comma defect.
+    engine:
+        Execution engine (registry name or instance; see
+        :mod:`repro.runtime.engine`): ``"reference"`` for the tree-walking
+        interpreter, ``"compiled"`` for the compile-to-closures fast path.
+        Both produce byte-identical results.
     """
 
     def __init__(
@@ -81,6 +96,7 @@ class Device:
         throw_on_race: bool = True,
         max_steps: int = 2_000_000,
         comma_yields_zero: bool = False,
+        engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
     ) -> None:
         self.schedule_order = schedule_order
         self.schedule_seed = schedule_seed
@@ -88,6 +104,7 @@ class Device:
         self.throw_on_race = throw_on_race
         self.max_steps = max_steps
         self.comma_yields_zero = comma_yields_zero
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -108,17 +125,21 @@ class Device:
         detector = (
             RaceDetector(throw_on_race=self.throw_on_race) if self.check_races else None
         )
+        prepared = get_engine(self.engine).prepare(
+            program,
+            global_memory,
+            limits,
+            comma_yields_zero=self.comma_yields_zero,
+        )
 
         ngx, ngy, ngz = launch.num_groups
-        lx, ly, lz = launch.local_size
         for gz in range(ngz):
             for gy in range(ngy):
                 for gx in range(ngx):
                     self._run_group(
                         program,
                         (gx, gy, gz),
-                        global_memory,
-                        limits,
+                        prepared,
                         detector,
                     )
 
@@ -136,8 +157,7 @@ class Device:
         self,
         program: ast.Program,
         group_id: Tuple[int, int, int],
-        global_memory: memory.GlobalMemory,
-        limits: ExecutionLimits,
+        prepared: PreparedLaunch,
         detector: Optional[RaceDetector],
     ) -> None:
         launch = program.launch
@@ -157,6 +177,7 @@ class Device:
             order=self.schedule_order,
             seed=self.schedule_seed + group_linear,
         )
+        group = prepared.bind_group(local_memory)
 
         slots = []
         for lz_i in range(lz):
@@ -170,15 +191,7 @@ class Device:
                         local_size=launch.local_size,
                     )
                     hook = self._make_access_hook(detector, scheduler, context)
-                    interpreter = Interpreter(
-                        program,
-                        global_memory,
-                        local_memory,
-                        limits,
-                        access_hook=hook,
-                        comma_yields_zero=self.comma_yields_zero,
-                    )
-                    slots.append(make_slot(context, interpreter.run_thread(context)))
+                    slots.append(make_slot(context, group.thread(context, hook)))
         scheduler.run(slots)
 
     def _make_access_hook(
@@ -189,6 +202,8 @@ class Device:
     ) -> Optional[memory.AccessHook]:
         if detector is None:
             return None
+        group_id = context.group_linear_id
+        thread_id = context.global_linear_id
 
         def hook(cell: memory.Cell, path, is_write: bool, is_atomic: bool) -> None:
             detector.record(
@@ -196,8 +211,8 @@ class Device:
                 path,
                 is_write,
                 is_atomic,
-                group=context.group_linear_id,
-                thread=context.global_linear_id,
+                group=group_id,
+                thread=thread_id,
                 epoch=scheduler.barrier_epochs,
             )
 
@@ -212,6 +227,7 @@ def run_program(
     throw_on_race: bool = True,
     max_steps: int = 2_000_000,
     comma_yields_zero: bool = False,
+    engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
 ) -> KernelResult:
     """Convenience wrapper: run ``program`` on a default device."""
     device = Device(
@@ -221,6 +237,7 @@ def run_program(
         throw_on_race=throw_on_race,
         max_steps=max_steps,
         comma_yields_zero=comma_yields_zero,
+        engine=engine,
     )
     return device.run(program)
 

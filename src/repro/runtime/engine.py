@@ -1,0 +1,217 @@
+"""Pluggable execution engines for the simulated device.
+
+The paper differentially tests many OpenCL implementations against each
+other; this repository applies the same methodology to its *own* runtime.
+An :class:`ExecutionEngine` turns a compiled program into per-work-item
+coroutines; the :class:`~repro.runtime.device.Device` drives those coroutines
+through the shared :class:`~repro.runtime.scheduler.WorkGroupScheduler`, race
+detector and undefined-behaviour model, which are engine-independent.  Two
+engines are registered:
+
+``"reference"``
+    The tree-walking coroutine interpreter
+    (:class:`repro.runtime.interpreter.Interpreter`) -- simple, obviously
+    correct, and the semantic baseline every other engine is differentially
+    tested against.
+
+``"compiled"``
+    The compile-to-closures fast path (:mod:`repro.runtime.compiled`): the
+    kernel AST is lowered once per launch into nested Python closures with
+    pre-resolved builtins, pre-bound memory cells and slot-resolved
+    variables.
+
+The engine contract (see ENGINE.md) is strict: for any program, every engine
+must produce the same :class:`~repro.runtime.device.KernelResult` (outputs,
+final step count, race reports), raise the same error classes for timeout /
+UB / crash outcomes, and yield the same
+:class:`~repro.runtime.interpreter.SchedulerEvent` sequence at barriers and
+atomics so that scheduling decisions are engine-independent.
+
+Lifecycle: :meth:`ExecutionEngine.prepare` is called once per launch (after
+global buffers are allocated), :meth:`PreparedLaunch.bind_group` once per
+work-group (binding that group's local memory), and
+:meth:`PreparedGroup.thread` once per work-item (producing the coroutine the
+scheduler drives).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Generator, List, Optional, Union
+
+from repro.kernel_lang import ast
+from repro.runtime import memory
+from repro.runtime.interpreter import (
+    ExecutionLimits,
+    Interpreter,
+    SchedulerEvent,
+    ThreadContext,
+)
+
+#: Engine used when callers do not ask for one.  The reference walker stays
+#: the default so that every existing path keeps its exact baseline
+#: behaviour; fast-path consumers opt in with ``engine="compiled"``.
+DEFAULT_ENGINE = "reference"
+
+ThreadCoroutine = Generator[SchedulerEvent, None, None]
+
+
+class PreparedGroup(ABC):
+    """A launch bound to one work-group's local memory."""
+
+    @abstractmethod
+    def thread(
+        self,
+        context: ThreadContext,
+        access_hook: Optional[memory.AccessHook] = None,
+    ) -> ThreadCoroutine:
+        """The coroutine executing the kernel for one work-item."""
+
+
+class PreparedLaunch(ABC):
+    """A program prepared for one launch (global memory and limits bound)."""
+
+    @abstractmethod
+    def bind_group(self, local_memory: memory.LocalMemory) -> PreparedGroup:
+        """Bind one work-group's local buffers."""
+
+
+class ExecutionEngine(ABC):
+    """Turns programs into schedulable work-item coroutines."""
+
+    #: Registry name; also recorded in execution-result cache fingerprints.
+    name: str = "?"
+
+    @abstractmethod
+    def prepare(
+        self,
+        program: ast.Program,
+        global_memory: memory.GlobalMemory,
+        limits: ExecutionLimits,
+        comma_yields_zero: bool = False,
+    ) -> PreparedLaunch:
+        """Lower/prepare ``program`` for one launch."""
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_ENGINE_FACTORIES: Dict[str, Callable[[], ExecutionEngine]] = {}
+_ENGINE_INSTANCES: Dict[str, ExecutionEngine] = {}
+
+
+def register_engine(name: str, factory: Callable[[], ExecutionEngine]) -> None:
+    """Register an engine under ``name`` (replacing any previous entry)."""
+    _ENGINE_FACTORIES[name] = factory
+    _ENGINE_INSTANCES.pop(name, None)
+
+
+def available_engines() -> List[str]:
+    """Registered engine names, sorted."""
+    return sorted(_ENGINE_FACTORIES)
+
+
+def get_engine(engine: Union[str, ExecutionEngine, None]) -> ExecutionEngine:
+    """Resolve an engine name (or pass an instance through).
+
+    Engines are stateless between launches, so one instance per registry
+    entry is shared by all devices in the process.
+    """
+    if engine is None:
+        engine = DEFAULT_ENGINE
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    try:
+        factory = _ENGINE_FACTORIES[engine]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution engine {engine!r}; available: {available_engines()}"
+        ) from None
+    if engine not in _ENGINE_INSTANCES:
+        _ENGINE_INSTANCES[engine] = factory()
+    return _ENGINE_INSTANCES[engine]
+
+
+# ---------------------------------------------------------------------------
+# Reference engine: the tree-walking coroutine interpreter
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceGroup(PreparedGroup):
+    def __init__(self, launch: "_ReferenceLaunch", local_memory: memory.LocalMemory):
+        self._launch = launch
+        self._local_memory = local_memory
+
+    def thread(
+        self,
+        context: ThreadContext,
+        access_hook: Optional[memory.AccessHook] = None,
+    ) -> ThreadCoroutine:
+        launch = self._launch
+        interpreter = Interpreter(
+            launch.program,
+            launch.global_memory,
+            self._local_memory,
+            launch.limits,
+            access_hook=access_hook,
+            comma_yields_zero=launch.comma_yields_zero,
+        )
+        return interpreter.run_thread(context)
+
+
+class _ReferenceLaunch(PreparedLaunch):
+    def __init__(
+        self,
+        program: ast.Program,
+        global_memory: memory.GlobalMemory,
+        limits: ExecutionLimits,
+        comma_yields_zero: bool,
+    ) -> None:
+        self.program = program
+        self.global_memory = global_memory
+        self.limits = limits
+        self.comma_yields_zero = comma_yields_zero
+
+    def bind_group(self, local_memory: memory.LocalMemory) -> PreparedGroup:
+        return _ReferenceGroup(self, local_memory)
+
+
+class ReferenceEngine(ExecutionEngine):
+    """The tree-walking interpreter behind the historical execution path."""
+
+    name = "reference"
+
+    def prepare(
+        self,
+        program: ast.Program,
+        global_memory: memory.GlobalMemory,
+        limits: ExecutionLimits,
+        comma_yields_zero: bool = False,
+    ) -> PreparedLaunch:
+        return _ReferenceLaunch(program, global_memory, limits, comma_yields_zero)
+
+
+def _make_compiled_engine() -> ExecutionEngine:
+    # Imported lazily so the (large) lowering module is only paid for by
+    # launches that actually select the compiled engine.
+    from repro.runtime.compiled import CompiledEngine
+
+    return CompiledEngine()
+
+
+register_engine("reference", ReferenceEngine)
+register_engine("compiled", _make_compiled_engine)
+
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ExecutionEngine",
+    "PreparedLaunch",
+    "PreparedGroup",
+    "ReferenceEngine",
+    "ThreadCoroutine",
+    "register_engine",
+    "available_engines",
+    "get_engine",
+]

@@ -23,7 +23,7 @@ from typing import Dict, Generator, Iterator, List, Optional, Sequence, Tuple, U
 
 from repro.kernel_lang import ast, builtins, types as ty, values as vals
 from repro.kernel_lang.semantics import UBKind
-from repro.runtime import memory
+from repro.runtime import memory, ops
 from repro.runtime.errors import (
     ExecutionTimeout,
     RuntimeCrash,
@@ -37,35 +37,35 @@ from repro.runtime.errors import (
 
 @dataclass(frozen=True)
 class ThreadContext:
-    """Identifies one work-item within the NDRange (paper section 3.1)."""
+    """Identifies one work-item within the NDRange (paper section 3.1).
+
+    The linear ids are precomputed at construction (rather than recomputed by
+    properties) because the race detector's memory-access hook reads them on
+    every shared-memory access -- the hottest path of a checked run.
+    """
 
     global_id: Tuple[int, int, int]
     local_id: Tuple[int, int, int]
     group_id: Tuple[int, int, int]
     global_size: Tuple[int, int, int]
     local_size: Tuple[int, int, int]
+    num_groups: Tuple[int, int, int] = field(init=False, repr=False, compare=False)
+    global_linear_id: int = field(init=False, repr=False, compare=False)
+    local_linear_id: int = field(init=False, repr=False, compare=False)
+    group_linear_id: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def num_groups(self) -> Tuple[int, int, int]:
-        return tuple(n // w for n, w in zip(self.global_size, self.local_size))
-
-    @property
-    def global_linear_id(self) -> int:
+    def __post_init__(self) -> None:
+        num_groups = tuple(n // w for n, w in zip(self.global_size, self.local_size))
         tx, ty_, tz = self.global_id
         nx, ny, _ = self.global_size
-        return (tz * ny + ty_) * nx + tx
-
-    @property
-    def local_linear_id(self) -> int:
         lx, ly, lz = self.local_id
         wx, wy, _ = self.local_size
-        return (lz * wy + ly) * wx + lx
-
-    @property
-    def group_linear_id(self) -> int:
         gx, gy, gz = self.group_id
-        ngx, ngy, _ = self.num_groups
-        return (gz * ngy + gy) * ngx + gx
+        ngx, ngy, _ = num_groups
+        object.__setattr__(self, "num_groups", num_groups)
+        object.__setattr__(self, "global_linear_id", (tz * ny + ty_) * nx + tx)
+        object.__setattr__(self, "local_linear_id", (lz * wy + ly) * wx + lx)
+        object.__setattr__(self, "group_linear_id", (gz * ngy + gy) * ngx + gx)
 
 
 @dataclass
@@ -469,31 +469,11 @@ class Interpreter:
         return False
 
     def _pointer_target(self, ptr: vals.Value) -> memory.LValue:
-        if not isinstance(ptr, vals.PointerValue):
-            raise UndefinedBehaviourError(
-                UBKind.NULL_DEREFERENCE, "dereference of a non-pointer value"
-            )
-        if ptr.is_null:
-            raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
-        return memory.lvalue_from_pointer(ptr)
+        return ops.pointer_target(ptr)
 
     def _deref_target(self, ptr: vals.Value) -> memory.LValue:
-        """The lvalue designated by ``*ptr``.
-
-        A pointer bound to a buffer argument designates the whole array while
-        its static pointee type is the element type (OpenCL buffer arguments
-        decay this way), so dereferencing such a pointer yields element 0;
-        indexing (handled elsewhere) yields element i.
-        """
-        lv = self._pointer_target(ptr)
-        if (
-            isinstance(ptr, vals.PointerValue)
-            and isinstance(ptr.type, ty.PointerType)
-            and not isinstance(ptr.type.pointee, ty.ArrayType)
-            and isinstance(lv.type, ty.ArrayType)
-        ):
-            return lv.index(0)
-        return lv
+        """The lvalue designated by ``*ptr`` (see :func:`ops.deref_target`)."""
+        return ops.deref_target(ptr)
 
     # ------------------------------------------------------------------
     # Expressions
@@ -629,9 +609,7 @@ class Interpreter:
 
     def _decay(self, value: vals.Value) -> vals.Value:
         """Reading an aggregate lvalue yields a copy (value semantics)."""
-        if isinstance(value, (vals.StructValue, vals.UnionValue, vals.ArrayValue)):
-            return value.copy()
-        return value
+        return ops.decay(value)
 
     def _eval_vector_literal(
         self,
@@ -750,177 +728,37 @@ class Interpreter:
         old_value = target.read(self.access_hook, atomic=True)
         old = self._as_int(old_value)
         result_type = target.type if isinstance(target.type, ty.IntType) else ty.UINT
-        name = expr.name
-        if name == "atomic_add":
-            new = old + operands[0]
-        elif name == "atomic_sub":
-            new = old - operands[0]
-        elif name == "atomic_inc":
-            new = old + 1
-        elif name == "atomic_dec":
-            new = old - 1
-        elif name == "atomic_min":
-            new = min(old, operands[0])
-        elif name == "atomic_max":
-            new = max(old, operands[0])
-        elif name == "atomic_and":
-            new = old & operands[0]
-        elif name == "atomic_or":
-            new = old | operands[0]
-        elif name == "atomic_xor":
-            new = old ^ operands[0]
-        elif name == "atomic_xchg":
-            new = operands[0]
-        elif name == "atomic_cmpxchg":
-            new = operands[1] if old == operands[0] else old
-        else:  # pragma: no cover - defensive
-            raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown atomic {name}")
+        new = ops.atomic_new_value(expr.name, old, operands)
         target.write(vals.ScalarValue.wrap(result_type, new), self.access_hook, atomic=True)
         return vals.ScalarValue.wrap(result_type, old)
 
     def _apply_scalar_builtin(self, name: str, args: List[vals.Value]) -> vals.Value:
-        spec = builtins.SCALAR_BUILTINS[name]
-        vector_args = [a for a in args if isinstance(a, vals.VectorValue)]
-        try:
-            if vector_args:
-                vtype = vector_args[0].type
-                length = vtype.length
-                components: List[int] = []
-                for i in range(length):
-                    scalars = []
-                    for a in args:
-                        if isinstance(a, vals.VectorValue):
-                            scalars.append(a.elements[i])
-                        else:
-                            scalars.append(self._as_int(a))
-                    components.append(spec.fn(*scalars, vtype.element))
-                return vals.VectorValue(vtype, components)
-            scalar_type = self._builtin_result_type(args)
-            ints = [self._as_int(a) for a in args]
-            result = spec.fn(*ints, scalar_type)
-            return vals.ScalarValue.wrap(scalar_type, result)
-        except builtins.BuiltinUndefined as exc:
-            raise UndefinedBehaviourError(UBKind.BUILTIN_UNDEFINED, str(exc)) from exc
+        return ops.apply_scalar_builtin(builtins.SCALAR_BUILTINS[name], args)
 
     def _builtin_result_type(self, args: List[vals.Value]) -> ty.IntType:
-        for a in args:
-            if isinstance(a, vals.ScalarValue):
-                return a.type
-        return ty.INT
+        return ops.builtin_result_type(args)
 
     # ------------------------------------------------------------------
     # Operators
     # ------------------------------------------------------------------
 
     def _truthy(self, value: vals.Value) -> bool:
-        if isinstance(value, vals.ScalarValue):
-            return value.value != 0
-        if isinstance(value, vals.PointerValue):
-            return not value.is_null
-        if isinstance(value, vals.VectorValue):
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, "vector value used in a scalar boolean context"
-            )
-        raise UndefinedBehaviourError(
-            UBKind.INVALID_FIELD, "aggregate used in a boolean context"
-        )
+        return ops.truthy(value)
 
     def _as_int(self, value: vals.Value) -> int:
-        if isinstance(value, vals.ScalarValue):
-            return value.value
-        raise UndefinedBehaviourError(
-            UBKind.INVALID_FIELD, f"expected a scalar, got {type(value).__name__}"
-        )
+        return ops.as_int(value)
 
     def _cast(self, value: vals.Value, target: ty.Type) -> vals.Value:
-        if isinstance(target, ty.IntType):
-            if isinstance(value, vals.ScalarValue):
-                return value.cast(target)
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, f"cannot cast {type(value).__name__} to {target}"
-            )
-        if isinstance(target, ty.VectorType):
-            if isinstance(value, vals.VectorValue) and value.type.length == target.length:
-                return vals.VectorValue(
-                    target, [target.element.wrap(e) for e in value.elements]
-                )
-            if isinstance(value, vals.ScalarValue):
-                return vals.VectorValue.splat(target, target.element.wrap(value.value))
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, f"cannot cast to vector type {target}"
-            )
-        if isinstance(target, ty.PointerType) and isinstance(value, vals.PointerValue):
-            return vals.PointerValue(target, value.cell, value.path)
-        raise UndefinedBehaviourError(
-            UBKind.INVALID_FIELD, f"unsupported cast to {target}"
-        )
+        return ops.cast_value(value, target)
 
     def _convert_for_store(self, value: vals.Value, target: ty.Type) -> vals.Value:
-        if isinstance(target, ty.IntType):
-            if isinstance(value, vals.ScalarValue):
-                return value.cast(target)
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, f"cannot store {type(value).__name__} into {target}"
-            )
-        if isinstance(target, ty.VectorType):
-            if isinstance(value, vals.VectorValue):
-                if value.type.length != target.length:
-                    raise UndefinedBehaviourError(
-                        UBKind.INVALID_FIELD, "vector length mismatch in assignment"
-                    )
-                return vals.VectorValue(
-                    target, [target.element.wrap(e) for e in value.elements]
-                )
-            if isinstance(value, vals.ScalarValue):
-                return vals.VectorValue.splat(target, target.element.wrap(value.value))
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, "cannot store a non-vector into a vector"
-            )
-        if isinstance(target, ty.PointerType):
-            if isinstance(value, vals.PointerValue):
-                return vals.PointerValue(target, value.cell, value.path)
-            if isinstance(value, vals.ScalarValue) and value.value == 0:
-                return vals.PointerValue(target)  # null pointer constant
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, "cannot store a non-pointer into a pointer"
-            )
-        if isinstance(target, (ty.StructType, ty.UnionType, ty.ArrayType)):
-            if isinstance(value, (vals.StructValue, vals.UnionValue, vals.ArrayValue)):
-                return vals.copy_value(value)
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, f"cannot store scalar into aggregate {target}"
-            )
-        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"cannot store into {target}")
+        return ops.convert_for_store(value, target)
 
     def _unary(self, op: str, operand: vals.Value) -> vals.Value:
-        if isinstance(operand, vals.VectorValue):
-            elems = [
-                self._unary_scalar(op, e, operand.type.element) for e in operand.elements
-            ]
-            return vals.VectorValue(operand.type, elems)
-        if isinstance(operand, vals.ScalarValue):
-            if op == "!":
-                return vals.ScalarValue(ty.INT, 0 if operand.value else 1)
-            result_type = operand.type if operand.type.bits >= 32 else ty.INT
-            raw = self._unary_scalar(op, operand.value, result_type)
-            return vals.ScalarValue.wrap(result_type, raw)
-        if isinstance(operand, vals.PointerValue) and op == "!":
-            return vals.ScalarValue(ty.INT, 1 if operand.is_null else 0)
-        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"bad operand for unary {op}")
+        return ops.unary(op, operand)
 
     def _unary_scalar(self, op: str, value: int, type_: ty.IntType) -> int:
-        if op == "+":
-            return value
-        if op == "-":
-            result = -value
-            if type_.signed and not type_.contains(result):
-                raise UndefinedBehaviourError(UBKind.SIGNED_OVERFLOW, "unary minus overflow")
-            return type_.wrap(result)
-        if op == "~":
-            return type_.wrap(~value)
-        if op == "!":
-            return 0 if value else 1
-        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown unary operator {op}")
+        return ops.unary_scalar(op, value, type_)
 
     def _eval_binary(
         self,
@@ -953,135 +791,20 @@ class Interpreter:
         return self._binary(op, left, right)
 
     def _binary(self, op: str, left: vals.Value, right: vals.Value) -> vals.Value:
-        if isinstance(left, vals.PointerValue) or isinstance(right, vals.PointerValue):
-            return self._pointer_binary(op, left, right)
-        if isinstance(left, vals.VectorValue) or isinstance(right, vals.VectorValue):
-            return self._vector_binary(op, left, right)
-        if not isinstance(left, vals.ScalarValue) or not isinstance(right, vals.ScalarValue):
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, f"bad operands for binary {op}"
-            )
-        if op in ast.COMPARISON_OPERATORS:
-            result = self._compare(op, left.value, right.value)
-            return vals.ScalarValue(ty.INT, result)
-        result_type = ty.common_scalar_type(left.type, right.type)
-        raw = self._scalar_arith(op, left.value, right.value, result_type)
-        return vals.ScalarValue.wrap(result_type, raw)
+        return ops.binary(op, left, right)
 
     def _pointer_binary(self, op: str, left: vals.Value, right: vals.Value) -> vals.Value:
-        if op in ("==", "!="):
-            same = (
-                isinstance(left, vals.PointerValue)
-                and isinstance(right, vals.PointerValue)
-                and left.cell is right.cell
-                and left.path == right.path
-            )
-            truth = same if op == "==" else not same
-            return vals.ScalarValue(ty.INT, 1 if truth else 0)
-        raise UndefinedBehaviourError(
-            UBKind.INVALID_FIELD, f"unsupported pointer operation {op}"
-        )
+        return ops.pointer_binary(op, left, right)
 
     def _vector_binary(self, op: str, left: vals.Value, right: vals.Value) -> vals.Value:
-        if isinstance(left, vals.VectorValue):
-            vtype = left.type
-        else:
-            vtype = right.type  # type: ignore[union-attr]
-        length = vtype.length
-
-        def component(value: vals.Value, i: int) -> int:
-            if isinstance(value, vals.VectorValue):
-                return value.elements[i]
-            return self._as_int(value)
-
-        if (
-            isinstance(left, vals.VectorValue)
-            and isinstance(right, vals.VectorValue)
-            and left.type.length != right.type.length
-        ):
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, "vector length mismatch in binary operation"
-            )
-        if op in ast.COMPARISON_OPERATORS:
-            # OpenCL vector comparisons yield -1 (all bits set) for true.
-            result_elem = vtype.element.signed_variant
-            rtype = ty.VectorType(result_elem, length)
-            elems = [
-                -1 if self._compare(op, component(left, i), component(right, i)) else 0
-                for i in range(length)
-            ]
-            return vals.VectorValue(rtype, elems)
-        if op in ("&&", "||"):
-            result_elem = vtype.element.signed_variant
-            rtype = ty.VectorType(result_elem, length)
-            elems = []
-            for i in range(length):
-                a, b = component(left, i), component(right, i)
-                truth = (a != 0 and b != 0) if op == "&&" else (a != 0 or b != 0)
-                elems.append(-1 if truth else 0)
-            return vals.VectorValue(rtype, elems)
-        elems = [
-            self._scalar_arith(op, component(left, i), component(right, i), vtype.element)
-            for i in range(length)
-        ]
-        return vals.VectorValue(vtype, elems)
+        return ops.vector_binary(op, left, right)
 
     def _compare(self, op: str, a: int, b: int) -> int:
-        if op == "==":
-            return 1 if a == b else 0
-        if op == "!=":
-            return 1 if a != b else 0
-        if op == "<":
-            return 1 if a < b else 0
-        if op == "<=":
-            return 1 if a <= b else 0
-        if op == ">":
-            return 1 if a > b else 0
-        if op == ">=":
-            return 1 if a >= b else 0
-        raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown comparison {op}")
+        return ops.compare(op, a, b)
 
     def _scalar_arith(self, op: str, a: int, b: int, type_: ty.IntType) -> int:
         """Raw C-like arithmetic with UB detection for unsafe operators."""
-        if op == "+":
-            result = a + b
-        elif op == "-":
-            result = a - b
-        elif op == "*":
-            result = a * b
-        elif op == "/":
-            if b == 0:
-                raise UndefinedBehaviourError(UBKind.DIVISION_BY_ZERO)
-            result = builtins._c_div(a, b)
-        elif op == "%":
-            if b == 0:
-                raise UndefinedBehaviourError(UBKind.DIVISION_BY_ZERO)
-            result = builtins._c_mod(a, b)
-        elif op == "<<":
-            if b < 0 or b >= type_.bits:
-                raise UndefinedBehaviourError(
-                    UBKind.SHIFT_OUT_OF_RANGE, f"shift by {b} on {type_.spelling()}"
-                )
-            result = a << b
-        elif op == ">>":
-            if b < 0 or b >= type_.bits:
-                raise UndefinedBehaviourError(
-                    UBKind.SHIFT_OUT_OF_RANGE, f"shift by {b} on {type_.spelling()}"
-                )
-            result = a >> b
-        elif op == "&":
-            result = type_.wrap(a) & type_.wrap(b) if not type_.signed else a & b
-        elif op == "|":
-            result = type_.wrap(a) | type_.wrap(b) if not type_.signed else a | b
-        elif op == "^":
-            result = type_.wrap(a) ^ type_.wrap(b) if not type_.signed else a ^ b
-        else:
-            raise UndefinedBehaviourError(UBKind.INVALID_FIELD, f"unknown operator {op}")
-        if op in ("+", "-", "*", "<<") and type_.signed and not type_.contains(result):
-            raise UndefinedBehaviourError(
-                UBKind.SIGNED_OVERFLOW, f"{a} {op} {b} overflows {type_.spelling()}"
-            )
-        return type_.wrap(result)
+        return ops.scalar_arith(op, a, b, type_)
 
 
 __all__ = [

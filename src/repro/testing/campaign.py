@@ -40,6 +40,7 @@ from repro.orchestration.jobs import (
 from repro.orchestration.pool import WorkerPool
 from repro.platforms.config import DeviceConfig
 from repro.platforms.registry import get_configuration
+from repro.runtime.engine import DEFAULT_ENGINE
 from repro.testing.outcomes import OutcomeCounts
 
 
@@ -124,6 +125,7 @@ def run_clsmith_campaign(
     max_steps: int = 500_000,
     seed: int = 0,
     parallelism: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -137,7 +139,9 @@ def run_clsmith_campaign(
     cells of a kernel, so kernels are the sharding granularity.
     ``parallelism`` > 1 distributes kernels (and curation candidates) over
     that many worker processes; the aggregated table is identical to a serial
-    run with the same seed.
+    run with the same seed.  ``engine`` selects the execution engine for
+    every cell (and is part of the result-cache fingerprint); the table is
+    engine-independent by the engine contract (see ENGINE.md).
     """
     config_ids, config_overrides = _serialise_configs(configs)
     result = ClsmithCampaignResult(kernels_per_mode)
@@ -146,7 +150,7 @@ def run_clsmith_campaign(
         for mode_index, mode in enumerate(modes):
             kernel_seeds, curation_stats = _curated_seeds(
                 pool, mode, kernels_per_mode, seed + mode_index * 10_000, options,
-                curate_on, max_steps,
+                curate_on, max_steps, engine,
             )
             result.cache_stats = result.cache_stats.merge(curation_stats)
             jobs.extend(
@@ -159,6 +163,7 @@ def run_clsmith_campaign(
                     optimisation_levels=(False, True),
                     options=options,
                     max_steps=max_steps,
+                    engine=engine,
                 )
                 for kernel_seed in kernel_seeds
             )
@@ -207,6 +212,7 @@ def _curated_seeds(
     options: Optional[GeneratorOptions],
     curate_on: Optional[DeviceConfig],
     max_steps: int,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[List[int], CacheStats]:
     """Seeds of the first ``count`` candidates that survive test curation.
 
@@ -226,6 +232,7 @@ def _curated_seeds(
             optimisation_levels=(True,),
             options=options,
             max_steps=max_steps,
+            engine=engine,
         )
 
     accepted, stats = _scan_accepted(pool, count, count * 5, job_for_attempt)
@@ -275,6 +282,7 @@ def generate_emi_bases(
     filter_dead_placement: bool = True,
     max_steps: int = 500_000,
     parallelism: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[ast.Program]:
     """Generate ALL-mode base kernels with 1-5 EMI blocks.
 
@@ -287,7 +295,7 @@ def generate_emi_bases(
     base_options = options or GeneratorOptions()
     with WorkerPool(parallelism) as pool:
         specs, _ = _emi_base_specs(pool, n_bases, seed, options, max_steps,
-                                   filter_dead_placement)
+                                   filter_dead_placement, engine)
     return [
         mark_base_fingerprint(
             generate_kernel(Mode.ALL, base_seed, options=base_options, emi_blocks=emi_blocks)
@@ -303,6 +311,7 @@ def _emi_base_specs(
     options: Optional[GeneratorOptions],
     max_steps: int,
     filter_dead_placement: bool,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[List[Tuple[int, int]], CacheStats]:
     """(seed, emi_blocks) pairs of the first ``count`` accepted candidates.
 
@@ -321,6 +330,7 @@ def _emi_base_specs(
             options=base_options,
             emi_blocks=1 + (attempt % 5),
             max_steps=max_steps,
+            engine=engine,
         )
 
     accepted, stats = _scan_accepted(pool, count, count * 6, job_for_attempt)
@@ -337,6 +347,7 @@ def run_emi_campaign(
     seed: int = 0,
     bases: Optional[List[ast.Program]] = None,
     parallelism: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> EmiCampaignResult:
     """Reproduce the Table 5 experiment at a configurable scale.
 
@@ -355,6 +366,7 @@ def run_emi_campaign(
         max_steps=max_steps,
         variants_per_base=variants_per_base,
         variant_seed=seed,
+        engine=engine,
     )
     filter_stats = CacheStats()
     with WorkerPool(parallelism) as pool:
@@ -362,7 +374,8 @@ def run_emi_campaign(
             jobs = [CampaignJob(seed=seed, program=base, **family_job) for base in bases]
         else:
             specs, filter_stats = _emi_base_specs(
-                pool, n_bases, seed, options, max_steps, filter_dead_placement=True
+                pool, n_bases, seed, options, max_steps,
+                filter_dead_placement=True, engine=engine,
             )
             jobs = [
                 CampaignJob(seed=base_seed, emi_blocks=emi_blocks, **family_job)

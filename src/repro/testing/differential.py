@@ -26,6 +26,7 @@ from repro.compiler.driver import CompilerDriver
 from repro.kernel_lang import ast
 from repro.platforms.config import DeviceConfig
 from repro.runtime.device import KernelResult
+from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import KernelRuntimeError, BuildFailure
 from repro.testing.outcomes import Outcome, TestRecord, classify_exception
 
@@ -69,6 +70,7 @@ class DifferentialHarness:
         max_steps: int = 2_000_000,
         cache_results: bool = True,
         cache: Optional["ResultCache"] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         # Imported lazily: repro.orchestration itself imports this module.
         from repro.orchestration.cache import ResultCache
@@ -79,6 +81,8 @@ class DifferentialHarness:
         self.cache = cache if cache is not None else ResultCache()
         #: Live switch: flipping it after construction (dis)engages the cache.
         self.cache_results = True if cache is not None else cache_results
+        #: Execution engine every cell runs on (cache keys include it).
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -123,7 +127,7 @@ class DifferentialHarness:
         from repro.orchestration.cache import cached_run
 
         cache = self.cache if self.cache_results else None
-        return cached_run(cache, compiled, self.max_steps)
+        return cached_run(cache, compiled, self.max_steps, self.engine)
 
     @staticmethod
     def _majority(values: Iterable[str]) -> Tuple[Optional[str], int]:
@@ -143,9 +147,12 @@ def run_differential(
     configs: Sequence[Optional[DeviceConfig]],
     optimisation_levels: Sequence[bool] = (False, True),
     max_steps: int = 2_000_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> DifferentialResult:
     """One-shot convenience wrapper around :class:`DifferentialHarness`."""
-    return DifferentialHarness(configs, optimisation_levels, max_steps).run(program)
+    return DifferentialHarness(
+        configs, optimisation_levels, max_steps, engine=engine
+    ).run(program)
 
 
 __all__ = [

@@ -24,6 +24,7 @@ from repro.compiler.driver import CompilerDriver
 from repro.kernel_lang import ast
 from repro.platforms.config import DeviceConfig
 from repro.runtime.device import KernelResult
+from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import BuildFailure, KernelRuntimeError
 from repro.testing.outcomes import Outcome, classify_exception
 
@@ -72,6 +73,7 @@ class EmiHarness:
         max_steps: int = 2_000_000,
         cache_results: bool = True,
         cache: Optional["ResultCache"] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         # Imported lazily: repro.orchestration itself imports this module.
         from repro.orchestration.cache import ResultCache
@@ -80,6 +82,8 @@ class EmiHarness:
         self.cache = cache if cache is not None else ResultCache()
         #: Live switch: flipping it after construction (dis)engages the cache.
         self.cache_results = True if cache is not None else cache_results
+        #: Execution engine every variant runs on (cache keys include it).
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -157,7 +161,7 @@ class EmiHarness:
         from repro.orchestration.cache import cached_run
 
         cache = self.cache if self.cache_results else None
-        return cached_run(cache, compiled, self.max_steps)
+        return cached_run(cache, compiled, self.max_steps, self.engine)
 
 
 __all__ = ["EmiHarness", "EmiBaseResult"]

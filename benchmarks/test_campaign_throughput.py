@@ -3,17 +3,26 @@ backends, and execution throughput for the pluggable execution engines.
 
 This records a performance trajectory: future PRs that touch the
 orchestration layer (async backends, distributed sharding, cache tuning) or
-the runtime (bytecode VM, exec-based JIT) can compare their kernels/sec
-against the numbers printed here and the ``BENCH_engine_throughput.json``
-artifact.  The parallel run must also reproduce the serial tables exactly —
-throughput work is not allowed to change results.
+the runtime (bytecode VM, further JIT specialisation) can compare their
+kernels/sec against the numbers printed here and the
+``BENCH_engine_throughput.json`` artifact.  The parallel run must also
+reproduce the serial tables exactly — throughput work is not allowed to
+change results.
 
 At this reduced scale the process backend's fork/IPC overhead can outweigh
 the win, so no backend speedup is asserted; the engine benchmark *does* gate
-(the compiled engine exists purely for speed, and ENGINE.md promises ≥2x).
+(the fast engines exist purely for speed: ENGINE.md promises ≥2x for the
+compiled engine and ≥4x for the jit engine under a warm prepared-program
+cache — the per-worker configuration every campaign runs with).
+
+Setting ``REPRO_BENCH_RELAX=1`` (the CI smoke configuration) skips the
+speedup assertions while still measuring and recording the artifact.
 """
 
 import json
+import os
+import platform
+import sys
 import time
 from pathlib import Path
 
@@ -23,7 +32,13 @@ from repro.compiler import compile_program
 from repro.generator import generate_kernel
 from repro.generator.options import Mode
 from repro.platforms import get_configuration
+from repro.runtime.device import run_program
+from repro.runtime.prepared import PreparedProgramCache
 from repro.testing.campaign import run_clsmith_campaign
+
+#: Relax mode: measure and record, but do not gate (for CI smoke runs on
+#: noisy shared runners).
+RELAX = os.environ.get("REPRO_BENCH_RELAX", "") not in ("", "0")
 
 _MODES = (Mode.BASIC, Mode.VECTOR)
 _KERNELS_PER_MODE = 4
@@ -65,7 +80,7 @@ def test_campaign_throughput_serial_vs_parallel():
 
 
 # ---------------------------------------------------------------------------
-# Execution-engine throughput (reference walker vs compile-to-closures)
+# Execution-engine throughput (reference walker vs compiled vs exec-JIT)
 # ---------------------------------------------------------------------------
 
 _ENGINE_BENCH_MODES = (
@@ -77,56 +92,123 @@ _ENGINE_BENCH_MODES = (
 )
 _ENGINE_BENCH_SEEDS = 3
 _ENGINE_BENCH_REPEATS = 3
-_MIN_ENGINE_SPEEDUP = 2.0
+_ENGINES = ("reference", "compiled", "jit")
+_MIN_COMPILED_SPEEDUP = 2.0   # cold, vs reference (the original promise)
+_MIN_JIT_WARM_SPEEDUP = 4.0   # warm prepared cache, vs reference
+_MIN_JIT_REPEAT_SPEEDUP = 1.2  # jit warm over jit cold (repeat-launch win)
 _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_engine_throughput.json"
 
 
-def test_engine_throughput_compiled_vs_reference():
-    """Execution-only kernels/sec per engine, recorded as a JSON artifact.
-
-    Generation and compilation are hoisted out of the timed region: the
-    engines only differ in how they *execute*, and that is what campaigns
-    pay per (kernel, configuration, optimisation level) cell once the
-    generator and compiler costs are amortised by the result cache.  The
-    compiled engine's per-launch lowering cost *is* timed — it is part of
-    the engine's execution price.
-    """
-    # Default-size generated kernels: the campaign workhorse shape.
-    programs = [
-        compile_program(generate_kernel(mode, seed), optimisations=True).program
+def _corpus():
+    """Default-size generated kernels: the campaign workhorse shape,
+    grouped per mode so the artifact can break kernels/sec down."""
+    return {
+        mode: [
+            compile_program(generate_kernel(mode, seed), optimisations=True).program
+            for seed in range(_ENGINE_BENCH_SEEDS)
+        ]
         for mode in _ENGINE_BENCH_MODES
-        for seed in range(_ENGINE_BENCH_SEEDS)
-    ]
-
-    from repro.runtime.device import run_program
-
-    # Interleave the engines and keep the best pass per engine so a
-    # transient load spike cannot skew the ratio by landing entirely inside
-    # one engine's measurement window.
-    best = {"reference": float("inf"), "compiled": float("inf")}
-    hashes = {}
-    for _ in range(_ENGINE_BENCH_REPEATS):
-        for engine in best:
-            start = time.perf_counter()
-            results = [
-                run_program(program, engine=engine, max_steps=MAX_STEPS)
-                for program in programs
-            ]
-            best[engine] = min(best[engine], time.perf_counter() - start)
-            hashes[engine] = [result.result_hash() for result in results]
-    # Throughput work is not allowed to change results -- every kernel of
-    # the corpus must hash identically across engines.
-    assert hashes["compiled"] == hashes["reference"]
-    stats = {
-        engine: {
-            "kernels": len(programs),
-            "elapsed_s": round(elapsed, 4),
-            "kernels_per_sec": round(len(programs) / elapsed, 2),
-        }
-        for engine, elapsed in best.items()
     }
 
-    speedup = stats["compiled"]["kernels_per_sec"] / stats["reference"]["kernels_per_sec"]
+
+def _measure(by_mode, prepared_caches):
+    """One interleaved measurement: best-of-N per (engine, mode).
+
+    Interleaving the engines keeps a transient load spike from landing
+    entirely inside one engine's window.  ``prepared_caches`` maps engine ->
+    PreparedProgramCache or None (cold: every launch re-lowers).
+    """
+    best = {(e, mode): float("inf") for e in _ENGINES for mode in by_mode}
+    hashes = {}
+    for _ in range(_ENGINE_BENCH_REPEATS):
+        for engine in _ENGINES:
+            cache = prepared_caches[engine]
+            run_hashes = []
+            for mode, programs in by_mode.items():
+                start = time.perf_counter()
+                results = [
+                    run_program(
+                        program, engine=engine, max_steps=MAX_STEPS,
+                        prepared_cache=cache,
+                    )
+                    for program in programs
+                ]
+                elapsed = time.perf_counter() - start
+                key = (engine, mode)
+                best[key] = min(best[key], elapsed)
+                run_hashes.extend(result.result_hash() for result in results)
+            hashes[engine] = run_hashes
+    return best, hashes
+
+
+def _rows(by_mode, best):
+    rows = {}
+    for engine in _ENGINES:
+        per_mode = {}
+        total_elapsed = 0.0
+        total_kernels = 0
+        for mode, programs in by_mode.items():
+            elapsed = best[(engine, mode)]
+            total_elapsed += elapsed
+            total_kernels += len(programs)
+            per_mode[mode.value] = round(len(programs) / elapsed, 2)
+        rows[engine] = {
+            "kernels": total_kernels,
+            "elapsed_s": round(total_elapsed, 4),
+            "kernels_per_sec": round(total_kernels / total_elapsed, 2),
+            "kernels_per_sec_by_mode": per_mode,
+        }
+    return rows
+
+
+def test_engine_throughput_three_engines_cold_and_warm():
+    """Execution kernels/sec per engine, cold and warm, as a JSON artifact.
+
+    Generation and compilation are hoisted out of the timed region: the
+    engines only differ in how they *execute*.  Two scenarios are measured:
+
+    * **cold** -- every launch pays the engine's full lowering cost (closure
+      trees for ``compiled``, emit + CPython-compile for ``jit``);
+    * **warm** -- a per-engine :class:`PreparedProgramCache` is pre-warmed,
+      so launches pay only the per-launch bind.  This is the configuration
+      campaigns run with (per-worker prepared caches), and the one the
+      headline ≥4x jit gate applies to; the differential/EMI harnesses
+      re-run each kernel across many configurations and opt levels, which
+      is exactly the repeat-launch shape.
+    """
+    by_mode = _corpus()
+
+    cold_best, cold_hashes = _measure(
+        by_mode, {engine: None for engine in _ENGINES}
+    )
+    warm_caches = {engine: PreparedProgramCache() for engine in _ENGINES}
+    # Pre-warm: one untimed pass per engine fills the caches.
+    for engine in _ENGINES:
+        for programs in by_mode.values():
+            for program in programs:
+                run_program(
+                    program, engine=engine, max_steps=MAX_STEPS,
+                    prepared_cache=warm_caches[engine],
+                )
+    warm_best, warm_hashes = _measure(by_mode, warm_caches)
+
+    # Throughput work is not allowed to change results -- every kernel of
+    # the corpus must hash identically across engines, cold and warm.
+    for engine in _ENGINES[1:]:
+        assert cold_hashes[engine] == cold_hashes["reference"]
+        assert warm_hashes[engine] == warm_hashes["reference"]
+    assert warm_hashes["reference"] == cold_hashes["reference"]
+
+    cold = _rows(by_mode, cold_best)
+    warm = _rows(by_mode, warm_best)
+    reference_rate = cold["reference"]["kernels_per_sec"]
+
+    def speedup(row):
+        return round(row["kernels_per_sec"] / reference_rate, 2)
+
+    jit_repeat = round(
+        warm["jit"]["kernels_per_sec"] / cold["jit"]["kernels_per_sec"], 2
+    )
     artifact = {
         "benchmark": "engine_throughput",
         "corpus": {
@@ -135,19 +217,51 @@ def test_engine_throughput_compiled_vs_reference():
             "optimisations": True,
             "max_steps": MAX_STEPS,
         },
-        "engines": stats,
-        "speedup_compiled_over_reference": round(speedup, 2),
+        "platform": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "system": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "engines": {
+            engine: {"cold": cold[engine], "warm": warm[engine]}
+            for engine in _ENGINES
+        },
+        "speedups_over_cold_reference": {
+            "compiled_cold": speedup(cold["compiled"]),
+            "compiled_warm": speedup(warm["compiled"]),
+            "jit_cold": speedup(cold["jit"]),
+            "jit_warm": speedup(warm["jit"]),
+        },
+        "jit_warm_over_jit_cold": jit_repeat,
+        "relaxed": RELAX,
     }
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
-    print("\nEngine throughput (execution only, best of "
-          f"{_ENGINE_BENCH_REPEATS} runs over {len(programs)} kernels):")
-    for engine, row in stats.items():
-        print(f"  {engine:10s} {row['kernels_per_sec']:8.2f} kernels/sec  "
-              f"({row['elapsed_s']:.3f} s)")
-    print(f"  speedup: {speedup:.2f}x  (artifact: {_ARTIFACT.name})")
+    print("\nEngine throughput (best of "
+          f"{_ENGINE_BENCH_REPEATS} interleaved runs, "
+          f"{cold['reference']['kernels']} kernels):")
+    for engine in _ENGINES:
+        print(f"  {engine:10s} cold {cold[engine]['kernels_per_sec']:8.2f} k/s"
+              f"  warm {warm[engine]['kernels_per_sec']:8.2f} k/s")
+    print(f"  speedups over reference: {artifact['speedups_over_cold_reference']}")
+    print(f"  jit repeat-launch (warm/cold): {jit_repeat}x"
+          f"  (artifact: {_ARTIFACT.name})")
 
-    assert speedup >= _MIN_ENGINE_SPEEDUP, (
-        f"compiled engine regressed to {speedup:.2f}x over reference "
-        f"(ENGINE.md promises >= {_MIN_ENGINE_SPEEDUP}x on this corpus)"
+    if RELAX:
+        return
+    compiled_speedup = speedup(cold["compiled"])
+    assert compiled_speedup >= _MIN_COMPILED_SPEEDUP, (
+        f"compiled engine regressed to {compiled_speedup:.2f}x over reference "
+        f"(ENGINE.md promises >= {_MIN_COMPILED_SPEEDUP}x cold on this corpus)"
+    )
+    jit_warm_speedup = speedup(warm["jit"])
+    assert jit_warm_speedup >= _MIN_JIT_WARM_SPEEDUP, (
+        f"jit engine reached only {jit_warm_speedup:.2f}x over reference with a "
+        f"warm prepared-program cache (ENGINE.md promises >= "
+        f"{_MIN_JIT_WARM_SPEEDUP}x on this corpus)"
+    )
+    assert jit_repeat >= _MIN_JIT_REPEAT_SPEEDUP, (
+        f"warm jit launches are only {jit_repeat:.2f}x faster than cold ones; "
+        "the prepared-program cache is not delivering its repeat-launch win"
     )

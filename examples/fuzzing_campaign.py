@@ -9,7 +9,9 @@ threshold and prints a Table 4 style summary.
 Run with:  python examples/fuzzing_campaign.py
 Scale up with: python examples/fuzzing_campaign.py --kernels-per-mode 20 --parallelism 4
 Engines produce identical tables; ``--engine reference`` trades speed for
-the tree-walking baseline (see ENGINE.md).
+the tree-walking baseline, ``--engine jit`` uses the exec-based JIT (every
+worker keeps a prepared-program cache, so repeat launches skip lowering;
+see ENGINE.md).
 """
 
 import argparse

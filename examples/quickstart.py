@@ -4,10 +4,11 @@ the paper's configurations, run it on the simulated device and compare the
 results (random differential testing in a dozen lines).
 
 Run with:  python examples/quickstart.py
-Pick an execution engine with:  python examples/quickstart.py --engine reference
+Pick an execution engine with:  python examples/quickstart.py --engine jit
 (``compiled`` is the default: the closure-lowering fast path produces
-byte-identical results to the reference interpreter, only faster; see
-ENGINE.md.)
+byte-identical results to the reference interpreter, only faster; ``jit``
+emits real Python source per kernel and wins once a kernel is launched more
+than once via the prepared-program cache; see ENGINE.md.)
 """
 
 import argparse

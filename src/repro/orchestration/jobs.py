@@ -45,6 +45,7 @@ from repro.orchestration.cache import CacheStats, ResultCache
 from repro.platforms.config import DeviceConfig
 from repro.platforms.registry import get_configuration
 from repro.runtime.engine import DEFAULT_ENGINE
+from repro.runtime.prepared import PreparedCacheStats, PreparedProgramCache
 from repro.testing.differential import DifferentialHarness
 from repro.testing.emi_harness import EmiBaseResult, EmiHarness
 from repro.testing.outcomes import Outcome, OutcomeCounts
@@ -123,24 +124,42 @@ class JobResult:
     emi_cells: List[EmiBaseResult] = field(default_factory=list)
     n_variants: Optional[int] = None
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Prepared-program cache delta this job contributed (mirrors ``cache``).
+    prepared: PreparedCacheStats = field(default_factory=PreparedCacheStats)
 
 
-def execute_job(job: CampaignJob, cache: Optional[ResultCache] = None) -> JobResult:
-    """Run one job (in whatever process this is called from)."""
+def execute_job(
+    job: CampaignJob,
+    cache: Optional[ResultCache] = None,
+    prepared_cache: Optional[PreparedProgramCache] = None,
+) -> JobResult:
+    """Run one job (in whatever process this is called from).
+
+    ``cache`` memoises execution *results*; ``prepared_cache`` memoises the
+    launch-independent engine lowering (closure trees / exec'd modules) so
+    repeat launches of one compiled program across the job's cells pay only
+    the per-launch bind.  Both are per-worker: the serial backend shares one
+    pair across all jobs of a pool, the process backend keeps one pair per
+    worker process.
+    """
     if cache is None:
         cache = ResultCache()
+    if prepared_cache is None:
+        prepared_cache = PreparedProgramCache()
     before = cache.snapshot()
+    prepared_before = prepared_cache.snapshot()
     if job.kind == CLSMITH_DIFFERENTIAL:
-        result = _execute_clsmith_differential(job, cache)
+        result = _execute_clsmith_differential(job, cache, prepared_cache)
     elif job.kind == CLSMITH_CURATE:
-        result = _execute_clsmith_curate(job, cache)
+        result = _execute_clsmith_curate(job, cache, prepared_cache)
     elif job.kind == EMI_BASE_FILTER:
-        result = _execute_emi_base_filter(job, cache)
+        result = _execute_emi_base_filter(job, cache, prepared_cache)
     elif job.kind == EMI_FAMILY:
-        result = _execute_emi_family(job, cache)
+        result = _execute_emi_family(job, cache, prepared_cache)
     else:
         raise ValueError(f"unknown campaign job kind: {job.kind!r}")
     result.cache = cache.snapshot().since(before)
+    result.prepared = prepared_cache.snapshot().since(prepared_before)
     return result
 
 
@@ -149,7 +168,9 @@ def execute_job(job: CampaignJob, cache: Optional[ResultCache] = None) -> JobRes
 # ---------------------------------------------------------------------------
 
 
-def _execute_clsmith_differential(job: CampaignJob, cache: ResultCache) -> JobResult:
+def _execute_clsmith_differential(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
     program = job.materialise_program()
     harness = DifferentialHarness(
         job.resolve_configs(),
@@ -157,6 +178,7 @@ def _execute_clsmith_differential(job: CampaignJob, cache: ResultCache) -> JobRe
         max_steps=job.max_steps,
         cache=cache,
         engine=job.engine,
+        prepared_cache=prepared_cache,
     )
     counts: Dict[Tuple[str, str, bool], OutcomeCounts] = {}
     for record in harness.run(program).records:
@@ -165,7 +187,9 @@ def _execute_clsmith_differential(job: CampaignJob, cache: ResultCache) -> JobRe
     return JobResult(job.kind, job.seed, counts=counts)
 
 
-def _execute_clsmith_curate(job: CampaignJob, cache: ResultCache) -> JobResult:
+def _execute_clsmith_curate(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
     program = job.materialise_program()
     harness = DifferentialHarness(
         job.resolve_configs(),
@@ -173,15 +197,21 @@ def _execute_clsmith_curate(job: CampaignJob, cache: ResultCache) -> JobResult:
         max_steps=job.max_steps,
         cache=cache,
         engine=job.engine,
+        prepared_cache=prepared_cache,
     )
     record = harness.run(program).records[0]
     accepted = record.outcome not in (Outcome.BUILD_FAILURE, Outcome.TIMEOUT)
     return JobResult(job.kind, job.seed, accepted=accepted)
 
 
-def _execute_emi_base_filter(job: CampaignJob, cache: ResultCache) -> JobResult:
+def _execute_emi_base_filter(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
     candidate = job.materialise_program()
-    harness = EmiHarness(max_steps=job.max_steps, cache=cache, engine=job.engine)
+    harness = EmiHarness(
+        max_steps=job.max_steps, cache=cache, engine=job.engine,
+        prepared_cache=prepared_cache,
+    )
     normal_outcome, normal = harness.run_single(candidate, None, True)
     inverted_outcome, inverted = harness.run_single(
         invert_dead_array(candidate), None, True
@@ -194,7 +224,9 @@ def _execute_emi_base_filter(job: CampaignJob, cache: ResultCache) -> JobResult:
     return JobResult(job.kind, job.seed, emi_blocks=job.emi_blocks, accepted=accepted)
 
 
-def _execute_emi_family(job: CampaignJob, cache: ResultCache) -> JobResult:
+def _execute_emi_family(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
     if job.program is not None:
         base = job.program
     else:
@@ -203,7 +235,10 @@ def _execute_emi_family(job: CampaignJob, cache: ResultCache) -> JobResult:
     if job.variants_per_base is not None:
         variants = variants[: job.variants_per_base]
     family = [base] + variants
-    harness = EmiHarness(max_steps=job.max_steps, cache=cache, engine=job.engine)
+    harness = EmiHarness(
+        max_steps=job.max_steps, cache=cache, engine=job.engine,
+        prepared_cache=prepared_cache,
+    )
     cells = [
         harness.run_family(family, config, optimisations)
         for config in job.resolve_configs()

@@ -29,6 +29,7 @@ from typing import Iterable, List, Optional
 
 from repro.orchestration.cache import DEFAULT_CACHE_SIZE, ResultCache
 from repro.orchestration.jobs import CampaignJob, JobResult, execute_job
+from repro.runtime.prepared import DEFAULT_PREPARED_CACHE_SIZE, PreparedProgramCache
 
 #: Backend names accepted by :class:`WorkerPool`.
 BACKENDS = ("serial", "process")
@@ -37,14 +38,19 @@ BACKENDS = ("serial", "process")
 #: when a worker process starts and shared by every job that worker runs.
 _WORKER_CACHE: Optional[ResultCache] = None
 
+#: Process-local prepared-program cache (cross-launch engine lowerings),
+#: likewise one per worker process.
+_WORKER_PREPARED: Optional[PreparedProgramCache] = None
 
-def _initialise_worker(cache_size: int) -> None:
-    global _WORKER_CACHE
+
+def _initialise_worker(cache_size: int, prepared_cache_size: int) -> None:
+    global _WORKER_CACHE, _WORKER_PREPARED
     _WORKER_CACHE = ResultCache(cache_size)
+    _WORKER_PREPARED = PreparedProgramCache(prepared_cache_size)
 
 
 def _execute_in_worker(job: CampaignJob) -> JobResult:
-    return execute_job(job, cache=_WORKER_CACHE)
+    return execute_job(job, cache=_WORKER_CACHE, prepared_cache=_WORKER_PREPARED)
 
 
 class WorkerPool:
@@ -61,6 +67,7 @@ class WorkerPool:
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        prepared_cache_size: int = DEFAULT_PREPARED_CACHE_SIZE,
     ) -> None:
         if backend is None:
             backend = "process" if parallelism is not None and parallelism > 1 else "serial"
@@ -69,13 +76,20 @@ class WorkerPool:
         self.backend = backend
         self.parallelism = max(1, int(parallelism or 1))
         self.cache_size = cache_size
+        self.prepared_cache_size = prepared_cache_size
         self._cache = ResultCache(cache_size)
+        self._prepared = PreparedProgramCache(prepared_cache_size)
         self._process_pool = None
 
     @property
     def cache(self) -> ResultCache:
         """The serial backend's shared result cache."""
         return self._cache
+
+    @property
+    def prepared_cache(self) -> PreparedProgramCache:
+        """The serial backend's shared prepared-program cache."""
+        return self._prepared
 
     # ------------------------------------------------------------------
 
@@ -85,7 +99,10 @@ class WorkerPool:
         if not job_list:
             return []
         if self.backend == "serial" or self.parallelism <= 1:
-            return [execute_job(job, cache=self._cache) for job in job_list]
+            return [
+                execute_job(job, cache=self._cache, prepared_cache=self._prepared)
+                for job in job_list
+            ]
         return self._run_processes(job_list)
 
     def close(self) -> None:
@@ -106,7 +123,7 @@ class WorkerPool:
             self._process_pool = self._context().Pool(
                 processes=self.parallelism,
                 initializer=_initialise_worker,
-                initargs=(self.cache_size,),
+                initargs=(self.cache_size, self.prepared_cache_size),
             )
         chunksize = max(1, len(jobs) // (self.parallelism * 4))
         return self._process_pool.map(_execute_in_worker, jobs, chunksize)

@@ -1,9 +1,10 @@
 """Compile-to-closures execution backend (the ``"compiled"`` engine).
 
 Instead of re-walking the AST with isinstance dispatch for every statement a
-thread executes, this backend lowers the kernel once per launch into nested
-Python closures (see :mod:`repro.runtime.compiled.lowering`) and then runs
-those closures for every work-item.  Scheduling, memory, race detection and
+thread executes, this backend lowers the kernel once into nested Python
+closures (see :mod:`repro.runtime.compiled.lowering`) and then runs those
+closures for every work-item; the lowering is launch-independent and
+reusable across launches through the prepared-program cache.  Scheduling, memory, race detection and
 value semantics are shared with the reference interpreter, which is what
 makes the two engines differentially testable against each other.
 """

@@ -25,15 +25,23 @@ reference interpreter delegates to, and memory accesses go through the same
 :class:`~repro.runtime.memory.LValue` machinery (so access hooks fire for
 the race detector exactly as they do under the reference engine).
 
-Step-budget semantics: closures tick the shared
+Step-budget semantics: closures tick the lowering's
 :class:`~repro.runtime.interpreter.ExecutionLimits` at the same AST points
 as the interpreter, so completed launches report byte-identical step counts
 and a launch times out under this engine iff it times out under the
-reference engine.  The only permitted divergence is the step value carried
-*inside* an :class:`~repro.runtime.errors.ExecutionTimeout` exception: nodes
-the interpreter ticks twice (e.g. an rvalue variable reference) tick once
-with weight two here, so the exception may report a count up to one step
-higher.  Timeout classification and all observable results are unaffected.
+reference engine.  Nodes the interpreter ticks twice in immediate
+succession (e.g. an rvalue variable reference) tick once with weight two
+here; because the reference walker increments one step at a time, the first
+budget crossing it can observe is always exactly ``max_steps + 1``, so every
+timeout raise here carries that value -- the
+:class:`~repro.runtime.errors.ExecutionTimeout` payload is byte-identical
+across engines (regression-tested in ``tests/test_engine.py``).
+
+Lowering is launch-independent (the lower/bind split of
+:mod:`repro.runtime.engine`): global/constant buffer cells and the step
+counter bind per launch in :meth:`CompiledProgram.bind`, local buffers per
+group, so one lowering is reusable across launches through the
+:class:`~repro.runtime.prepared.PreparedProgramCache`.
 """
 
 from __future__ import annotations
@@ -43,7 +51,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.kernel_lang import ast, builtins, types as ty, values as vals
 from repro.kernel_lang.semantics import UBKind
 from repro.runtime import memory, ops
-from repro.runtime.engine import ExecutionEngine, PreparedGroup, PreparedLaunch
+from repro.runtime.engine import (
+    DEFAULT_MAX_STEPS,
+    ExecutionEngine,
+    PreparedGroup,
+    PreparedLaunch,
+    PreparedProgram,
+)
 from repro.runtime.errors import (
     ExecutionTimeout,
     RuntimeCrash,
@@ -115,35 +129,10 @@ _PV = vals.PointerValue
 _SHARED_SPACES = (ty.LOCAL, ty.GLOBAL)
 
 
-def _apply_builtin_fast(spec: builtins.BuiltinSpec, args: List[vals.Value]) -> vals.Value:
-    """All-scalar fast path of :func:`ops.apply_scalar_builtin` (same
-    semantics, unchecked result construction); anything else falls back."""
-    if not args:
-        return ops.apply_scalar_builtin(spec, args)
-    for a in args:
-        if a.__class__ is not _SV:
-            return ops.apply_scalar_builtin(spec, args)
-    scalar_type = args[0].type
-    try:
-        result = spec.fn(*[a.value for a in args], scalar_type)
-    except builtins.BuiltinUndefined as exc:
-        raise UndefinedBehaviourError(UBKind.BUILTIN_UNDEFINED, str(exc)) from exc
-    return _mk_scalar(scalar_type, scalar_type.wrap(result))
-
-
-def _mk_scalar(type_: ty.IntType, wrapped: int) -> vals.ScalarValue:
-    """Construct a ScalarValue from an already-wrapped raw value.
-
-    ``ScalarValue.wrap`` wraps and then re-validates in ``__post_init__``;
-    when the raw value has already been wrapped into range (by
-    ``type_.wrap``, ``ops.scalar_arith``, ...) that validation is redundant,
-    and skipping the dataclass constructor is a large win on the hottest
-    paths.  The resulting object is indistinguishable from a checked one.
-    """
-    value = _SV.__new__(_SV)
-    value.type = type_
-    value.value = wrapped
-    return value
+# Shared engine fast-path helpers (extracted to ops so the jit engine calls
+# literally the same code).
+_apply_builtin_fast = ops.apply_scalar_builtin_fast
+_mk_scalar = ops.mk_scalar
 
 
 # ---------------------------------------------------------------------------
@@ -210,13 +199,10 @@ class _Lowerer:
     def __init__(
         self,
         program: ast.Program,
-        global_memory: memory.GlobalMemory,
-        limits: ExecutionLimits,
         comma_yields_zero: bool,
+        max_steps: int,
     ) -> None:
         self.program = program
-        self.global_memory = global_memory
-        self.limits = limits
         self.comma_yields_zero = comma_yields_zero
         self._functions: Dict[str, ast.FunctionDecl] = {
             fn.name: fn for fn in program.functions if fn.body is not None
@@ -226,62 +212,52 @@ class _Lowerer:
         self._wi_map: Dict[Tuple[str, int], int] = {}
         self._wi_specs: List[Tuple[str, int]] = []
 
-        self._max_steps = max_steps = limits.max_steps
+        # The lowering owns its step counter so closures stay
+        # launch-independent; CompiledProgram.bind resets it per launch.
+        self.limits = limits = ExecutionLimits(max_steps=max_steps)
+        self._max_steps = max_steps
 
         def tick(n: int = 1) -> None:
             s = limits.steps + n
             limits.steps = s
             if s > max_steps:
-                raise ExecutionTimeout(s)
+                # The reference walker increments one step at a time, so the
+                # first crossing it can observe is exactly max_steps + 1;
+                # batched ticks report the same value for byte-identical
+                # ExecutionTimeout payloads across engines.
+                raise ExecutionTimeout(max_steps + 1)
 
         self._tick = tick
 
     # -- yield analysis -------------------------------------------------
 
     def _compute_yielding_functions(self) -> frozenset:
-        """Names of user functions that can reach a scheduling point."""
-        calls: Dict[str, set] = {}
-        syncing = set()
-        for name, fn in self._functions.items():
-            callees = set()
-            for node in fn.body.walk():
-                if isinstance(node, ast.BarrierStmt):
-                    syncing.add(name)
-                elif isinstance(node, ast.Call):
-                    if node.name in builtins.ATOMIC_BUILTINS:
-                        syncing.add(name)
-                    elif node.name in self._functions:
-                        callees.add(node.name)
-            calls[name] = callees
-        changed = True
-        while changed:
-            changed = False
-            for name, callees in calls.items():
-                if name not in syncing and callees & syncing:
-                    syncing.add(name)
-                    changed = True
-        return frozenset(syncing)
+        """Names of user functions that can reach a scheduling point
+        (shared with the jit engine's emitter)."""
+        from repro.runtime.jit.support import yielding_functions
+
+        return yielding_functions(self._functions)
 
     # -- entry point ----------------------------------------------------
 
-    def lower(self) -> "CompiledLaunch":
+    def lower(self) -> "CompiledProgram":
         kernel = self.program.kernel()
         slots = _FnSlots()
         scope = _Scope(slots)
         scalar_args: Dict[str, int] = dict(self.program.metadata.get("scalar_args", {}))
 
         # (slot, name, type, payload, is_raise); payload is the initial value
-        # for resolved params, a local-buffer marker for LOCAL pointers, or an
-        # exception factory mirroring the interpreter's per-thread UB raise.
+        # for resolved params, a global/local-buffer marker for pointers into
+        # those spaces (resolved at bind/bind_group time, keeping the lowering
+        # launch-independent), or an exception factory mirroring the
+        # interpreter's per-thread UB raise.
         param_specs: List[Tuple[int, str, ty.Type, object, bool]] = []
         for param in kernel.params:
             slot = scope.declare(param.name, param.type)
             if isinstance(param.type, ty.PointerType):
                 space = param.type.address_space
                 if space in (ty.GLOBAL, ty.CONSTANT):
-                    cell = self.global_memory.cell(param.name)
-                    value = vals.PointerValue(param.type, cell, ())
-                    param_specs.append((slot, param.name, param.type, value, False))
+                    param_specs.append((slot, param.name, param.type, "global", False))
                 elif space == ty.LOCAL:
                     param_specs.append((slot, param.name, param.type, "local", False))
                 else:
@@ -316,12 +292,13 @@ class _Lowerer:
                 )
 
         body = self._compile_block(kernel.body, scope)
-        return CompiledLaunch(
+        return CompiledProgram(
             program=self.program,
             body=body,
             nslots=slots.count,
             param_specs=param_specs,
             wi_specs=list(self._wi_specs),
+            limits=self.limits,
         )
 
     # -- work-item values -----------------------------------------------
@@ -481,7 +458,7 @@ class _Lowerer:
                     s = limits.steps + 1
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     _v(rt)
                     return None
                 return _C(run_expr, False)
@@ -561,7 +538,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 rt.locals[slot] = memory.Cell(name, type_, _i(rt), volatile=volatile)
                 return None
             return _C(run_decl, False)
@@ -588,7 +565,7 @@ class _Lowerer:
                     s = limits.steps + 1
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     c = cfn(rt)
                     if c.value != 0 if c.__class__ is _SV else ops.truthy(c):
                         return tfn(rt)
@@ -600,7 +577,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 c = cfn(rt)
                 if c.value != 0 if c.__class__ is _SV else ops.truthy(c):
                     return tfn(rt)
@@ -636,7 +613,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 if ifn is not None:
                     fl = ifn(rt)
                     if fl is not None and fl.__class__ is tuple:
@@ -645,7 +622,7 @@ class _Lowerer:
                     s = limits.steps + 1
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     if cfn is not None:
                         c = cfn(rt)
                         if not (c.value != 0 if c.__class__ is _SV else ops.truthy(c)):
@@ -699,12 +676,12 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 while True:
                     s = limits.steps + 1
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     c = cfn(rt)
                     if not (c.value != 0 if c.__class__ is _SV else ops.truthy(c)):
                         break
@@ -781,13 +758,13 @@ class _Lowerer:
                         s = limits.steps + entry_ticks
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         idx = ifn(rt)
                         i = idx.value if idx.__class__ is _SV else ops.as_int(idx)
                         s = limits.steps + 2  # pointer VarRef eval + lvalue ticks
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         ptr = rt.locals[pslot].value
                         if ptr.__class__ is _PV:
                             cell = ptr.cell
@@ -848,7 +825,7 @@ class _Lowerer:
                     s = limits.steps + entry_ticks
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     cell = rt.locals[slot]
                     rhs = vfn(rt)
                     new = conv_field(rhs)
@@ -888,7 +865,7 @@ class _Lowerer:
                     s = limits.steps + entry_ticks
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     cell = rt.locals[slot]
                     rhs = vfn(rt)
                     new = conv_elem(rhs)
@@ -916,7 +893,7 @@ class _Lowerer:
                         s = limits.steps + entry_ticks
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         cell = rt.locals[slot]
                         rhs = vfn(rt)
                         if rhs.__class__ is _SV:
@@ -930,7 +907,7 @@ class _Lowerer:
                         s = limits.steps + entry_ticks
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         cell = rt.locals[slot]
                         rhs = vfn(rt)
                         cell.value = conv(rhs)
@@ -941,7 +918,7 @@ class _Lowerer:
                     s = limits.steps + entry_ticks
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     cell = rt.locals[slot]
                     rhs = vfn(rt)
                     rhs = ops.binary(base_op, cell.value, rhs)
@@ -1126,7 +1103,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 return memory.LValue(rt.locals[slot])
             return _C(run_var_lv, False), decl_type
         if isinstance(expr, ast.Deref):
@@ -1186,7 +1163,7 @@ class _Lowerer:
                         s = limits.steps + 1
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         idx = ifn(rt)
                         i = idx.value if idx.__class__ is _SV else ops.as_int(idx)
                         ptr = bfn(rt)
@@ -1256,7 +1233,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 return value
             return _C(run_literal, False)
         if isinstance(expr, ast.VarRef):
@@ -1277,7 +1254,7 @@ class _Lowerer:
                 s = limits.steps + 2  # the _eval tick plus the _eval_lvalue tick
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 return rt.locals[slot].value
             return _C(run_var, False)
         if isinstance(expr, ast.WorkItemExpr):
@@ -1291,7 +1268,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 return rt.wi[index]
             return _C(run_workitem, False)
         if isinstance(expr, ast.VectorLiteral):
@@ -1354,7 +1331,7 @@ class _Lowerer:
                     s = limits.steps + 1
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     c = cfn(rt)
                     if c.value != 0 if c.__class__ is _SV else ops.truthy(c):
                         return tfn(rt)
@@ -1380,7 +1357,7 @@ class _Lowerer:
                         s = limits.steps + 1
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         value = ofn(rt)
                         if value.__class__ is _SV:
                             return _mk_scalar(int_target, wrap(value.value))
@@ -1415,7 +1392,7 @@ class _Lowerer:
                         s = limits.steps + 1  # the _eval tick; the lvalue ticks itself
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         return ops.decay(lfn(rt).read(rt.hook))
                     return _C(run_access, False)
 
@@ -1479,13 +1456,13 @@ class _Lowerer:
             s = limits.steps + 2  # rvalue-access eval tick + lvalue tick
             limits.steps = s
             if s > max_steps:
-                raise ExecutionTimeout(s)
+                raise ExecutionTimeout(max_steps + 1)
             idx = ifn(rt)
             i = idx.value if idx.__class__ is _SV else ops.as_int(idx)
             s = limits.steps + 2  # the pointer VarRef eval + lvalue ticks
             limits.steps = s
             if s > max_steps:
-                raise ExecutionTimeout(s)
+                raise ExecutionTimeout(max_steps + 1)
             ptr = rt.locals[pslot].value
             if ptr.__class__ is _PV:
                 cell = ptr.cell
@@ -1539,7 +1516,7 @@ class _Lowerer:
             s = limits.steps + 3
             limits.steps = s
             if s > max_steps:
-                raise ExecutionTimeout(s)
+                raise ExecutionTimeout(max_steps + 1)
             container = rt.locals[slot].value
             if container.__class__ is vals.StructValue and fname in container.fields:
                 value = container.fields[fname]
@@ -1571,7 +1548,7 @@ class _Lowerer:
             s = limits.steps + 3
             limits.steps = s
             if s > max_steps:
-                raise ExecutionTimeout(s)
+                raise ExecutionTimeout(max_steps + 1)
             container = rt.locals[slot].value
             if container.__class__ is vals.VectorValue and 0 <= comp < length:
                 return _mk_scalar(element_type, container.elements[comp])
@@ -1700,7 +1677,7 @@ class _Lowerer:
                 s = limits.steps + 1
                 limits.steps = s
                 if s > max_steps:
-                    raise ExecutionTimeout(s)
+                    raise ExecutionTimeout(max_steps + 1)
                 lhs = lfn(rt)
                 rhs = rfn(rt)
                 # Scalar-scalar fast path, identical to ops.binary's
@@ -1806,7 +1783,7 @@ class _Lowerer:
                         s = limits.steps + 1
                         limits.steps = s
                         if s > max_steps:
-                            raise ExecutionTimeout(s)
+                            raise ExecutionTimeout(max_steps + 1)
                         a = f0(rt)
                         b = f1(rt)
                         if a.__class__ is _SV and b.__class__ is _SV:
@@ -1825,7 +1802,7 @@ class _Lowerer:
                     s = limits.steps + 1
                     limits.steps = s
                     if s > max_steps:
-                        raise ExecutionTimeout(s)
+                        raise ExecutionTimeout(max_steps + 1)
                     return _apply_builtin_fast(spec, [fn(rt) for fn in fns])
                 return _C(run_builtin, False)
 
@@ -1992,81 +1969,22 @@ class _Lowerer:
 
 
 # ---------------------------------------------------------------------------
-# Rvalue access helpers (shared between plain and generator variants)
+# Rvalue access helpers (shared with the jit engine via ops)
 # ---------------------------------------------------------------------------
 
-
-def _rvalue_component(value: vals.Value, comp: int) -> vals.Value:
-    if not isinstance(value, vals.VectorValue):
-        raise UndefinedBehaviourError(
-            UBKind.INVALID_FIELD, "component access on a non-vector value"
-        )
-    if not 0 <= comp < value.type.length:
-        raise UndefinedBehaviourError(UBKind.OUT_OF_BOUNDS, f"vector component {comp}")
-    return value.component(comp)
-
-
-def _rvalue_field(value: vals.Value, fname: str) -> vals.Value:
-    if isinstance(value, (vals.StructValue, vals.UnionValue)):
-        if not value.type.has_field(fname):
-            raise UndefinedBehaviourError(
-                UBKind.INVALID_FIELD, f"no field {fname!r} in {value.type}"
-            )
-        return ops.decay(value.get(fname))
-    raise UndefinedBehaviourError(
-        UBKind.INVALID_FIELD, "field access on a non-aggregate value"
-    )
-
-
-def _rvalue_index(value: vals.Value, idx: int) -> vals.Value:
-    if isinstance(value, vals.ArrayValue):
-        if not 0 <= idx < value.type.length:
-            raise UndefinedBehaviourError(
-                UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
-            )
-        return ops.decay(value.get(idx))
-    if isinstance(value, vals.VectorValue):
-        if not 0 <= idx < value.type.length:
-            raise UndefinedBehaviourError(
-                UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
-            )
-        return value.component(idx)
-    raise UndefinedBehaviourError(
-        UBKind.INVALID_FIELD, "index access on a non-array value"
-    )
-
-
-def _workitem_raw(function: str, dimension: int, context: ThreadContext) -> int:
-    if function == "get_global_id":
-        return context.global_id[dimension]
-    if function == "get_local_id":
-        return context.local_id[dimension]
-    if function == "get_group_id":
-        return context.group_id[dimension]
-    if function == "get_global_size":
-        return context.global_size[dimension]
-    if function == "get_local_size":
-        return context.local_size[dimension]
-    if function == "get_num_groups":
-        return context.num_groups[dimension]
-    if function == "get_linear_global_id":
-        return context.global_linear_id
-    if function == "get_linear_local_id":
-        return context.local_linear_id
-    if function == "get_linear_group_id":
-        return context.group_linear_id
-    raise UndefinedBehaviourError(  # pragma: no cover - defensive
-        UBKind.INVALID_FIELD, f"unknown work-item fn {function}"
-    )
+_rvalue_component = ops.rvalue_component
+_rvalue_field = ops.rvalue_field
+_rvalue_index = ops.rvalue_index
+_workitem_raw = ops.workitem_raw
 
 
 # ---------------------------------------------------------------------------
-# Launch / group wrappers
+# Program / launch / group wrappers
 # ---------------------------------------------------------------------------
 
 
-class CompiledLaunch(PreparedLaunch):
-    """A kernel lowered to closures for one launch."""
+class CompiledProgram(PreparedProgram):
+    """A kernel lowered to closures, reusable across launches."""
 
     def __init__(
         self,
@@ -2075,12 +1993,43 @@ class CompiledLaunch(PreparedLaunch):
         nslots: int,
         param_specs: List[Tuple[int, str, ty.Type, object, bool]],
         wi_specs: List[Tuple[str, int]],
+        limits: ExecutionLimits,
     ) -> None:
         self.program = program
         self._body = body
         self._nslots = nslots
         self._param_specs = param_specs
         self._wi_specs = wi_specs
+        self._limits = limits
+
+    def bind(self, global_memory: memory.GlobalMemory) -> "CompiledLaunch":
+        # One active launch at a time: the closures tick this lowering's own
+        # counter, so binding resets it for the new launch.
+        self._limits.steps = 0
+        inits: List[Tuple[int, str, ty.Type, object, bool]] = []
+        for slot, name, type_, payload, is_raise in self._param_specs:
+            if payload == "global" and not is_raise:
+                value = vals.PointerValue(type_, global_memory.cell(name), ())
+                inits.append((slot, name, type_, value, False))
+            else:
+                inits.append((slot, name, type_, payload, is_raise))
+        return CompiledLaunch(self, inits)
+
+
+class CompiledLaunch(PreparedLaunch):
+    """A lowered kernel bound to one launch's global buffers."""
+
+    def __init__(
+        self,
+        lowered: CompiledProgram,
+        param_specs: List[Tuple[int, str, ty.Type, object, bool]],
+    ) -> None:
+        self._lowered = lowered
+        self._param_specs = param_specs
+
+    @property
+    def steps(self) -> int:
+        return self._lowered._limits.steps
 
     def bind_group(self, local_memory: memory.LocalMemory) -> "CompiledGroup":
         inits: List[Tuple[int, str, ty.Type, object, bool]] = []
@@ -2090,16 +2039,16 @@ class CompiledLaunch(PreparedLaunch):
                 inits.append((slot, name, type_, value, False))
             else:
                 inits.append((slot, name, type_, payload, is_raise))
-        return CompiledGroup(self, inits)
+        return CompiledGroup(self._lowered, inits)
 
 
 class CompiledGroup(PreparedGroup):
     def __init__(
         self,
-        launch: CompiledLaunch,
+        lowered: CompiledProgram,
         param_inits: List[Tuple[int, str, ty.Type, object, bool]],
     ) -> None:
-        self._launch = launch
+        self._lowered = lowered
         self._param_inits = param_inits
 
     def thread(
@@ -2107,16 +2056,16 @@ class CompiledGroup(PreparedGroup):
         context: ThreadContext,
         access_hook: Optional[memory.AccessHook] = None,
     ):
-        launch = self._launch
+        lowered = self._lowered
         rt = _RT()
         rt.hook = access_hook
         rt.wi = [
             vals.ScalarValue.wrap(ty.SIZE_T, _workitem_raw(fn, dim, context))
-            for fn, dim in launch._wi_specs
+            for fn, dim in lowered._wi_specs
         ]
-        nslots = launch._nslots
+        nslots = lowered._nslots
         param_inits = self._param_inits
-        body = launch._body
+        body = lowered._body
 
         if body.yields:
             def run_thread_gen():
@@ -2151,14 +2100,13 @@ class CompiledEngine(ExecutionEngine):
 
     name = "compiled"
 
-    def prepare(
+    def lower(
         self,
         program: ast.Program,
-        global_memory: memory.GlobalMemory,
-        limits: ExecutionLimits,
         comma_yields_zero: bool = False,
-    ) -> CompiledLaunch:
-        return _Lowerer(program, global_memory, limits, comma_yields_zero).lower()
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> CompiledProgram:
+        return _Lowerer(program, comma_yields_zero, max_steps).lower()
 
 
-__all__ = ["CompiledEngine", "CompiledLaunch", "CompiledGroup"]
+__all__ = ["CompiledEngine", "CompiledProgram", "CompiledLaunch", "CompiledGroup"]

@@ -25,7 +25,8 @@ from repro.runtime.engine import (
     get_engine,
 )
 from repro.runtime.errors import ExecutionTimeout, KernelRuntimeError
-from repro.runtime.interpreter import ExecutionLimits, ThreadContext
+from repro.runtime.interpreter import ThreadContext
+from repro.runtime.prepared import PreparedProgramCache
 from repro.runtime.racecheck import RaceDetector
 from repro.runtime.scheduler import ScheduleOrder, WorkGroupScheduler, make_slot
 
@@ -84,8 +85,14 @@ class Device:
     engine:
         Execution engine (registry name or instance; see
         :mod:`repro.runtime.engine`): ``"reference"`` for the tree-walking
-        interpreter, ``"compiled"`` for the compile-to-closures fast path.
-        Both produce byte-identical results.
+        interpreter, ``"compiled"`` for the compile-to-closures fast path,
+        ``"jit"`` for the exec-based JIT.  All produce byte-identical
+        results.
+    prepared_cache:
+        Optional :class:`~repro.runtime.prepared.PreparedProgramCache`.
+        When given, the launch-independent lowering step is served from (and
+        recorded in) the cache instead of being redone per launch; repeat
+        launches of the same program pay only the cheap per-launch bind.
     """
 
     def __init__(
@@ -97,6 +104,7 @@ class Device:
         max_steps: int = 2_000_000,
         comma_yields_zero: bool = False,
         engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
+        prepared_cache: Optional[PreparedProgramCache] = None,
     ) -> None:
         self.schedule_order = schedule_order
         self.schedule_seed = schedule_seed
@@ -105,6 +113,7 @@ class Device:
         self.max_steps = max_steps
         self.comma_yields_zero = comma_yields_zero
         self.engine = engine
+        self.prepared_cache = prepared_cache
 
     # ------------------------------------------------------------------
 
@@ -121,16 +130,24 @@ class Device:
                     spec.initial_contents(),
                     spec.address_space,
                 )
-        limits = ExecutionLimits(max_steps=self.max_steps)
         detector = (
             RaceDetector(throw_on_race=self.throw_on_race) if self.check_races else None
         )
-        prepared = get_engine(self.engine).prepare(
-            program,
-            global_memory,
-            limits,
-            comma_yields_zero=self.comma_yields_zero,
-        )
+        engine = get_engine(self.engine)
+        if self.prepared_cache is not None:
+            lowered = self.prepared_cache.lower(
+                engine,
+                program,
+                comma_yields_zero=self.comma_yields_zero,
+                max_steps=self.max_steps,
+            )
+        else:
+            lowered = engine.lower(
+                program,
+                comma_yields_zero=self.comma_yields_zero,
+                max_steps=self.max_steps,
+            )
+        prepared = lowered.bind(global_memory)
 
         ngx, ngy, ngz = launch.num_groups
         for gz in range(ngz):
@@ -149,7 +166,9 @@ class Device:
             if spec.is_output and spec.address_space in (ty.GLOBAL, ty.CONSTANT)
         }
         race_reports = [r.describe() for r in detector.reports] if detector else []
-        return KernelResult(outputs=outputs, steps=limits.steps, race_reports=race_reports)
+        return KernelResult(
+            outputs=outputs, steps=prepared.steps, race_reports=race_reports
+        )
 
     # ------------------------------------------------------------------
 
@@ -228,6 +247,7 @@ def run_program(
     max_steps: int = 2_000_000,
     comma_yields_zero: bool = False,
     engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
+    prepared_cache: Optional[PreparedProgramCache] = None,
 ) -> KernelResult:
     """Convenience wrapper: run ``program`` on a default device."""
     device = Device(
@@ -238,6 +258,7 @@ def run_program(
         max_steps=max_steps,
         comma_yields_zero=comma_yields_zero,
         engine=engine,
+        prepared_cache=prepared_cache,
     )
     return device.run(program)
 

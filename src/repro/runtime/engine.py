@@ -5,7 +5,7 @@ other; this repository applies the same methodology to its *own* runtime.
 An :class:`ExecutionEngine` turns a compiled program into per-work-item
 coroutines; the :class:`~repro.runtime.device.Device` drives those coroutines
 through the shared :class:`~repro.runtime.scheduler.WorkGroupScheduler`, race
-detector and undefined-behaviour model, which are engine-independent.  Two
+detector and undefined-behaviour model, which are engine-independent.  Three
 engines are registered:
 
 ``"reference"``
@@ -16,9 +16,13 @@ engines are registered:
 
 ``"compiled"``
     The compile-to-closures fast path (:mod:`repro.runtime.compiled`): the
-    kernel AST is lowered once per launch into nested Python closures with
-    pre-resolved builtins, pre-bound memory cells and slot-resolved
-    variables.
+    kernel AST is lowered once into nested Python closures with pre-resolved
+    builtins and slot-resolved variables.
+
+``"jit"``
+    The exec-based JIT (:mod:`repro.runtime.jit`): real Python source is
+    emitted per kernel and compiled once by CPython, eliminating the
+    per-node closure-call overhead entirely.
 
 The engine contract (see ENGINE.md) is strict: for any program, every engine
 must produce the same :class:`~repro.runtime.device.KernelResult` (outputs,
@@ -27,11 +31,20 @@ UB / crash outcomes, and yield the same
 :class:`~repro.runtime.interpreter.SchedulerEvent` sequence at barriers and
 atomics so that scheduling decisions are engine-independent.
 
-Lifecycle: :meth:`ExecutionEngine.prepare` is called once per launch (after
-global buffers are allocated), :meth:`PreparedLaunch.bind_group` once per
-work-group (binding that group's local memory), and
-:meth:`PreparedGroup.thread` once per work-item (producing the coroutine the
-scheduler drives).
+Lifecycle -- preparation is split into a launch-independent and a per-launch
+step so lowered programs can be reused across launches (see
+:mod:`repro.runtime.prepared` for the cache):
+
+1. :meth:`ExecutionEngine.lower` is called once per *program* (per engine,
+   ``comma_yields_zero`` setting and step budget -- all three are baked into
+   the lowered artefact) and returns a :class:`PreparedProgram`;
+2. :meth:`PreparedProgram.bind` is called once per *launch* (after global
+   buffers are allocated) and returns a :class:`PreparedLaunch`, which also
+   carries the launch's step counter;
+3. :meth:`PreparedLaunch.bind_group` once per work-group (binding that
+   group's local memory);
+4. :meth:`PreparedGroup.thread` once per work-item (producing the coroutine
+   the scheduler drives).
 """
 
 from __future__ import annotations
@@ -50,8 +63,13 @@ from repro.runtime.interpreter import (
 
 #: Engine used when callers do not ask for one.  The reference walker stays
 #: the default so that every existing path keeps its exact baseline
-#: behaviour; fast-path consumers opt in with ``engine="compiled"``.
+#: behaviour; fast-path consumers opt in with ``engine="compiled"`` or
+#: ``engine="jit"``.
 DEFAULT_ENGINE = "reference"
+
+#: Step budget used when callers do not pass one (mirrors ``Device``'s
+#: default; the budget stands in for the paper's 60 s timeout).
+DEFAULT_MAX_STEPS = 2_000_000
 
 ThreadCoroutine = Generator[SchedulerEvent, None, None]
 
@@ -69,28 +87,74 @@ class PreparedGroup(ABC):
 
 
 class PreparedLaunch(ABC):
-    """A program prepared for one launch (global memory and limits bound)."""
+    """A lowered program bound to one launch's global memory."""
 
     @abstractmethod
     def bind_group(self, local_memory: memory.LocalMemory) -> PreparedGroup:
         """Bind one work-group's local buffers."""
 
+    @property
+    @abstractmethod
+    def steps(self) -> int:
+        """Interpretation steps consumed by this launch so far.
+
+        The device reads this after the launch completes to populate
+        :attr:`~repro.runtime.device.KernelResult.steps`; the engine contract
+        requires the value to be byte-identical across engines.
+        """
+
+
+class PreparedProgram(ABC):
+    """A program lowered by one engine, independent of any launch.
+
+    Instances are reusable across launches (and cacheable -- see
+    :class:`~repro.runtime.prepared.PreparedProgramCache`) but support only
+    one *active* launch at a time: :meth:`bind` resets the lowering's
+    internal step counter.
+    """
+
+    @abstractmethod
+    def bind(self, global_memory: memory.GlobalMemory) -> PreparedLaunch:
+        """Bind this lowering to one launch's global/constant buffers."""
+
 
 class ExecutionEngine(ABC):
     """Turns programs into schedulable work-item coroutines."""
 
-    #: Registry name; also recorded in execution-result cache fingerprints.
+    #: Registry name; also recorded in execution-result and prepared-program
+    #: cache fingerprints.
     name: str = "?"
 
+    #: Whether :meth:`lower` does real work worth caching across launches.
+    #: The prepared-program cache bypasses engines that leave this False
+    #: (no fingerprinting, no stats traffic).
+    cacheable_lowering: bool = True
+
     @abstractmethod
+    def lower(
+        self,
+        program: ast.Program,
+        comma_yields_zero: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> PreparedProgram:
+        """Lower ``program`` once, independent of any launch.
+
+        ``comma_yields_zero`` and ``max_steps`` are lowering inputs (engines
+        specialise comma-operator code and tick checks on them), which is why
+        both are part of the prepared-program cache key.
+        """
+
     def prepare(
         self,
         program: ast.Program,
         global_memory: memory.GlobalMemory,
-        limits: ExecutionLimits,
         comma_yields_zero: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
     ) -> PreparedLaunch:
-        """Lower/prepare ``program`` for one launch."""
+        """One-shot convenience: lower and bind for a single launch."""
+        return self.lower(
+            program, comma_yields_zero=comma_yields_zero, max_steps=max_steps
+        ).bind(global_memory)
 
 
 # ---------------------------------------------------------------------------
@@ -115,7 +179,7 @@ def available_engines() -> List[str]:
 def get_engine(engine: Union[str, ExecutionEngine, None]) -> ExecutionEngine:
     """Resolve an engine name (or pass an instance through).
 
-    Engines are stateless between launches, so one instance per registry
+    Engines are stateless between lowerings, so one instance per registry
     entry is shared by all devices in the process.
     """
     if engine is None:
@@ -149,13 +213,14 @@ class _ReferenceGroup(PreparedGroup):
         access_hook: Optional[memory.AccessHook] = None,
     ) -> ThreadCoroutine:
         launch = self._launch
+        lowered = launch.lowered
         interpreter = Interpreter(
-            launch.program,
+            lowered.program,
             launch.global_memory,
             self._local_memory,
             launch.limits,
             access_hook=access_hook,
-            comma_yields_zero=launch.comma_yields_zero,
+            comma_yields_zero=lowered.comma_yields_zero,
         )
         return interpreter.run_thread(context)
 
@@ -163,33 +228,53 @@ class _ReferenceGroup(PreparedGroup):
 class _ReferenceLaunch(PreparedLaunch):
     def __init__(
         self,
-        program: ast.Program,
+        lowered: "_ReferenceProgram",
         global_memory: memory.GlobalMemory,
-        limits: ExecutionLimits,
-        comma_yields_zero: bool,
     ) -> None:
-        self.program = program
+        self.lowered = lowered
         self.global_memory = global_memory
-        self.limits = limits
-        self.comma_yields_zero = comma_yields_zero
+        self.limits = ExecutionLimits(max_steps=lowered.max_steps)
 
     def bind_group(self, local_memory: memory.LocalMemory) -> PreparedGroup:
         return _ReferenceGroup(self, local_memory)
+
+    @property
+    def steps(self) -> int:
+        return self.limits.steps
+
+
+class _ReferenceProgram(PreparedProgram):
+    """The interpreter has no lowering step; this just carries the inputs."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        comma_yields_zero: bool,
+        max_steps: int,
+    ) -> None:
+        self.program = program
+        self.comma_yields_zero = comma_yields_zero
+        self.max_steps = max_steps
+
+    def bind(self, global_memory: memory.GlobalMemory) -> PreparedLaunch:
+        return _ReferenceLaunch(self, global_memory)
 
 
 class ReferenceEngine(ExecutionEngine):
     """The tree-walking interpreter behind the historical execution path."""
 
     name = "reference"
+    #: The interpreter has no lowering step -- ``lower`` just wraps its
+    #: arguments -- so caching it would be pure overhead.
+    cacheable_lowering = False
 
-    def prepare(
+    def lower(
         self,
         program: ast.Program,
-        global_memory: memory.GlobalMemory,
-        limits: ExecutionLimits,
         comma_yields_zero: bool = False,
-    ) -> PreparedLaunch:
-        return _ReferenceLaunch(program, global_memory, limits, comma_yields_zero)
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> PreparedProgram:
+        return _ReferenceProgram(program, comma_yields_zero, max_steps)
 
 
 def _make_compiled_engine() -> ExecutionEngine:
@@ -200,13 +285,23 @@ def _make_compiled_engine() -> ExecutionEngine:
     return CompiledEngine()
 
 
+def _make_jit_engine() -> ExecutionEngine:
+    # Imported lazily, like the compiled engine.
+    from repro.runtime.jit import JitEngine
+
+    return JitEngine()
+
+
 register_engine("reference", ReferenceEngine)
 register_engine("compiled", _make_compiled_engine)
+register_engine("jit", _make_jit_engine)
 
 
 __all__ = [
     "DEFAULT_ENGINE",
+    "DEFAULT_MAX_STEPS",
     "ExecutionEngine",
+    "PreparedProgram",
     "PreparedLaunch",
     "PreparedGroup",
     "ReferenceEngine",

@@ -1,0 +1,15 @@
+"""Exec-based JIT execution backend (the ``"jit"`` engine).
+
+Instead of interpreting the AST (reference engine) or calling one Python
+closure per node (compiled engine), this backend emits real Python source
+per kernel -- slot-local variables, inline budget ticks, calls into the
+shared :mod:`repro.runtime.ops` value semantics, ``yield`` only in
+barrier/atomic-reaching subtrees -- and lets CPython compile it once via
+``exec`` (see :mod:`repro.runtime.jit.emitter`).  Scheduling, memory, race
+detection and value semantics are shared with the other engines, which is
+what makes all three differentially testable against each other.
+"""
+
+from repro.runtime.jit.emitter import JitEngine
+
+__all__ = ["JitEngine"]

@@ -1,0 +1,1388 @@
+"""The exec-based JIT engine: kernel AST -> emitted Python source.
+
+The compiled engine removed the interpreter's isinstance dispatch but still
+pays one Python closure call per AST node a thread touches.  This engine
+removes that too: it emits real Python source per kernel -- one function per
+kernel-language function plus one thread entry -- compiles it once with
+CPython's own compiler (``exec``), and runs the resulting code objects.
+
+Emission strategy:
+
+* **one Python local per declaration site** -- lexical scoping and shadowing
+  are resolved at emit time into distinct Python locals holding
+  :class:`~repro.runtime.memory.Cell` objects, so variable access is a
+  LOAD_FAST plus an attribute read;
+* **inline budget ticks** -- the step budget is debited by inline
+  ``L.steps`` arithmetic at exactly the AST points the reference interpreter
+  ticks (adjacent ticks are merged, which is observable only through the
+  ``ExecutionTimeout`` payload -- pinned to ``max_steps + 1`` on every
+  engine);
+* **``yield`` only where scheduling can happen** -- the shared yield
+  analysis (:func:`repro.runtime.jit.support.yielding_functions`) decides
+  which functions become generators; within one, barriers/atomics are plain
+  inline ``yield`` statements and calls to yielding callees are inline
+  ``yield from`` expressions, so no extra generator frames exist at all;
+* **shared semantics** -- operators, conversions, builtins, pointer targets
+  and the hot access shapes call the same :mod:`repro.runtime.ops` /
+  :mod:`repro.runtime.jit.support` functions the other engines use; memory
+  accesses go through the same hook-firing paths, so the race detector sees
+  an identical access stream.
+
+Step counts, yields, UB raises and results are byte-identical to the
+reference interpreter and the compiled engine -- property-tested over the
+generated corpus in ``tests/test_engine.py``.
+
+Lowering is launch-independent: the emitted module's global/constant buffer
+pointers and its step counter bind per launch in :meth:`JitProgram.bind`
+(local buffers per group), so one ``exec``-compiled module is reusable
+across launches through the prepared-program cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel_lang import ast, builtins, types as ty, values as vals
+from repro.kernel_lang.semantics import UBKind
+from repro.runtime import memory, ops
+from repro.runtime.engine import (
+    DEFAULT_MAX_STEPS,
+    ExecutionEngine,
+    PreparedGroup,
+    PreparedLaunch,
+    PreparedProgram,
+)
+from repro.runtime.errors import (
+    ExecutionTimeout,
+    RuntimeCrash,
+    UndefinedBehaviourError,
+)
+from repro.runtime.interpreter import (
+    ATOMIC_EVENT,
+    BARRIER_EVENT,
+    ExecutionLimits,
+    SchedulerEvent,
+    ThreadContext,
+    _MAX_CALL_DEPTH,
+)
+from repro.runtime.jit import support
+
+_SV = vals.ScalarValue
+
+#: Shared atomic scheduling-point event (the scheduler only reads ``kind``).
+_ATOMIC_EVENT = SchedulerEvent(ATOMIC_EVENT)
+
+_INT0 = vals.ScalarValue(ty.INT, 0)
+_INT1 = vals.ScalarValue(ty.INT, 1)
+
+#: Names every emitted module resolves at run time.  Built once; per-program
+#: constants are layered on top of a copy.
+_BASE_NS = {
+    "_SV": vals.ScalarValue,
+    "_PV": vals.PointerValue,
+    "_VV": vals.VectorValue,
+    "_Cell": memory.Cell,
+    "_Cu": memory.Cell.uninitialised,
+    "_LV": memory.LValue,
+    "_mk": ops.mk_scalar,
+    "_decay": ops.decay,
+    "_truthy": ops.truthy,
+    "_as_int": ops.as_int,
+    "_cfs": ops.convert_for_store,
+    "_cast": ops.cast_value,
+    "_unary": ops.unary,
+    "_bin": ops.binary,
+    "_ar": ops.scalar_arith,
+    "_cst": ty.common_scalar_type,
+    "_ptg": ops.pointer_target,
+    "_deref": ops.deref_target,
+    "_zero": vals.zero_value,
+    "_zeroS": vals.StructValue.zero,
+    "_zeroU": vals.UnionValue.zero,
+    "_zeroA": vals.ArrayValue.zero,
+    "_rvc": ops.rvalue_component,
+    "_rvf": ops.rvalue_field,
+    "_rvi": ops.rvalue_index,
+    "_UB": UndefinedBehaviourError,
+    "_UBK": UBKind,
+    "_TO": ExecutionTimeout,
+    "_RC": RuntimeCrash,
+    "_I0": _INT0,
+    "_I1": _INT1,
+    "_EA": _ATOMIC_EVENT,
+    "_bload": support.buffer_load,
+    "_bref": support.buffer_ref,
+    "_bstore": support.buffer_store,
+    "_aload": support.member_load,
+    "_aref": support.member_ref,
+    "_astore": support.member_store,
+    "_sload": support.struct_load,
+    "_vload": support.vector_load,
+    "_fstore": support.field_store,
+    "_cstore": support.component_store,
+    "_cv": support.conv_store,
+    "_bi2": support.builtin2,
+    "_biN": support.builtin_n,
+    "_afin": support.atomic_finish,
+    "_vfin": support.vector_literal_finish,
+    "_cz": support.comma_zero,
+}
+
+
+def _raiser(kind: UBKind, message: str):
+    def raise_it():
+        raise UndefinedBehaviourError(kind, message)
+    return raise_it
+
+
+def _truthy_src(name: str) -> str:
+    """Inline truthiness of a value temp (scalar fast path, UB fallback)."""
+    return f"({name}.value != 0 if {name}.__class__ is _SV else _truthy({name}))"
+
+
+class _FnState:
+    """Per-emitted-function state: temp names, loop contexts, default return."""
+
+    __slots__ = ("tmp", "loops", "default")
+
+    def __init__(self, default: Optional[str]) -> None:
+        self.tmp = 0
+        #: Stack of ("for", update_chunk) / ("while", None) / ("swallow", None).
+        self.loops: List[Tuple[str, Optional[List[Tuple[int, str]]]]] = []
+        #: Python expression for the function's implicit/void return value,
+        #: or None for the kernel thread (whose return value is discarded).
+        self.default = default
+
+    def fresh(self) -> str:
+        name = f"t{self.tmp}"
+        self.tmp += 1
+        return name
+
+
+class _ModuleEmitter:
+    """Emits one Python module of source for one program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        comma_yields_zero: bool,
+        max_steps: int,
+    ) -> None:
+        self.program = program
+        self.comma_yields_zero = comma_yields_zero
+        self.max_steps = max_steps
+        self._functions: Dict[str, ast.FunctionDecl] = {
+            fn.name: fn for fn in program.functions if fn.body is not None
+        }
+        self._yielding = support.yielding_functions(self._functions)
+        self._fn_py = {
+            name: f"_fn{i}" for i, name in enumerate(self._functions)
+        }
+        self.out: List[Tuple[int, str]] = []
+        self.consts: Dict[str, object] = {}
+        self._const_keys: Dict[object, str] = {}
+        self._const_n = 0
+        self._wi_map: Dict[Tuple[str, int], int] = {}
+        self.wi_specs: List[Tuple[str, int]] = []
+        #: (ns_name, "global"|"local", param_name, param_type) resolved at
+        #: bind / bind_group time.
+        self.param_plan: List[Tuple[str, str, str, ty.PointerType]] = []
+        self.kernel_yields = False
+        #: Position/indent of the last emitted tick, for merge peepholing.
+        self._last_tick: Optional[Tuple[int, int, int]] = None
+
+    # -- output helpers --------------------------------------------------
+
+    def w(self, ind: int, text: str) -> None:
+        self.out.append((ind, text))
+        self._last_tick = None
+
+    def tick(self, ind: int, n: int) -> None:
+        """Debit ``n`` budget steps; merges with an immediately preceding
+        tick (adjacent lines, nothing observable in between)."""
+        if self._last_tick is not None:
+            pos, last_ind, last_n = self._last_tick
+            if pos == len(self.out) and last_ind == ind:
+                total = last_n + n
+                self.out[pos - 2] = (ind, f"_s = L.steps = L.steps + {total}")
+                self._last_tick = (pos, ind, total)
+                return
+        self.out.append((ind, f"_s = L.steps = L.steps + {n}"))
+        # The reference walker increments one step at a time, so the first
+        # crossing it can observe is exactly max_steps + 1; every engine
+        # reports that value for byte-identical ExecutionTimeout payloads.
+        self.out.append((ind, f"if _s > {self.max_steps}: raise _TO({self.max_steps + 1})"))
+        self._last_tick = (len(self.out), ind, n)
+
+    def capture(self) -> List[Tuple[int, str]]:
+        """Swap in a fresh output buffer (for reusable line chunks)."""
+        saved = self.out
+        self.out = []
+        self._last_tick = None
+        return saved
+
+    def release(self, saved: List[Tuple[int, str]]) -> List[Tuple[int, str]]:
+        chunk = self.out
+        self.out = saved
+        self._last_tick = None
+        return chunk
+
+    def splice(self, chunk: List[Tuple[int, str]], ind: int) -> None:
+        for rel_ind, text in chunk:
+            self.w(ind + rel_ind, text)
+
+    def suite(self, ind: int, start: int) -> None:
+        """Ensure an indented suite emitted since ``start`` is non-empty."""
+        if len(self.out) == start:
+            self.w(ind, "pass")
+
+    # -- constants -------------------------------------------------------
+
+    def const(self, key: object, obj: object, prefix: str) -> str:
+        name = self._const_keys.get(key)
+        if name is None:
+            name = f"_{prefix}{self._const_n}"
+            self._const_n += 1
+            self._const_keys[key] = name
+            self.consts[name] = obj
+        return name
+
+    def type_const(self, t: ty.Type) -> str:
+        return self.const(("t", id(t)), t, "t")
+
+    def wrap_const(self, t: ty.IntType) -> str:
+        return self.const(("w", id(t)), t.wrap, "w")
+
+    def scalar_const(self, t: ty.IntType, raw: int) -> str:
+        key = ("k", id(t), raw)
+        if key not in self._const_keys:
+            return self.const(key, vals.ScalarValue.wrap(t, raw), "k")
+        return self._const_keys[key]
+
+    def value_const(self, v: object) -> str:
+        return self.const(("v", id(v)), v, "v")
+
+    def spec_const(self, spec: builtins.BuiltinSpec) -> str:
+        return self.const(("b", id(spec)), spec, "b")
+
+    def wi_index(self, function: str, dimension: int) -> int:
+        key = (function, dimension)
+        if key not in self._wi_map:
+            self._wi_map[key] = len(self.wi_specs)
+            self.wi_specs.append(key)
+        return self._wi_map[key]
+
+    # -- static shape analysis (mirrors the other engines) ---------------
+
+    def _is_pointer_expr(self, expr: ast.Expr, sc: "_Scope") -> bool:
+        if isinstance(expr, ast.VarRef):
+            entry = sc.lookup(expr.name)
+            return entry is not None and isinstance(entry[1], ty.PointerType)
+        return False
+
+    def _is_lvalue_shaped(self, expr: ast.Expr, sc: "_Scope") -> bool:
+        if isinstance(expr, (ast.VarRef, ast.Deref)):
+            return True
+        if isinstance(expr, ast.FieldAccess):
+            if expr.arrow:
+                return True
+            return self._is_lvalue_shaped(expr.base, sc)
+        if isinstance(expr, ast.IndexAccess):
+            if self._is_pointer_expr(expr.base, sc):
+                return True
+            return self._is_lvalue_shaped(expr.base, sc)
+        if isinstance(expr, ast.VectorComponent):
+            return self._is_lvalue_shaped(expr.base, sc)
+        return False
+
+    def _raise_stmt(self, ind: int, ticks: int, kind: UBKind, message: str) -> None:
+        if ticks:
+            self.tick(ind, ticks)
+        self.w(ind, f"raise _UB(_UBK.{kind.name}, {message!r})")
+
+    # ==================================================================
+    # Module assembly
+    # ==================================================================
+
+    def emit_module(self) -> str:
+        # Only functions reachable from the kernel via calls are emitted
+        # (mirroring the compiled engine's lazy function records); dead
+        # helpers would only slow the one-off CPython compile down.
+        reachable = self._reachable_functions()
+        for name, decl in self._functions.items():
+            if name in reachable:
+                self.emit_function(decl)
+        self.emit_thread()
+        return "\n".join("    " * ind + text for ind, text in self.out)
+
+    def _reachable_functions(self) -> set:
+        seen: set = set()
+        frontier = [self.program.kernel().body]
+        while frontier:
+            body = frontier.pop()
+            for node in body.walk():
+                if (
+                    isinstance(node, ast.Call)
+                    and node.name in self._functions
+                    and node.name not in seen
+                ):
+                    seen.add(node.name)
+                    frontier.append(self._functions[node.name].body)
+        return seen
+
+    def emit_function(self, decl: ast.FunctionDecl) -> None:
+        pyname = self._fn_py[decl.name]
+        sc = _Scope(None)
+        args = []
+        cells = []
+        for i, p in enumerate(decl.params):
+            arg = f"a{i}"
+            var = sc.declare(p.name, p.type)
+            args.append(arg)
+            cells.append((arg, var, p))
+        rtype = decl.return_type
+        if isinstance(rtype, ty.VoidType):
+            default = "_I0"
+        elif isinstance(rtype, ty.IntType):
+            # Falling off the end of a value-returning function: C leaves the
+            # value unspecified; the model defines it as 0 (deterministic).
+            default = self.value_const(vals.zero_value(rtype))
+        else:
+            default = f"_zero({self.type_const(rtype)})"
+        fs = _FnState(default)
+        head = ", ".join(["wi", "hook", "depth"] + args)
+        self.w(0, f"def {pyname}({head}):")
+        for arg, var, p in cells:
+            self.w(1, f"{var} = _Cell({p.name!r}, {self.type_const(p.type)}, {arg}.copy())")
+        self.emit_block(decl.body, sc, fs, 1)
+        self.w(1, f"return {default}")
+        self.w(0, "")
+
+    def emit_thread(self) -> None:
+        kernel = self.program.kernel()
+        self.kernel_yields = self._body_yields(kernel.body)
+        sc = _Scope(None)
+        scalar_args: Dict[str, int] = dict(
+            self.program.metadata.get("scalar_args", {})
+        )
+        fs = _FnState(None)
+        self.w(0, "def _thread(wi, hook):")
+        self.w(1, "depth = 0")
+        for k, param in enumerate(kernel.params):
+            var = sc.declare(param.name, param.type)
+            tconst = self.type_const(param.type)
+            if isinstance(param.type, ty.PointerType):
+                space = param.type.address_space
+                if space in (ty.GLOBAL, ty.CONSTANT):
+                    ns_name = f"_p{k}"
+                    self.param_plan.append((ns_name, "global", param.name, param.type))
+                    self.consts[ns_name] = None  # bound per launch
+                    self.w(1, f"{var} = _Cell({param.name!r}, {tconst}, {ns_name})")
+                elif space == ty.LOCAL:
+                    ns_name = f"_p{k}"
+                    self.param_plan.append((ns_name, "local", param.name, param.type))
+                    self.consts[ns_name] = None  # bound per work-group
+                    self.w(1, f"{var} = _Cell({param.name!r}, {tconst}, {ns_name})")
+                else:
+                    fn = _raiser(
+                        UBKind.NULL_DEREFERENCE,
+                        f"kernel pointer parameter {param.name!r} in private space",
+                    )
+                    self.w(1, f"{self.value_const(fn)}()")
+            elif isinstance(param.type, ty.IntType):
+                raw = scalar_args.get(param.name, 0)
+                value = self.scalar_const(param.type, raw)
+                self.w(1, f"{var} = _Cell({param.name!r}, {tconst}, {value})")
+            else:
+                fn = _raiser(
+                    UBKind.INVALID_FIELD,
+                    f"unsupported kernel parameter type {param.type}",
+                )
+                self.w(1, f"{self.value_const(fn)}()")
+        self.emit_block(kernel.body, sc, fs, 1)
+        self.w(1, "return")
+        self.w(0, "")
+        if self.kernel_yields:
+            self.w(0, "_main = _thread")
+        else:
+            self.w(0, "def _main(wi, hook):")
+            self.w(1, "_thread(wi, hook)")
+            self.w(1, "return")
+            self.w(1, "yield")
+        self.w(0, "")
+
+    def _body_yields(self, body: ast.Block) -> bool:
+        for node in body.walk():
+            if isinstance(node, ast.BarrierStmt):
+                return True
+            if isinstance(node, ast.Call):
+                if node.name in builtins.ATOMIC_BUILTINS:
+                    return True
+                if node.name in self._yielding:
+                    return True
+        return False
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+
+    def emit_block(self, blk: ast.Block, sc: "_Scope", fs: _FnState, ind: int) -> None:
+        inner = sc.child()
+        start = len(self.out)
+        for stmt in blk.statements:
+            self.emit_stmt(stmt, inner, fs, ind)
+        self.suite(ind, start)
+
+    def emit_stmt(self, stmt: ast.Stmt, sc: "_Scope", fs: _FnState, ind: int) -> None:
+        if isinstance(stmt, ast.Block):
+            self.tick(ind, 1)
+            self.emit_block(stmt, sc, fs, ind)
+            return
+        if isinstance(stmt, ast.DeclStmt):
+            self.emit_decl(stmt, sc, fs, ind)
+            return
+        if isinstance(stmt, ast.AssignStmt):
+            # The statement tick is folded into the assignment's entry tick
+            # (they are contiguous: nothing observable happens in between).
+            self.emit_assign(stmt.target, stmt.value, stmt.op, sc, fs, ind, extra=1)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self.tick(ind, 1)
+            self.expr(stmt.expr, sc, fs, ind)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            self.tick(ind, 1)
+            c = self.expr(stmt.cond, sc, fs, ind)
+            self.w(ind, f"if {_truthy_src(c)}:")
+            self.emit_block(stmt.then_block, sc, fs, ind + 1)
+            if stmt.else_block is not None:
+                self.w(ind, "else:")
+                self.emit_block(stmt.else_block, sc, fs, ind + 1)
+            return
+        if isinstance(stmt, ast.ForStmt):
+            self.emit_for(stmt, sc, fs, ind)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            self.emit_while(stmt, sc, fs, ind)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            self.tick(ind, 1)
+            if stmt.value is None:
+                self.w(ind, "return" if fs.default is None else f"return {fs.default}")
+                return
+            v = self.expr(stmt.value, sc, fs, ind)
+            self.w(ind, "return" if fs.default is None else f"return {v}")
+            return
+        if isinstance(stmt, ast.BreakStmt):
+            self.tick(ind, 1)
+            self._emit_break(fs, ind)
+            return
+        if isinstance(stmt, ast.ContinueStmt):
+            self.tick(ind, 1)
+            self._emit_continue(fs, ind)
+            return
+        if isinstance(stmt, ast.BarrierStmt):
+            event = SchedulerEvent(
+                BARRIER_EVENT, barrier_site=id(stmt), fence=stmt.fence
+            )
+            self.tick(ind, 1)
+            self.w(ind, f"yield {self.const(('e', id(stmt)), event, 'e')}")
+            return
+        self._raise_stmt(
+            ind, 1, UBKind.INVALID_FIELD, f"unknown statement {type(stmt).__name__}"
+        )
+
+    def _emit_break(self, fs: _FnState, ind: int) -> None:
+        if not fs.loops:
+            # Flow propagation with no enclosing loop ends the function
+            # (kernel thread) or yields its default return value.
+            self.w(ind, "return" if fs.default is None else f"return {fs.default}")
+            return
+        self.w(ind, "break")
+
+    def _emit_continue(self, fs: _FnState, ind: int) -> None:
+        if not fs.loops:
+            self.w(ind, "return" if fs.default is None else f"return {fs.default}")
+            return
+        kind, update = fs.loops[-1]
+        if kind == "swallow":
+            # break/continue inside a for-loop's init/update statement abort
+            # the rest of that statement and let the loop proceed.
+            self.w(ind, "break")
+            return
+        if kind == "for" and update is not None:
+            # The reference semantics run the update before re-testing the
+            # condition; Python's continue jumps straight to the loop head,
+            # so the update chunk is spliced in front of it.
+            self.splice(update, ind)
+        self.w(ind, "continue")
+
+    def _contains_loose_flow(self, stmt: ast.Stmt) -> bool:
+        """True when ``stmt`` contains a break/continue not bound to a loop
+        nested inside ``stmt`` itself (only possible in for init/update)."""
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            return True
+        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt)):
+            return False
+        for child in stmt.children():
+            if isinstance(child, ast.Stmt) and self._contains_loose_flow(child):
+                return True
+        return False
+
+    def _emit_aux_stmt(self, stmt: ast.Stmt, sc: "_Scope", fs: _FnState, ind: int) -> None:
+        """A for-loop init/update statement; break/continue inside it do not
+        escape to the enclosing loop (mirroring the flow rules of the
+        reference interpreter, which only propagates returns out of them)."""
+        if self._contains_loose_flow(stmt):
+            self.w(ind, "for _aux in (0,):")
+            fs.loops.append(("swallow", None))
+            start = len(self.out)
+            self.emit_stmt(stmt, sc, fs, ind + 1)
+            self.suite(ind + 1, start)
+            fs.loops.pop()
+        else:
+            self.emit_stmt(stmt, sc, fs, ind)
+
+    def emit_for(self, stmt: ast.ForStmt, sc: "_Scope", fs: _FnState, ind: int) -> None:
+        inner = sc.child()
+        self.tick(ind, 1)
+        if stmt.init is not None:
+            self._emit_aux_stmt(stmt.init, inner, fs, ind)
+        update_chunk: Optional[List[Tuple[int, str]]] = None
+        if stmt.update is not None:
+            saved = self.capture()
+            self._emit_aux_stmt(stmt.update, inner, fs, 0)
+            update_chunk = self.release(saved)
+        self.w(ind, "while True:")
+        self.tick(ind + 1, 1)
+        if stmt.cond is not None:
+            c = self.expr(stmt.cond, inner, fs, ind + 1)
+            self.w(ind + 1, f"if not {_truthy_src(c)}: break")
+        fs.loops.append(("for", update_chunk))
+        self.emit_block(stmt.body, inner, fs, ind + 1)
+        fs.loops.pop()
+        if update_chunk is not None:
+            self.splice(update_chunk, ind + 1)
+
+    def emit_while(self, stmt: ast.WhileStmt, sc: "_Scope", fs: _FnState, ind: int) -> None:
+        self.tick(ind, 1)
+        self.w(ind, "while True:")
+        self.tick(ind + 1, 1)
+        c = self.expr(stmt.cond, sc, fs, ind + 1)
+        self.w(ind + 1, f"if not {_truthy_src(c)}: break")
+        fs.loops.append(("while", None))
+        self.emit_block(stmt.body, sc, fs, ind + 1)
+        fs.loops.pop()
+
+    def emit_decl(self, stmt: ast.DeclStmt, sc: "_Scope", fs: _FnState, ind: int) -> None:
+        tconst = self.type_const(stmt.type)
+        vol = ", volatile=True" if stmt.volatile else ""
+        self.tick(ind, 1)
+        if stmt.init is None:
+            var = sc.declare(stmt.name, stmt.type, uninit=True)
+            self.w(ind, f"{var} = _Cu({stmt.name!r}, {tconst}{vol})")
+            return
+        # The initialiser is emitted *before* the name is declared: like the
+        # interpreter, a reference to the name inside its own initialiser
+        # sees the outer binding, not the cell being initialised.
+        value = self.emit_init_value(stmt.init, stmt.type, sc, fs, ind)
+        var = sc.declare(stmt.name, stmt.type)
+        self.w(ind, f"{var} = _Cell({stmt.name!r}, {tconst}, {value}{vol})")
+
+    # ==================================================================
+    # Initialisers
+    # ==================================================================
+
+    def emit_init_value(
+        self, init: ast.Expr, target_type: ty.Type, sc: "_Scope", fs: _FnState, ind: int
+    ) -> str:
+        """Mirror of the interpreter's ``_eval_initialiser`` (no own tick)."""
+        if isinstance(init, ast.InitList):
+            return self.emit_initlist(init, target_type, sc, fs, ind)
+        value = self.expr(init, sc, fs, ind)
+        return self.emit_conv(value, target_type, fs, ind)
+
+    def _conv_src(self, value: str, target: ty.Type) -> str:
+        """Convert-for-store expression with the integer fast path inlined.
+
+        A scalar already of the target type passes through unconverted --
+        scalars are immutable, so sharing the object is indistinguishable
+        from the fresh wrap the generic path would construct.
+        """
+        tconst = self.type_const(target)
+        if isinstance(target, ty.IntType):
+            wconst = self.wrap_const(target)
+            return (
+                f"({value} if {value}.type is {tconst} "
+                f"else _mk({tconst}, {wconst}({value}.value))) "
+                f"if {value}.__class__ is _SV else _cfs({value}, {tconst})"
+            )
+        return f"_cfs({value}, {tconst})"
+
+    def emit_conv(self, value: str, target: ty.Type, fs: _FnState, ind: int) -> str:
+        """Conversion at the merely-warm sites (declaration initialisers,
+        call arguments): a support-helper call keeps the emitted module
+        small, which is what bounds the one-off CPython compile."""
+        t = fs.fresh()
+        self.w(ind, f"{t} = _cv({value}, {self.type_const(target)})")
+        return t
+
+    def emit_initlist(
+        self, init: ast.InitList, target_type: ty.Type, sc: "_Scope", fs: _FnState, ind: int
+    ) -> str:
+        if isinstance(target_type, ty.StructType):
+            t = fs.fresh()
+            self.w(ind, f"{t} = _zeroS({self.type_const(target_type)})")
+            for fdecl, elem in zip(target_type.fields, init.elements):
+                v = self.emit_init_value(elem, fdecl.type, sc, fs, ind)
+                self.w(ind, f"{t}.set({fdecl.name!r}, {v})")
+            return t
+        if isinstance(target_type, ty.UnionType):
+            # C semantics: a braced initialiser for a union initialises its
+            # *first* member (Figure 2(a) depends on this).
+            t = fs.fresh()
+            self.w(ind, f"{t} = _zeroU({self.type_const(target_type)})")
+            if init.elements:
+                first = target_type.fields[0]
+                v = self.emit_init_value(init.elements[0], first.type, sc, fs, ind)
+                self.w(ind, f"{t}.set({first.name!r}, {v})")
+            return t
+        if isinstance(target_type, ty.ArrayType):
+            t = fs.fresh()
+            length = target_type.length
+            self.w(ind, f"{t} = _zeroA({self.type_const(target_type)})")
+            for i, elem in enumerate(init.elements[:length]):
+                v = self.emit_init_value(elem, target_type.element, sc, fs, ind)
+                self.w(ind, f"{t}.set({i}, {v})")
+            if len(init.elements) > length:
+                self._raise_stmt(
+                    ind, 0, UBKind.OUT_OF_BOUNDS, "excess elements in array initialiser"
+                )
+            return t
+        if isinstance(target_type, (ty.IntType, ty.VectorType)):
+            if len(init.elements) != 1:
+                self._raise_stmt(
+                    ind, 0, UBKind.INVALID_FIELD, "scalar initialised with a list"
+                )
+                return "None"
+            value = self.expr(init.elements[0], sc, fs, ind)
+            return self.emit_conv(value, target_type, fs, ind)
+        self._raise_stmt(
+            ind, 0, UBKind.INVALID_FIELD,
+            f"cannot initialise {target_type} from a list",
+        )
+        return "None"
+
+    # ==================================================================
+    # Assignments
+    # ==================================================================
+
+    def emit_assign(
+        self,
+        target: ast.Expr,
+        value: ast.Expr,
+        op: str,
+        sc: "_Scope",
+        fs: _FnState,
+        ind: int,
+        extra: int = 0,
+    ) -> None:
+        """The write of ``target op= value``; ``extra`` folds the caller's
+        preceding statement/expression tick into the entry tick."""
+        base_op = op[:-1] if op != "=" else None
+
+        # Fast path: ``ptr[idx] = value`` (the CLsmith result-reporting idiom
+        # and most generated stores).
+        if (
+            base_op is None
+            and isinstance(target, ast.IndexAccess)
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = sc.lookup(target.base.name)
+            if entry is not None and isinstance(entry[1], ty.PointerType):
+                var = entry[0]
+                self.tick(ind, 1 + extra)  # stmt/expr tick + lvalue entry tick
+                ix = self.expr(target.index, sc, fs, ind)
+                i = fs.fresh()
+                self.w(ind, f"{i} = {ix}.value if {ix}.__class__ is _SV else _as_int({ix})")
+                self.tick(ind, 2)  # pointer VarRef eval + lvalue ticks
+                c, p = fs.fresh(), fs.fresh()
+                self.w(ind, f"{c}, {p} = _bref({var}.value, {i})")
+                rhs = self.expr(value, sc, fs, ind)
+                self.w(ind, f"_bstore({c}, {p}, {i}, {rhs}, hook)")
+                return
+
+        # Fast path: ``ptr->field = value`` (the globals-struct idiom).
+        if (
+            base_op is None
+            and isinstance(target, ast.FieldAccess)
+            and target.arrow
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = sc.lookup(target.base.name)
+            if entry is not None and isinstance(entry[1], ty.PointerType):
+                var = entry[0]
+                # stmt/expr tick + arrow lvalue tick + pointer VarRef ticks
+                self.tick(ind, 3 + extra)
+                c, p = fs.fresh(), fs.fresh()
+                self.w(ind, f"{c}, {p} = _aref({var}.value, {target.field!r})")
+                rhs = self.expr(value, sc, fs, ind)
+                self.w(ind, f"_astore({c}, {p}, {target.field!r}, {rhs}, hook)")
+                return
+
+        # Fast path: ``var.field = value`` on a local struct.
+        if (
+            base_op is None
+            and isinstance(target, ast.FieldAccess)
+            and not target.arrow
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = sc.lookup(target.base.name)
+            if (
+                entry is not None
+                and isinstance(entry[1], ty.StructType)
+                and entry[1].has_field(target.field)
+            ):
+                var = entry[0]
+                ftype = entry[1].field(target.field).type
+                # stmt/expr tick + FieldAccess lvalue tick + VarRef lvalue tick
+                self.tick(ind, 2 + extra)
+                rhs = self.expr(value, sc, fs, ind)
+                self.w(
+                    ind,
+                    f"_fstore({var}, {target.field!r}, {self.type_const(ftype)}, {rhs})",
+                )
+                return
+
+        # Fast path: ``var.x = value`` on a local vector.
+        if (
+            base_op is None
+            and isinstance(target, ast.VectorComponent)
+            and isinstance(target.base, ast.VarRef)
+        ):
+            entry = sc.lookup(target.base.name)
+            if (
+                entry is not None
+                and isinstance(entry[1], ty.VectorType)
+                and 0 <= target.component < entry[1].length
+            ):
+                var = entry[0]
+                etype = entry[1].element
+                self.tick(ind, 2 + extra)
+                rhs = self.expr(value, sc, fs, ind)
+                self.w(
+                    ind,
+                    f"_cstore({var}, {target.component}, {self.type_const(etype)}, {rhs})",
+                )
+                return
+
+        # Fast path: plain variable target (always a private cell; no hook).
+        if isinstance(target, ast.VarRef):
+            entry = sc.lookup(target.name)
+            if entry is not None:
+                var, decl_type = entry
+                self.tick(ind, 1 + extra)  # stmt/expr tick + VarRef lvalue tick
+                rhs = self.expr(value, sc, fs, ind)
+                if base_op is not None:
+                    r2 = fs.fresh()
+                    self.w(ind, f"{r2} = _bin({base_op!r}, {var}.value, {rhs})")
+                    rhs = r2
+                self.w(ind, f"{var}.value = {self._conv_src(rhs, decl_type)}")
+                # ``initialised`` is only ever False for no-initialiser
+                # declarations, so only their assignments need the flip.
+                if var in sc.root.maybe_uninit:
+                    self.w(ind, f"{var}.initialised = True")
+                return
+
+        # Generic path: materialise the LValue.
+        if extra:
+            self.tick(ind, extra)
+        lv, static = self.emit_lvalue(target, sc, fs, ind)
+        rhs = self.expr(value, sc, fs, ind)
+        if base_op is not None:
+            r2 = fs.fresh()
+            self.w(ind, f"{r2} = _bin({base_op!r}, {lv}.read(hook), {rhs})")
+            rhs = r2
+        if static is None:
+            self.w(ind, f"{lv}.write(_cfs({rhs}, {lv}.type), hook)")
+        else:
+            self.w(ind, f"{lv}.write(_cv({rhs}, {self.type_const(static)}), hook)")
+
+    # ==================================================================
+    # L-values
+    # ==================================================================
+
+    def emit_lvalue(
+        self, expr: ast.Expr, sc: "_Scope", fs: _FnState, ind: int
+    ) -> Tuple[str, Optional[ty.Type]]:
+        """Emit the LValue of ``expr`` (own tick included) plus its static
+        type if known; mirrors the compiled engine's ``_compile_lvalue``."""
+        if isinstance(expr, ast.VarRef):
+            entry = sc.lookup(expr.name)
+            if entry is None:
+                self._raise_stmt(
+                    ind, 1, UBKind.UNINITIALISED_READ, f"unknown variable {expr.name!r}"
+                )
+                return "None", None
+            var, decl_type = entry
+            self.tick(ind, 1)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _LV({var})")
+            return t, decl_type
+        if isinstance(expr, ast.Deref):
+            self.tick(ind, 1)
+            o = self.expr(expr.operand, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _deref({o})")
+            return t, None
+        if isinstance(expr, ast.FieldAccess):
+            if expr.arrow:
+                self.tick(ind, 1)
+                b = self.expr(expr.base, sc, fs, ind)
+                t = fs.fresh()
+                self.w(ind, f"{t} = _ptg({b}).member({expr.field!r})")
+                return t, None
+            self.tick(ind, 1)
+            base, base_type = self.emit_lvalue(expr.base, sc, fs, ind)
+            static = None
+            if isinstance(base_type, (ty.StructType, ty.UnionType)) and base_type.has_field(
+                expr.field
+            ):
+                static = base_type.field(expr.field).type
+            t = fs.fresh()
+            self.w(ind, f"{t} = {base}.member({expr.field!r})")
+            return t, static
+        if isinstance(expr, ast.IndexAccess):
+            if self._is_pointer_expr(expr.base, sc):
+                self.tick(ind, 1)
+                ix = self.expr(expr.index, sc, fs, ind)
+                i = fs.fresh()
+                self.w(
+                    ind,
+                    f"{i} = {ix}.value if {ix}.__class__ is _SV else _as_int({ix})",
+                )
+                b = self.expr(expr.base, sc, fs, ind)
+                t = fs.fresh()
+                self.w(ind, f"if {b}.__class__ is _PV and {b}.cell is not None:")
+                self.w(ind + 1, f"{t} = _LV({b}.cell, {b}.path + ({i},))")
+                self.w(ind, "else:")
+                self.w(ind + 1, f"{t} = _ptg({b}).index({i})")
+                return t, None
+            self.tick(ind, 1)
+            ix = self.expr(expr.index, sc, fs, ind)
+            i = fs.fresh()
+            self.w(ind, f"{i} = _as_int({ix})")
+            base, base_type = self.emit_lvalue(expr.base, sc, fs, ind)
+            static = base_type.element if isinstance(base_type, ty.ArrayType) else None
+            t = fs.fresh()
+            self.w(ind, f"{t} = {base}.index({i})")
+            return t, static
+        if isinstance(expr, ast.VectorComponent):
+            self.tick(ind, 1)
+            base, base_type = self.emit_lvalue(expr.base, sc, fs, ind)
+            static = base_type.element if isinstance(base_type, ty.VectorType) else None
+            t = fs.fresh()
+            self.w(ind, f"{t} = {base}.index({expr.component})")
+            return t, static
+        self._raise_stmt(
+            ind, 1, UBKind.INVALID_FIELD,
+            f"expression is not an lvalue: {type(expr).__name__}",
+        )
+        return "None", None
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+
+    def expr(self, e: ast.Expr, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        """Emit the evaluation of ``e``; returns the temp/const holding it."""
+        if isinstance(e, ast.IntLiteral):
+            self.tick(ind, 1)
+            return self.scalar_const(e.type, e.value)
+        if isinstance(e, ast.VarRef):
+            entry = sc.lookup(e.name)
+            if entry is None:
+                self._raise_stmt(
+                    ind, 2, UBKind.UNINITIALISED_READ, f"unknown variable {e.name!r}"
+                )
+                return "None"
+            var, decl_type = entry
+            self.tick(ind, 2)  # the _eval tick plus the _eval_lvalue tick
+            t = fs.fresh()
+            if isinstance(decl_type, (ty.StructType, ty.UnionType, ty.ArrayType)):
+                self.w(ind, f"{t} = {var}.value.copy()")
+            else:
+                self.w(ind, f"{t} = {var}.value")
+            return t
+        if isinstance(e, ast.WorkItemExpr):
+            if e.function not in ast.WORKITEM_FUNCTIONS:  # pragma: no cover
+                self._raise_stmt(
+                    ind, 1, UBKind.INVALID_FIELD, f"unknown work-item fn {e.function}"
+                )
+                return "None"
+            self.tick(ind, 1)
+            t = fs.fresh()
+            self.w(ind, f"{t} = wi[{self.wi_index(e.function, e.dimension)}]")
+            return t
+        if isinstance(e, ast.VectorLiteral):
+            return self.emit_vector_literal(e, sc, fs, ind)
+        if isinstance(e, ast.UnaryOp):
+            self.tick(ind, 1)
+            o = self.expr(e.operand, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _unary({e.op!r}, {o})")
+            return t
+        if isinstance(e, ast.AddressOf):
+            self.tick(ind, 1)
+            lv, _ = self.emit_lvalue(e.operand, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = {lv}.as_pointer()")
+            return t
+        if isinstance(e, ast.Deref):
+            self.tick(ind, 2)  # _eval tick + _eval_lvalue tick
+            o = self.expr(e.operand, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _decay(_deref({o}).read(hook))")
+            return t
+        if isinstance(e, ast.BinaryOp):
+            return self.emit_binary(e, sc, fs, ind)
+        if isinstance(e, ast.Conditional):
+            self.tick(ind, 1)
+            c = self.expr(e.cond, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"if {_truthy_src(c)}:")
+            a = self.expr(e.then, sc, fs, ind + 1)
+            self.w(ind + 1, f"{t} = {a}")
+            self.w(ind, "else:")
+            b = self.expr(e.otherwise, sc, fs, ind + 1)
+            self.w(ind + 1, f"{t} = {b}")
+            return t
+        if isinstance(e, ast.Cast):
+            self.tick(ind, 1)
+            o = self.expr(e.operand, sc, fs, ind)
+            t = fs.fresh()
+            tconst = self.type_const(e.type)
+            if isinstance(e.type, ty.IntType):
+                wconst = self.wrap_const(e.type)
+                self.w(
+                    ind,
+                    f"{t} = ({o} if {o}.type is {tconst} "
+                    f"else _mk({tconst}, {wconst}({o}.value))) "
+                    f"if {o}.__class__ is _SV else _cast({o}, {tconst})",
+                )
+            else:
+                self.w(ind, f"{t} = _cast({o}, {tconst})")
+            return t
+        if isinstance(e, (ast.FieldAccess, ast.IndexAccess, ast.VectorComponent)):
+            return self.emit_access(e, sc, fs, ind)
+        if isinstance(e, ast.Call):
+            return self.emit_call(e, sc, fs, ind)
+        if isinstance(e, ast.AssignExpr):
+            # The _eval tick is folded into the assignment's entry tick.
+            self.emit_assign(e.target, e.value, e.op, sc, fs, ind, extra=1)
+            return self.emit_target_reread(e.target, sc, fs, ind)
+        if isinstance(e, ast.InitList):
+            self._raise_stmt(
+                ind, 1, UBKind.INVALID_FIELD, "initialiser list outside a declaration"
+            )
+            return "None"
+        self._raise_stmt(
+            ind, 1, UBKind.INVALID_FIELD, f"unknown expression {type(e).__name__}"
+        )
+        return "None"
+
+    def emit_target_reread(
+        self, target: ast.Expr, sc: "_Scope", fs: _FnState, ind: int
+    ) -> str:
+        """The value of an assignment expression: re-read its target."""
+        if isinstance(target, ast.VarRef):
+            entry = sc.lookup(target.name)
+            if entry is not None:
+                var, decl_type = entry
+                self.tick(ind, 1)  # the VarRef lvalue tick
+                t = fs.fresh()
+                if isinstance(decl_type, (ty.StructType, ty.UnionType, ty.ArrayType)):
+                    self.w(ind, f"{t} = {var}.value.copy()")
+                else:
+                    self.w(ind, f"{t} = {var}.value")
+                return t
+        lv, _ = self.emit_lvalue(target, sc, fs, ind)
+        t = fs.fresh()
+        self.w(ind, f"{t} = _decay({lv}.read(hook))")
+        return t
+
+    def emit_vector_literal(
+        self, e: ast.VectorLiteral, sc: "_Scope", fs: _FnState, ind: int
+    ) -> str:
+        self.tick(ind, 1)
+        acc = fs.fresh()
+        self.w(ind, f"{acc} = []")
+        for elem in e.elements:
+            v = self.expr(elem, sc, fs, ind)
+            self.w(ind, f"if {v}.__class__ is _VV: {acc}.extend({v}.elements)")
+            self.w(ind, f"else: {acc}.append(_as_int({v}))")
+        t = fs.fresh()
+        self.w(ind, f"{t} = _vfin({self.type_const(e.type)}, {acc})")
+        return t
+
+    def emit_binary(self, e: ast.BinaryOp, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        op = e.op
+        if op in ("&&", "||"):
+            is_and = op == "&&"
+            self.tick(ind, 1)
+            left = self.expr(e.left, sc, fs, ind)
+            t = fs.fresh()
+            cond = _truthy_src(left) if is_and else f"not {_truthy_src(left)}"
+            self.w(ind, f"if {cond}:")
+            r = self.expr(e.right, sc, fs, ind + 1)
+            self.w(ind + 1, f"{t} = _I1 if {_truthy_src(r)} else _I0")
+            self.w(ind, "else:")
+            self.w(ind + 1, f"{t} = _I0" if is_and else f"{t} = _I1")
+            return t
+        if op == ",":
+            self.tick(ind, 1)
+            self.expr(e.left, sc, fs, ind)
+            r = self.expr(e.right, sc, fs, ind)
+            if not self.comma_yields_zero:
+                return r
+            t = fs.fresh()
+            # Injected Oclgrind defect (Figure 2(f)).
+            self.w(ind, f"{t} = _cz({r})")
+            return t
+        self.tick(ind, 1)
+        left = self.expr(e.left, sc, fs, ind)
+        right = self.expr(e.right, sc, fs, ind)
+        t = fs.fresh()
+        self.w(ind, f"if {left}.__class__ is _SV and {right}.__class__ is _SV:")
+        if op in ast.COMPARISON_OPERATORS:
+            self.w(
+                ind + 1,
+                f"{t} = _I1 if {left}.value {op} {right}.value else _I0",
+            )
+        else:
+            ct = fs.fresh()
+            self.w(ind + 1, f"{ct} = _cst({left}.type, {right}.type)")
+            self.w(
+                ind + 1,
+                f"{t} = _mk({ct}, _ar({op!r}, {left}.value, {right}.value, {ct}))",
+            )
+        self.w(ind, "else:")
+        self.w(ind + 1, f"{t} = _bin({op!r}, {left}, {right})")
+        return t
+
+    def emit_access(self, e: ast.Expr, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        # Specialised: ``ptr[idx]`` reads (the hottest generated shape).
+        if isinstance(e, ast.IndexAccess) and isinstance(e.base, ast.VarRef):
+            entry = sc.lookup(e.base.name)
+            if entry is not None and isinstance(entry[1], ty.PointerType):
+                var = entry[0]
+                self.tick(ind, 2)  # rvalue-access eval tick + lvalue tick
+                ix = self.expr(e.index, sc, fs, ind)
+                i = fs.fresh()
+                self.w(
+                    ind,
+                    f"{i} = {ix}.value if {ix}.__class__ is _SV else _as_int({ix})",
+                )
+                self.tick(ind, 2)  # the pointer VarRef eval + lvalue ticks
+                t = fs.fresh()
+                self.w(ind, f"{t} = _bload({var}.value, {i}, hook)")
+                return t
+        # Specialised: ``ptr->field`` reads (the globals-struct idiom).
+        if (
+            isinstance(e, ast.FieldAccess)
+            and e.arrow
+            and isinstance(e.base, ast.VarRef)
+        ):
+            entry = sc.lookup(e.base.name)
+            if entry is not None and isinstance(entry[1], ty.PointerType):
+                # _eval tick + arrow lvalue tick + pointer VarRef eval ticks.
+                self.tick(ind, 4)
+                t = fs.fresh()
+                self.w(ind, f"{t} = _aload({entry[0]}.value, {e.field!r}, hook)")
+                return t
+        # Specialised: ``var.field`` reads on a local struct.
+        if (
+            isinstance(e, ast.FieldAccess)
+            and not e.arrow
+            and isinstance(e.base, ast.VarRef)
+        ):
+            entry = sc.lookup(e.base.name)
+            if entry is not None and isinstance(entry[1], ty.StructType):
+                # _eval tick + FieldAccess lvalue tick + VarRef lvalue tick.
+                self.tick(ind, 3)
+                t = fs.fresh()
+                self.w(ind, f"{t} = _sload({entry[0]}, {e.field!r})")
+                return t
+        # Specialised: ``var.x`` reads on a local vector.
+        if isinstance(e, ast.VectorComponent) and isinstance(e.base, ast.VarRef):
+            entry = sc.lookup(e.base.name)
+            if entry is not None and isinstance(entry[1], ty.VectorType):
+                self.tick(ind, 3)
+                t = fs.fresh()
+                vt = entry[1]
+                self.w(
+                    ind,
+                    f"{t} = _vload({entry[0]}, {e.component}, "
+                    f"{self.type_const(vt.element)}, {vt.length})",
+                )
+                return t
+        if self._is_lvalue_shaped(e, sc):
+            self.tick(ind, 1)  # the _eval tick; the lvalue ticks itself
+            lv, _ = self.emit_lvalue(e, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _decay({lv}.read(hook))")
+            return t
+        return self.emit_rvalue_access(e, sc, fs, ind)
+
+    def emit_rvalue_access(self, e: ast.Expr, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        """Field/index/component access into a temporary value."""
+        if isinstance(e, ast.VectorComponent):
+            self.tick(ind, 1)
+            b = self.expr(e.base, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _rvc({b}, {e.component})")
+            return t
+        if isinstance(e, ast.FieldAccess):
+            self.tick(ind, 1)
+            b = self.expr(e.base, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _rvf({b}, {e.field!r})")
+            return t
+        if isinstance(e, ast.IndexAccess):
+            self.tick(ind, 1)
+            ix = self.expr(e.index, sc, fs, ind)
+            i = fs.fresh()
+            self.w(ind, f"{i} = _as_int({ix})")
+            b = self.expr(e.base, sc, fs, ind)
+            t = fs.fresh()
+            self.w(ind, f"{t} = _rvi({b}, {i})")
+            return t
+        self._raise_stmt(  # pragma: no cover - defensive
+            ind, 1, UBKind.INVALID_FIELD, f"unsupported rvalue access {type(e).__name__}"
+        )
+        return "None"
+
+    # ==================================================================
+    # Calls
+    # ==================================================================
+
+    def emit_call(self, e: ast.Call, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        name = e.name
+        if name == "__trap":
+            self.tick(ind, 1)
+            self.w(ind, "raise _RC('injected runtime fault')")
+            return "None"
+        if name in builtins.ATOMIC_BUILTINS:
+            return self.emit_atomic(e, sc, fs, ind)
+        if name in builtins.SCALAR_BUILTINS:
+            spec = self.spec_const(builtins.SCALAR_BUILTINS[name])
+            self.tick(ind, 1)
+            args = [self.expr(a, sc, fs, ind) for a in e.args]
+            t = fs.fresh()
+            if len(args) == 2:
+                self.w(ind, f"{t} = _bi2({spec}, {args[0]}, {args[1]})")
+            else:
+                self.w(ind, f"{t} = _biN({spec}, [{', '.join(args)}])")
+            return t
+        return self.emit_user_call(e, sc, fs, ind)
+
+    def emit_atomic(self, e: ast.Call, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        new_fn = self.const(("a", e.name), ops.ATOMIC_OPS[e.name], "a")
+        self.tick(ind, 1)
+        p = self.expr(e.args[0], sc, fs, ind)
+        lv = fs.fresh()
+        self.w(ind, f"{lv} = _ptg({p})")
+        operands = []
+        for a in e.args[1:]:
+            v = self.expr(a, sc, fs, ind)
+            iv = fs.fresh()
+            self.w(ind, f"{iv} = _as_int({v})")
+            operands.append(iv)
+        # Scheduling point: the interleaving of atomics across threads is the
+        # only non-determinism OpenCL 1.x permits in our kernels.
+        self.w(ind, "yield _EA")
+        t = fs.fresh()
+        self.w(ind, f"{t} = _afin({lv}, {new_fn}, [{', '.join(operands)}], hook)")
+        return t
+
+    def emit_user_call(self, e: ast.Call, sc: "_Scope", fs: _FnState, ind: int) -> str:
+        name = e.name
+        decl = self._functions.get(name)
+        self.tick(ind, 1)
+        self.w(ind, f"if depth >= {_MAX_CALL_DEPTH}:")
+        self.w(
+            ind + 1,
+            f"raise _UB(_UBK.{UBKind.OUT_OF_BOUNDS.name}, 'call depth limit exceeded')",
+        )
+        if decl is None:
+            message = f"call to undefined function {name!r}"
+            self.w(ind, f"raise _UB(_UBK.{UBKind.INVALID_FIELD.name}, {message!r})")
+            return "None"
+        if len(e.args) != len(decl.params):
+            message = f"arity mismatch calling {name!r}"
+            self.w(ind, f"raise _UB(_UBK.{UBKind.INVALID_FIELD.name}, {message!r})")
+            return "None"
+        converted = []
+        for arg, param in zip(e.args, decl.params):
+            a = self.expr(arg, sc, fs, ind)
+            converted.append(self.emit_conv(a, param.type, fs, ind))
+        callee = self._fn_py[name]
+        call = f"{callee}(wi, hook, depth + 1{''.join(', ' + c for c in converted)})"
+        t = fs.fresh()
+        if name in self._yielding:
+            self.w(ind, f"{t} = yield from {call}")
+        else:
+            self.w(ind, f"{t} = {call}")
+        return t
+
+
+# ---------------------------------------------------------------------------
+# Emit-time lexical scopes
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """Maps kernel-language names to (python local, declared type).
+
+    One Python local per declaration *site*: shadowing declarations get
+    distinct names, re-executed declarations (loop re-entry) reassign the
+    same one -- exactly the compiled engine's slot discipline.
+    """
+
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self._parent = parent
+        self._names: Dict[str, Tuple[str, ty.Type]] = {}
+        self._root = parent._root if parent is not None else self
+        if parent is None:
+            self._count = 0
+            #: Python names of variables declared without an initialiser;
+            #: only their assignments need to flip ``Cell.initialised``.
+            self.maybe_uninit: set = set()
+
+    def declare(self, name: str, type_: ty.Type, uninit: bool = False) -> str:
+        root = self._root
+        pyname = f"v{root._count}"
+        root._count += 1
+        if uninit:
+            root.maybe_uninit.add(pyname)
+        self._names[name] = (pyname, type_)
+        return pyname
+
+    @property
+    def root(self) -> "_Scope":
+        return self._root
+
+    def lookup(self, name: str) -> Optional[Tuple[str, ty.Type]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            entry = scope._names.get(name)
+            if entry is not None:
+                return entry
+            scope = scope._parent
+        return None
+
+    def child(self) -> "_Scope":
+        return _Scope(self)
+
+
+# ---------------------------------------------------------------------------
+# Program / launch / group wrappers
+# ---------------------------------------------------------------------------
+
+
+class JitProgram(PreparedProgram):
+    """An exec-compiled kernel module, reusable across launches."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        namespace: Dict[str, object],
+        limits: ExecutionLimits,
+        param_plan: List[Tuple[str, str, str, ty.PointerType]],
+        wi_specs: List[Tuple[str, int]],
+    ) -> None:
+        self.program = program
+        self._ns = namespace
+        self._limits = limits
+        self._param_plan = param_plan
+        self._wi_specs = wi_specs
+        self._entry = namespace["_main"]
+
+    def bind(self, global_memory: memory.GlobalMemory) -> "JitLaunch":
+        # One active launch at a time: the emitted code ticks this module's
+        # own counter, so binding resets it for the new launch.
+        self._limits.steps = 0
+        ns = self._ns
+        for ns_name, kind, pname, ptype in self._param_plan:
+            if kind == "global":
+                ns[ns_name] = vals.PointerValue(
+                    ptype, global_memory.cell(pname), ()
+                )
+        return JitLaunch(self)
+
+
+class JitLaunch(PreparedLaunch):
+    def __init__(self, lowered: JitProgram) -> None:
+        self._lowered = lowered
+
+    @property
+    def steps(self) -> int:
+        return self._lowered._limits.steps
+
+    def bind_group(self, local_memory: memory.LocalMemory) -> "JitGroup":
+        lowered = self._lowered
+        ns = lowered._ns
+        for ns_name, kind, pname, ptype in lowered._param_plan:
+            if kind == "local":
+                ns[ns_name] = vals.PointerValue(ptype, local_memory.cell(pname), ())
+        return JitGroup(lowered)
+
+
+class JitGroup(PreparedGroup):
+    def __init__(self, lowered: JitProgram) -> None:
+        self._lowered = lowered
+
+    def thread(
+        self,
+        context: ThreadContext,
+        access_hook: Optional[memory.AccessHook] = None,
+    ):
+        lowered = self._lowered
+        # Work-item ids are always in size_t range: skip the redundant
+        # range validation of ScalarValue.wrap.
+        wi = [
+            ops.mk_scalar(ty.SIZE_T, ops.workitem_raw(fn, dim, context))
+            for fn, dim in lowered._wi_specs
+        ]
+        return lowered._entry(wi, access_hook)
+
+
+class JitEngine(ExecutionEngine):
+    """The exec-based JIT: emit Python source, let CPython compile it."""
+
+    name = "jit"
+
+    def lower(
+        self,
+        program: ast.Program,
+        comma_yields_zero: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> JitProgram:
+        emitter = _ModuleEmitter(program, comma_yields_zero, max_steps)
+        source = emitter.emit_module()
+        limits = ExecutionLimits(max_steps=max_steps)
+        namespace = dict(_BASE_NS)
+        namespace.update(emitter.consts)
+        namespace["L"] = limits
+        code = compile(source, f"<jit:{program.kernel_name}>", "exec")
+        exec(code, namespace)
+        return JitProgram(
+            program,
+            namespace,
+            limits,
+            emitter.param_plan,
+            emitter.wi_specs,
+        )
+
+
+__all__ = ["JitEngine", "JitProgram", "JitLaunch", "JitGroup"]

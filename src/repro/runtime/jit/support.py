@@ -1,0 +1,338 @@
+"""Runtime support library for the exec-based JIT engine.
+
+The emitter (:mod:`repro.runtime.jit.emitter`) generates straight-line
+Python source per kernel; the hottest inner steps (budget ticks, scalar
+arithmetic dispatch, variable reads) are inlined textually, while the
+bulkier access shapes call the helpers below.  Every helper mirrors the
+corresponding compiled-engine closure *exactly* -- same value semantics
+(via :mod:`repro.runtime.ops`, the functions shared by all engines), same
+access-hook behaviour, same undefined-behaviour raises with the same
+messages -- so the three engines stay byte-identical under the
+engine-vs-engine differential tests.
+
+Helpers are deliberately free of step-budget ticking: ticks are emitted
+inline at the call sites so the budget is debited at the same AST points
+as the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.kernel_lang import ast, builtins, types as ty, values as vals
+from repro.kernel_lang.semantics import UBKind
+from repro.runtime import memory, ops
+from repro.runtime.errors import UndefinedBehaviourError
+
+_SV = vals.ScalarValue
+_PV = vals.PointerValue
+_SHARED_SPACES = (ty.LOCAL, ty.GLOBAL)
+
+
+# ---------------------------------------------------------------------------
+# Yield analysis (shared with the compiled engine's lowering)
+# ---------------------------------------------------------------------------
+
+
+def yielding_functions(functions: Dict[str, ast.FunctionDecl]) -> FrozenSet[str]:
+    """Names of user functions that can reach a scheduling point.
+
+    A function yields control iff it contains a barrier, an atomic builtin
+    call, or a call to a function that (transitively) does -- computed as a
+    call-graph fixpoint.  Only these functions pay generator overhead.
+    """
+    calls: Dict[str, set] = {}
+    syncing = set()
+    for name, fn in functions.items():
+        callees = set()
+        for node in fn.body.walk():
+            if isinstance(node, ast.BarrierStmt):
+                syncing.add(name)
+            elif isinstance(node, ast.Call):
+                if node.name in builtins.ATOMIC_BUILTINS:
+                    syncing.add(name)
+                elif node.name in functions:
+                    callees.add(node.name)
+        calls[name] = callees
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            if name not in syncing and callees & syncing:
+                syncing.add(name)
+                changed = True
+    return frozenset(syncing)
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+
+def conv_store(value: vals.Value, target: ty.Type) -> vals.Value:
+    """``ops.convert_for_store`` with the integer fast path inlined
+    (mirrors the compiled engine's per-type conversion closures).
+
+    A scalar that already has the target type is returned as-is: scalar
+    values are immutable, so sharing the object is indistinguishable from
+    the fresh wrap the generic path would construct.
+    """
+    if value.__class__ is _SV:
+        if value.type is target:
+            return value
+        if isinstance(target, ty.IntType):
+            return ops.mk_scalar(target, target.wrap(value.value))
+    return ops.convert_for_store(value, target)
+
+
+# ---------------------------------------------------------------------------
+# Buffer accesses (the ``ptr[idx]`` idiom -- the hottest generated shape)
+# ---------------------------------------------------------------------------
+
+
+def buffer_load(ptr: vals.Value, i: int, hook) -> vals.Value:
+    """Everything of a ``ptr[idx]`` read after index evaluation and ticks
+    (mirror of the compiled engine's ``run_buf_load`` tail)."""
+    if ptr.__class__ is _PV:
+        cell = ptr.cell
+        if cell is None:
+            raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+        path = ptr.path + (i,)
+    else:
+        lv = ops.pointer_target(ptr)  # raises: non-pointer value
+        cell = lv.cell
+        path = lv.path + (i,)
+    if hook is not None and cell.address_space in _SHARED_SPACES:
+        hook(cell, path, False, False)
+    container = cell.value
+    if container.__class__ is vals.ArrayValue and len(path) == 1:
+        if not 0 <= i < container.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS,
+                f"index {i} out of bounds for length {container.type.length}",
+            )
+        value = container.elements[i]
+    else:
+        value = memory._navigate(container, path)
+    if value.__class__ is _SV:
+        return value
+    return ops.decay(value)
+
+
+def buffer_ref(ptr: vals.Value, i: int) -> Tuple[memory.Cell, memory.Path]:
+    """Pointer resolution of a ``ptr[idx] = value`` store (before the rhs is
+    evaluated, exactly where the compiled engine resolves it)."""
+    if ptr.__class__ is _PV:
+        cell = ptr.cell
+        if cell is None:
+            raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+        return cell, ptr.path + (i,)
+    lv = ops.pointer_target(ptr)  # raises: non-pointer
+    return lv.cell, lv.path + (i,)
+
+
+def buffer_store(cell: memory.Cell, path: memory.Path, i: int,
+                 rhs: vals.Value, hook) -> None:
+    """Conversion + hook + store of a ``ptr[idx] = value`` write (mirror of
+    the compiled engine's ``run_buf_store`` tail)."""
+    element_type = memory.type_at_path(cell.type, path)
+    if rhs.__class__ is _SV and isinstance(element_type, ty.IntType):
+        if rhs.type is element_type:
+            new = rhs
+        else:
+            new = ops.mk_scalar(element_type, element_type.wrap(rhs.value))
+    else:
+        new = ops.convert_for_store(rhs, element_type)
+    if hook is not None and cell.address_space in _SHARED_SPACES:
+        hook(cell, path, True, False)
+    container = cell.value
+    if container.__class__ is vals.ArrayValue and len(path) == 1:
+        if not 0 <= i < container.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS, f"index {i!r} out of bounds"
+            )
+        container.elements[i] = new
+    else:
+        cell.value = memory._store(container, path, new)
+    cell.initialised = True
+
+
+# ---------------------------------------------------------------------------
+# Arrow accesses (``ptr->field`` -- the generated globals-struct idiom)
+# ---------------------------------------------------------------------------
+
+
+def member_load(ptr: vals.Value, fname: str, hook) -> vals.Value:
+    """A ``ptr->field`` read: pointer target + member + hook + navigate,
+    with the one-level struct shape inlined."""
+    if ptr.__class__ is _PV:
+        cell = ptr.cell
+        if cell is None:
+            raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+        path = ptr.path + (fname,)
+    else:
+        lv = ops.pointer_target(ptr)  # raises: non-pointer value
+        cell = lv.cell
+        path = lv.path + (fname,)
+    if hook is not None and cell.address_space in _SHARED_SPACES:
+        hook(cell, path, False, False)
+    container = cell.value
+    if (
+        container.__class__ is vals.StructValue
+        and len(path) == 1
+        and fname in container.fields
+    ):
+        value = container.fields[fname]
+    else:
+        value = memory._navigate(container, path)
+    if value.__class__ is _SV:
+        return value
+    return ops.decay(value)
+
+
+def member_ref(ptr: vals.Value, fname: str) -> Tuple[memory.Cell, memory.Path]:
+    """Pointer resolution of a ``ptr->field = value`` store (before the rhs
+    is evaluated, exactly where the generic lvalue path resolves it)."""
+    if ptr.__class__ is _PV:
+        cell = ptr.cell
+        if cell is None:
+            raise UndefinedBehaviourError(UBKind.NULL_DEREFERENCE)
+        return cell, ptr.path + (fname,)
+    lv = ops.pointer_target(ptr)
+    return lv.cell, lv.path + (fname,)
+
+
+def member_store(cell: memory.Cell, path: memory.Path, fname: str,
+                 rhs: vals.Value, hook) -> None:
+    """Conversion + hook + store of a ``ptr->field = value`` write."""
+    new = conv_store(rhs, memory.type_at_path(cell.type, path))
+    if hook is not None and cell.address_space in _SHARED_SPACES:
+        hook(cell, path, True, False)
+    container = cell.value
+    if (
+        container.__class__ is vals.StructValue
+        and len(path) == 1
+        and fname in container.fields
+    ):
+        container.fields[fname] = new
+    else:
+        cell.value = memory._store(container, path, new)
+    cell.initialised = True
+
+
+# ---------------------------------------------------------------------------
+# Local struct/vector accesses
+# ---------------------------------------------------------------------------
+
+
+def struct_load(cell: memory.Cell, fname: str) -> vals.Value:
+    container = cell.value
+    if container.__class__ is vals.StructValue and fname in container.fields:
+        value = container.fields[fname]
+    else:
+        value = memory._navigate(container, (fname,))
+    if value.__class__ is _SV:
+        return value
+    return ops.decay(value)
+
+
+def vector_load(cell: memory.Cell, comp: int, element_type: ty.IntType,
+                length: int) -> vals.Value:
+    container = cell.value
+    if container.__class__ is vals.VectorValue and 0 <= comp < length:
+        return ops.mk_scalar(element_type, container.elements[comp])
+    return memory._navigate(container, (comp,))
+
+
+def field_store(cell: memory.Cell, fname: str, field_type: ty.Type,
+                rhs: vals.Value) -> None:
+    new = conv_store(rhs, field_type)
+    container = cell.value
+    if container.__class__ is vals.StructValue and fname in container.fields:
+        container.fields[fname] = new
+    else:
+        cell.value = memory._store(container, (fname,), new)
+    cell.initialised = True
+
+
+def component_store(cell: memory.Cell, comp: int, element_type: ty.IntType,
+                    rhs: vals.Value) -> None:
+    new = conv_store(rhs, element_type)
+    container = cell.value
+    if container.__class__ is vals.VectorValue and new.__class__ is _SV:
+        container.elements[comp] = element_type.wrap(new.value)
+    else:
+        cell.value = memory._store(container, (comp,), new)
+    cell.initialised = True
+
+
+# ---------------------------------------------------------------------------
+# Builtins, atomics, vector literals, the comma defect
+# ---------------------------------------------------------------------------
+
+
+def builtin2(spec: builtins.BuiltinSpec, a: vals.Value, b: vals.Value) -> vals.Value:
+    """Two-argument scalar-builtin fast path (the common arity)."""
+    if a.__class__ is _SV and b.__class__ is _SV:
+        scalar_type = a.type
+        try:
+            result = spec.fn(a.value, b.value, scalar_type)
+        except builtins.BuiltinUndefined as exc:
+            raise UndefinedBehaviourError(UBKind.BUILTIN_UNDEFINED, str(exc)) from exc
+        return ops.mk_scalar(scalar_type, scalar_type.wrap(result))
+    return ops.apply_scalar_builtin(spec, [a, b])
+
+
+def builtin_n(spec: builtins.BuiltinSpec, args: List[vals.Value]) -> vals.Value:
+    return ops.apply_scalar_builtin_fast(spec, args)
+
+
+def atomic_finish(lv: memory.LValue, new_fn, operands: List[int], hook) -> vals.Value:
+    """The post-scheduling-point half of an atomic builtin (mirror of the
+    compiled engine's ``run_atomic`` tail; wrap-then-construct skips only
+    the redundant range validation)."""
+    old = ops.as_int(lv.read(hook, atomic=True))
+    result_type = lv.type if isinstance(lv.type, ty.IntType) else ty.UINT
+    new = new_fn(old, operands)
+    lv.write(ops.mk_scalar(result_type, result_type.wrap(new)), hook, atomic=True)
+    return ops.mk_scalar(result_type, result_type.wrap(old))
+
+
+def vector_literal_finish(vtype: ty.VectorType, components: List[int]) -> vals.VectorValue:
+    """Splat/length-check/construct once every component is accumulated."""
+    if len(components) == 1:
+        components = components * vtype.length
+    if len(components) != vtype.length:
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD,
+            f"vector literal with {len(components)} components for {vtype}",
+        )
+    return vals.VectorValue(vtype, components)
+
+
+def comma_zero(value: vals.Value) -> vals.Value:
+    """Injected Oclgrind comma defect (Figure 2(f))."""
+    if isinstance(value, vals.ScalarValue):
+        return vals.ScalarValue(value.type, 0)
+    return value
+
+
+__all__ = [
+    "yielding_functions",
+    "conv_store",
+    "buffer_load",
+    "buffer_ref",
+    "buffer_store",
+    "member_load",
+    "member_ref",
+    "member_store",
+    "struct_load",
+    "vector_load",
+    "field_store",
+    "component_store",
+    "builtin2",
+    "builtin_n",
+    "atomic_finish",
+    "vector_literal_finish",
+    "comma_zero",
+]

@@ -311,6 +311,117 @@ def builtin_result_type(args: Sequence[vals.Value]) -> ty.IntType:
     return ty.INT
 
 
+def mk_scalar(type_: ty.IntType, wrapped: int) -> vals.ScalarValue:
+    """Construct a ScalarValue from an already-wrapped raw value.
+
+    ``ScalarValue.wrap`` wraps and then re-validates in ``__post_init__``;
+    when the raw value has already been wrapped into range (by
+    ``type_.wrap``, :func:`scalar_arith`, ...) that validation is redundant,
+    and skipping the dataclass constructor is a large win on the hottest
+    engine paths.  The resulting object is indistinguishable from a checked
+    one.
+    """
+    value = vals.ScalarValue.__new__(vals.ScalarValue)
+    value.type = type_
+    value.value = wrapped
+    return value
+
+
+def apply_scalar_builtin_fast(
+    spec: builtins.BuiltinSpec, args: List[vals.Value]
+) -> vals.Value:
+    """All-scalar fast path of :func:`apply_scalar_builtin` (same semantics,
+    unchecked result construction); anything else falls back."""
+    if not args:
+        return apply_scalar_builtin(spec, args)
+    for a in args:
+        if a.__class__ is not vals.ScalarValue:
+            return apply_scalar_builtin(spec, args)
+    scalar_type = args[0].type
+    try:
+        result = spec.fn(*[a.value for a in args], scalar_type)
+    except builtins.BuiltinUndefined as exc:
+        raise UndefinedBehaviourError(UBKind.BUILTIN_UNDEFINED, str(exc)) from exc
+    return mk_scalar(scalar_type, scalar_type.wrap(result))
+
+
+# ---------------------------------------------------------------------------
+# Rvalue accesses into temporaries (shared by the compiled and jit engines)
+# ---------------------------------------------------------------------------
+
+
+def rvalue_component(value: vals.Value, comp: int) -> vals.Value:
+    """``tmp.x`` -- component access into a vector temporary."""
+    if not isinstance(value, vals.VectorValue):
+        raise UndefinedBehaviourError(
+            UBKind.INVALID_FIELD, "component access on a non-vector value"
+        )
+    if not 0 <= comp < value.type.length:
+        raise UndefinedBehaviourError(UBKind.OUT_OF_BOUNDS, f"vector component {comp}")
+    return value.component(comp)
+
+
+def rvalue_field(value: vals.Value, fname: str) -> vals.Value:
+    """``tmp.f`` -- field access into an aggregate temporary."""
+    if isinstance(value, (vals.StructValue, vals.UnionValue)):
+        if not value.type.has_field(fname):
+            raise UndefinedBehaviourError(
+                UBKind.INVALID_FIELD, f"no field {fname!r} in {value.type}"
+            )
+        return decay(value.get(fname))
+    raise UndefinedBehaviourError(
+        UBKind.INVALID_FIELD, "field access on a non-aggregate value"
+    )
+
+
+def rvalue_index(value: vals.Value, idx: int) -> vals.Value:
+    """``tmp[i]`` -- index access into an array/vector temporary."""
+    if isinstance(value, vals.ArrayValue):
+        if not 0 <= idx < value.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
+            )
+        return decay(value.get(idx))
+    if isinstance(value, vals.VectorValue):
+        if not 0 <= idx < value.type.length:
+            raise UndefinedBehaviourError(
+                UBKind.OUT_OF_BOUNDS, f"index {idx} out of bounds"
+            )
+        return value.component(idx)
+    raise UndefinedBehaviourError(
+        UBKind.INVALID_FIELD, "index access on a non-array value"
+    )
+
+
+def workitem_raw(function: str, dimension: int, context) -> int:
+    """The raw integer a work-item function returns for ``context``.
+
+    ``context`` is a :class:`~repro.runtime.interpreter.ThreadContext` (typed
+    loosely to keep this module free of runtime imports beyond memory).
+    """
+    if function == "get_global_id":
+        return context.global_id[dimension]
+    if function == "get_local_id":
+        return context.local_id[dimension]
+    if function == "get_group_id":
+        return context.group_id[dimension]
+    if function == "get_global_size":
+        return context.global_size[dimension]
+    if function == "get_local_size":
+        return context.local_size[dimension]
+    if function == "get_num_groups":
+        return context.num_groups[dimension]
+    if function == "get_linear_global_id":
+        return context.global_linear_id
+    if function == "get_linear_local_id":
+        return context.local_linear_id
+    if function == "get_linear_group_id":
+        return context.group_linear_id
+    raise UndefinedBehaviourError(  # pragma: no cover - defensive
+        UBKind.INVALID_FIELD, f"unknown work-item fn {function}"
+    )
+
+
 def apply_scalar_builtin(spec: builtins.BuiltinSpec, args: List[vals.Value]) -> vals.Value:
     """Apply a scalar builtin (component-wise lifted over vector operands)."""
     vector_args = [a for a in args if isinstance(a, vals.VectorValue)]
@@ -410,6 +521,12 @@ __all__ = [
     "binary",
     "builtin_result_type",
     "apply_scalar_builtin",
+    "apply_scalar_builtin_fast",
+    "mk_scalar",
+    "rvalue_component",
+    "rvalue_field",
+    "rvalue_index",
+    "workitem_raw",
     "ATOMIC_OPS",
     "atomic_new_value",
     "pointer_target",

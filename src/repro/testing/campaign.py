@@ -41,6 +41,7 @@ from repro.orchestration.pool import WorkerPool
 from repro.platforms.config import DeviceConfig
 from repro.platforms.registry import get_configuration
 from repro.runtime.engine import DEFAULT_ENGINE
+from repro.runtime.prepared import PreparedCacheStats
 from repro.testing.outcomes import OutcomeCounts
 
 
@@ -84,6 +85,8 @@ class ClsmithCampaignResult:
     counts: Dict[Tuple[str, str, bool], OutcomeCounts] = field(default_factory=dict)
     #: Aggregated execution-result cache counters across all workers.
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Aggregated prepared-program (lowering) cache counters, likewise.
+    prepared_stats: PreparedCacheStats = field(default_factory=PreparedCacheStats)
 
     def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
         return self.counts.setdefault(
@@ -148,11 +151,12 @@ def run_clsmith_campaign(
     with WorkerPool(parallelism) as pool:
         jobs: List[CampaignJob] = []
         for mode_index, mode in enumerate(modes):
-            kernel_seeds, curation_stats = _curated_seeds(
+            kernel_seeds, curation_stats, curation_prepared = _curated_seeds(
                 pool, mode, kernels_per_mode, seed + mode_index * 10_000, options,
                 curate_on, max_steps, engine,
             )
             result.cache_stats = result.cache_stats.merge(curation_stats)
+            result.prepared_stats = result.prepared_stats.merge(curation_prepared)
             jobs.extend(
                 CampaignJob(
                     kind=CLSMITH_DIFFERENTIAL,
@@ -171,6 +175,7 @@ def run_clsmith_campaign(
             for key, cell_counts in job_result.counts.items():
                 result.counts[key] = result.counts.get(key, OutcomeCounts()).merge(cell_counts)
             result.cache_stats = result.cache_stats.merge(job_result.cache)
+            result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
     return result
 
 
@@ -179,17 +184,19 @@ def _scan_accepted(
     count: int,
     budget: int,
     job_for_attempt,
-) -> Tuple[List[JobResult], CacheStats]:
+) -> Tuple[List[JobResult], CacheStats, PreparedCacheStats]:
     """The first ``count`` accepted candidates of at most ``budget`` attempts.
 
     Candidates are evaluated in attempt order (the serial backend one at a
     time, the process backend a chunk at a time), so the accepted set is
     independent of the backend.  Returns the accepted job results plus the
-    merged cache delta of every candidate evaluated.
+    merged result-cache and prepared-cache deltas of every candidate
+    evaluated.
     """
     chunk = 1 if pool.backend == "serial" else pool.parallelism * 2
     accepted: List[JobResult] = []
     stats = CacheStats()
+    prepared = PreparedCacheStats()
     attempt = 0
     while len(accepted) < count and attempt < budget:
         batch = [
@@ -199,9 +206,10 @@ def _scan_accepted(
         for job_result in pool.run(batch):
             attempt += 1
             stats = stats.merge(job_result.cache)
+            prepared = prepared.merge(job_result.prepared)
             if job_result.accepted and len(accepted) < count:
                 accepted.append(job_result)
-    return accepted, stats
+    return accepted, stats, prepared
 
 
 def _curated_seeds(
@@ -213,13 +221,14 @@ def _curated_seeds(
     curate_on: Optional[DeviceConfig],
     max_steps: int,
     engine: str = DEFAULT_ENGINE,
-) -> Tuple[List[int], CacheStats]:
+) -> Tuple[List[int], CacheStats, PreparedCacheStats]:
     """Seeds of the first ``count`` candidates that survive test curation.
 
     Without curation every candidate survives and no jobs run.
     """
     if curate_on is None:
-        return [seed + attempt for attempt in range(count)], CacheStats()
+        seeds = [seed + attempt for attempt in range(count)]
+        return seeds, CacheStats(), PreparedCacheStats()
     curation_ids, curation_overrides = _serialise_configs([curate_on])
 
     def job_for_attempt(attempt: int) -> CampaignJob:
@@ -235,8 +244,8 @@ def _curated_seeds(
             engine=engine,
         )
 
-    accepted, stats = _scan_accepted(pool, count, count * 5, job_for_attempt)
-    return [job_result.seed for job_result in accepted], stats
+    accepted, stats, prepared = _scan_accepted(pool, count, count * 5, job_for_attempt)
+    return [job_result.seed for job_result in accepted], stats, prepared
 
 
 # ---------------------------------------------------------------------------
@@ -254,6 +263,8 @@ class EmiCampaignResult:
     rows: Dict[Tuple[str, bool], Dict[str, int]] = field(default_factory=dict)
     #: Aggregated execution-result cache counters across all workers.
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Aggregated prepared-program (lowering) cache counters, likewise.
+    prepared_stats: PreparedCacheStats = field(default_factory=PreparedCacheStats)
 
     def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
         return self.rows.setdefault(
@@ -294,8 +305,8 @@ def generate_emi_bases(
     """
     base_options = options or GeneratorOptions()
     with WorkerPool(parallelism) as pool:
-        specs, _ = _emi_base_specs(pool, n_bases, seed, options, max_steps,
-                                   filter_dead_placement, engine)
+        specs, _, _ = _emi_base_specs(pool, n_bases, seed, options, max_steps,
+                                      filter_dead_placement, engine)
     return [
         mark_base_fingerprint(
             generate_kernel(Mode.ALL, base_seed, options=base_options, emi_blocks=emi_blocks)
@@ -312,7 +323,7 @@ def _emi_base_specs(
     max_steps: int,
     filter_dead_placement: bool,
     engine: str = DEFAULT_ENGINE,
-) -> Tuple[List[Tuple[int, int]], CacheStats]:
+) -> Tuple[List[Tuple[int, int]], CacheStats, PreparedCacheStats]:
     """(seed, emi_blocks) pairs of the first ``count`` accepted candidates.
 
     Without the dead-placement filter every candidate is accepted and no
@@ -320,7 +331,8 @@ def _emi_base_specs(
     """
     base_options = options or GeneratorOptions()
     if not filter_dead_placement:
-        return [(seed + attempt, 1 + (attempt % 5)) for attempt in range(count)], CacheStats()
+        specs = [(seed + attempt, 1 + (attempt % 5)) for attempt in range(count)]
+        return specs, CacheStats(), PreparedCacheStats()
 
     def job_for_attempt(attempt: int) -> CampaignJob:
         return CampaignJob(
@@ -333,8 +345,8 @@ def _emi_base_specs(
             engine=engine,
         )
 
-    accepted, stats = _scan_accepted(pool, count, count * 6, job_for_attempt)
-    return [(jr.seed, jr.emi_blocks) for jr in accepted], stats
+    accepted, stats, prepared = _scan_accepted(pool, count, count * 6, job_for_attempt)
+    return [(jr.seed, jr.emi_blocks) for jr in accepted], stats, prepared
 
 
 def run_emi_campaign(
@@ -369,11 +381,12 @@ def run_emi_campaign(
         engine=engine,
     )
     filter_stats = CacheStats()
+    filter_prepared = PreparedCacheStats()
     with WorkerPool(parallelism) as pool:
         if bases is not None:
             jobs = [CampaignJob(seed=seed, program=base, **family_job) for base in bases]
         else:
-            specs, filter_stats = _emi_base_specs(
+            specs, filter_stats, filter_prepared = _emi_base_specs(
                 pool, n_bases, seed, options, max_steps,
                 filter_dead_placement=True, engine=engine,
             )
@@ -383,6 +396,7 @@ def run_emi_campaign(
             ]
         result = EmiCampaignResult(len(jobs), 0)
         result.cache_stats = result.cache_stats.merge(filter_stats)
+        result.prepared_stats = result.prepared_stats.merge(filter_prepared)
         _merge_emi_job_results(result, pool.run(jobs))
     return result
 
@@ -403,6 +417,7 @@ def _merge_emi_job_results(result: EmiCampaignResult, job_results: Sequence[JobR
     result.n_variants = variant_counts.pop() if variant_counts else 0
     for job_result in job_results:
         result.cache_stats = result.cache_stats.merge(job_result.cache)
+        result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
         for summary in job_result.emi_cells:
             row = result.row(summary.config_name, summary.optimisations)
             if summary.bad_base:

@@ -28,6 +28,7 @@ from repro.platforms.config import DeviceConfig
 from repro.runtime.device import KernelResult
 from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import KernelRuntimeError, BuildFailure
+from repro.runtime.prepared import PreparedProgramCache
 from repro.testing.outcomes import Outcome, TestRecord, classify_exception
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -71,6 +72,7 @@ class DifferentialHarness:
         cache_results: bool = True,
         cache: Optional["ResultCache"] = None,
         engine: str = DEFAULT_ENGINE,
+        prepared_cache: Optional[PreparedProgramCache] = None,
     ) -> None:
         # Imported lazily: repro.orchestration itself imports this module.
         from repro.orchestration.cache import ResultCache
@@ -83,6 +85,13 @@ class DifferentialHarness:
         self.cache_results = True if cache is not None else cache_results
         #: Execution engine every cell runs on (cache keys include it).
         self.engine = engine
+        #: Cross-launch prepared-program cache: identical compiled programs
+        #: (most configurations compile most programs identically) reuse one
+        #: lowering, so only the cheap per-launch bind is paid per cell.
+        #: Its hit/miss/eviction stats are surfaced via ``prepared_stats``.
+        self.prepared_cache = (
+            prepared_cache if prepared_cache is not None else PreparedProgramCache()
+        )
 
     # ------------------------------------------------------------------
 
@@ -127,7 +136,15 @@ class DifferentialHarness:
         from repro.orchestration.cache import cached_run
 
         cache = self.cache if self.cache_results else None
-        return cached_run(cache, compiled, self.max_steps, self.engine)
+        return cached_run(
+            cache, compiled, self.max_steps, self.engine,
+            prepared_cache=self.prepared_cache,
+        )
+
+    @property
+    def prepared_stats(self):
+        """Live prepared-program cache counters (see runtime/prepared.py)."""
+        return self.prepared_cache.stats
 
     @staticmethod
     def _majority(values: Iterable[str]) -> Tuple[Optional[str], int]:

@@ -26,6 +26,7 @@ from repro.platforms.config import DeviceConfig
 from repro.runtime.device import KernelResult
 from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import BuildFailure, KernelRuntimeError
+from repro.runtime.prepared import PreparedProgramCache
 from repro.testing.outcomes import Outcome, classify_exception
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -74,6 +75,7 @@ class EmiHarness:
         cache_results: bool = True,
         cache: Optional["ResultCache"] = None,
         engine: str = DEFAULT_ENGINE,
+        prepared_cache: Optional[PreparedProgramCache] = None,
     ) -> None:
         # Imported lazily: repro.orchestration itself imports this module.
         from repro.orchestration.cache import ResultCache
@@ -84,6 +86,12 @@ class EmiHarness:
         self.cache_results = True if cache is not None else cache_results
         #: Execution engine every variant runs on (cache keys include it).
         self.engine = engine
+        #: Cross-launch prepared-program cache: pruned EMI variant families
+        #: collapse onto few distinct compiled programs, so repeat launches
+        #: reuse one lowering.  Stats surface via ``prepared_stats``.
+        self.prepared_cache = (
+            prepared_cache if prepared_cache is not None else PreparedProgramCache()
+        )
 
     # ------------------------------------------------------------------
 
@@ -161,7 +169,15 @@ class EmiHarness:
         from repro.orchestration.cache import cached_run
 
         cache = self.cache if self.cache_results else None
-        return cached_run(cache, compiled, self.max_steps, self.engine)
+        return cached_run(
+            cache, compiled, self.max_steps, self.engine,
+            prepared_cache=self.prepared_cache,
+        )
+
+    @property
+    def prepared_stats(self):
+        """Live prepared-program cache counters (see runtime/prepared.py)."""
+        return self.prepared_cache.stats
 
 
 __all__ = ["EmiHarness", "EmiBaseResult"]

@@ -1,12 +1,13 @@
 """Engine-vs-engine differential tests.
 
-The compile-to-closures backend (``"compiled"``) must be observationally
-indistinguishable from the tree-walking reference interpreter
-(``"reference"``): same outputs, same final step counts, same race reports,
-same outcome classification for timeout / UB / crash results, under every
-schedule order and bug-model configuration.  These tests apply the paper's
-own methodology -- differential testing over a generated corpus -- to the
-repository's two execution engines.
+The compile-to-closures backend (``"compiled"``) and the exec-based JIT
+(``"jit"``) must be observationally indistinguishable from the tree-walking
+reference interpreter (``"reference"``): same outputs, same final step
+counts, same race reports, same outcome classification for timeout / UB /
+crash results -- including the exact ``ExecutionTimeout`` payload -- under
+every schedule order and bug-model configuration.  These tests apply the
+paper's own methodology -- differential testing over a generated corpus --
+to the repository's three execution engines.
 """
 
 import pytest
@@ -37,7 +38,8 @@ from repro.runtime.scheduler import ScheduleOrder
 from repro.testing.campaign import run_clsmith_campaign
 from repro.testing.differential import DifferentialHarness
 
-ENGINES = ("reference", "compiled")
+ENGINES = ("reference", "compiled", "jit")
+FAST_ENGINES = ("compiled", "jit")
 
 #: Small kernels keep the 50-seed corpus fast without losing coverage.
 CORPUS_OPTIONS = GeneratorOptions(
@@ -51,7 +53,8 @@ def _observe(program, **kwargs):
         result = run_program(program, **kwargs)
     except Exception as exc:  # noqa: BLE001 - classification is the point
         kind = getattr(exc, "kind", None)
-        return ("raise", type(exc).__name__, kind)
+        steps = getattr(exc, "steps", None)
+        return ("raise", type(exc).__name__, kind, steps)
     return (
         "ok",
         result.outputs,
@@ -66,9 +69,10 @@ def _observe(program, **kwargs):
 # ---------------------------------------------------------------------------
 
 
-def test_engine_registry_lists_both_engines():
+def test_engine_registry_lists_all_engines():
     assert "reference" in available_engines()
     assert "compiled" in available_engines()
+    assert "jit" in available_engines()
     assert DEFAULT_ENGINE == "reference"
 
 
@@ -95,10 +99,10 @@ def test_get_engine_unknown_name_fails_loudly():
 
 
 def test_engines_agree_on_generated_corpus():
-    """50-seed corpus x opt levels: byte-identical KernelResults.
+    """50-seed corpus x opt levels x every engine: byte-identical results.
 
-    ``steps`` equality is deliberately part of the contract: the compiled
-    engine must tick the shared budget at the same AST points, otherwise
+    ``steps`` equality is deliberately part of the contract: the fast
+    engines must tick the shared budget at the same AST points, otherwise
     timeout classification could diverge between engines.
     """
     modes = list(Mode)
@@ -108,10 +112,12 @@ def test_engines_agree_on_generated_corpus():
         for optimisations in (False, True):
             program = compile_program(base, optimisations=optimisations).program
             reference = _observe(program, engine="reference")
-            compiled = _observe(program, engine="compiled")
-            assert reference == compiled, (
-                f"engines disagree on mode={mode} seed={seed} opt={optimisations}"
-            )
+            for engine in FAST_ENGINES:
+                observed = _observe(program, engine=engine)
+                assert reference == observed, (
+                    f"{engine} disagrees with reference on mode={mode} "
+                    f"seed={seed} opt={optimisations}"
+                )
 
 
 def test_engines_agree_under_comma_defect_and_schedule_orders():
@@ -122,20 +128,29 @@ def test_engines_agree_under_comma_defect_and_schedule_orders():
                 kwargs = dict(
                     schedule_order=order, schedule_seed=seed, comma_yields_zero=comma
                 )
-                assert _observe(program, engine="reference", **kwargs) == _observe(
-                    program, engine="compiled", **kwargs
-                )
+                reference = _observe(program, engine="reference", **kwargs)
+                for engine in FAST_ENGINES:
+                    assert reference == _observe(program, engine=engine, **kwargs)
 
 
-def test_engines_agree_on_timeout_classification():
+def test_engines_agree_on_timeout_classification_and_payload():
+    """Timeouts classify identically *and* carry identical step payloads.
+
+    The reference walker increments one step at a time, so the first budget
+    crossing it can observe is exactly ``max_steps + 1``; the fast engines
+    batch adjacent ticks but must report the same first-crossing value
+    (this pins the historically-documented one-step divergence as resolved).
+    """
     for seed in range(8):
         program = generate_kernel(Mode.BASIC, seed, options=CORPUS_OPTIONS)
         reference = _observe(program, engine="reference", max_steps=40)
-        compiled = _observe(program, engine="compiled", max_steps=40)
         assert reference[0] == "raise" and reference[1] == "ExecutionTimeout"
-        # Same outcome class; the step value inside the exception may differ
-        # by a batched tick, which classification never looks at.
-        assert compiled[:2] == reference[:2]
+        for engine in FAST_ENGINES:
+            assert _observe(program, engine=engine, max_steps=40) == reference
+        for engine in ENGINES:
+            with pytest.raises(ExecutionTimeout) as excinfo:
+                run_program(program, engine=engine, max_steps=40)
+            assert excinfo.value.steps == 41
 
 
 # ---------------------------------------------------------------------------
@@ -197,7 +212,7 @@ def test_engines_agree_on_ub_kind(statements, kind):
         with pytest.raises(UndefinedBehaviourError) as excinfo:
             run_program(program, engine=engine)
         observations[engine] = excinfo.value.kind
-    assert observations["reference"] == observations["compiled"] == kind
+    assert all(observed == kind for observed in observations.values()), observations
 
 
 def _racy_program():
@@ -231,7 +246,8 @@ def test_engines_agree_on_race_reports():
         )
         for engine in ENGINES
     }
-    assert collected["reference"] == collected["compiled"]
+    for engine in FAST_ENGINES:
+        assert collected[engine] == collected["reference"]
     assert collected["reference"][0] == "ok"
     assert collected["reference"][3], "expected at least one race report"
 
@@ -287,7 +303,8 @@ def test_differential_harness_verdicts_are_engine_independent():
         for engine in ENGINES:
             harness = DifferentialHarness(configs, max_steps=300_000, engine=engine)
             views[engine] = _record_view(harness.run(program))
-        assert views["reference"] == views["compiled"]
+        for engine in FAST_ENGINES:
+            assert views[engine] == views["reference"]
 
 
 def test_execution_cache_key_includes_engine():
@@ -321,13 +338,14 @@ def test_campaign_tables_engine_independent_and_parallel_safe():
         seed=7,
     )
     reference = run_clsmith_campaign(configs, engine="reference", **campaign)
-    compiled = run_clsmith_campaign(configs, engine="compiled", **campaign)
-    assert reference.table_rows() == compiled.table_rows()
+    for engine in FAST_ENGINES:
+        fast = run_clsmith_campaign(configs, engine=engine, **campaign)
+        assert fast.table_rows() == reference.table_rows()
 
     parallel = run_clsmith_campaign(
-        configs, engine="compiled", parallelism=2, **campaign
+        configs, engine="jit", parallelism=2, **campaign
     )
-    assert parallel.table_rows() == compiled.table_rows()
+    assert parallel.table_rows() == reference.table_rows()
 
 
 # ---------------------------------------------------------------------------

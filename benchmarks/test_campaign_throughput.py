@@ -30,8 +30,11 @@ from conftest import BENCH_OPTIONS, MAX_STEPS
 
 from repro.compiler import compile_program
 from repro.generator import generate_kernel
-from repro.generator.options import Mode
+from repro.generator.options import GeneratorOptions, Mode
+from repro.orchestration.cache import ResultCache
 from repro.platforms import get_configuration
+from repro.reduction import MismatchPredicate, Reducer, ReducerConfig
+from repro.reduction.corpus import wrong_code_config
 from repro.runtime.device import run_program
 from repro.runtime.prepared import PreparedProgramCache
 from repro.testing.campaign import run_clsmith_campaign
@@ -97,6 +100,15 @@ _MIN_COMPILED_SPEEDUP = 2.0   # cold, vs reference (the original promise)
 _MIN_JIT_WARM_SPEEDUP = 4.0   # warm prepared cache, vs reference
 _MIN_JIT_REPEAT_SPEEDUP = 1.2  # jit warm over jit cold (repeat-launch win)
 _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_engine_throughput.json"
+
+
+def _load_artifact():
+    """Merge-on-read so a selective run of one benchmark does not clobber
+    the sections other benchmarks own."""
+    try:
+        return json.loads(_ARTIFACT.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {"benchmark": "engine_throughput"}
 
 
 def _corpus():
@@ -209,7 +221,8 @@ def test_engine_throughput_three_engines_cold_and_warm():
     jit_repeat = round(
         warm["jit"]["kernels_per_sec"] / cold["jit"]["kernels_per_sec"], 2
     )
-    artifact = {
+    artifact = _load_artifact()
+    artifact.update({
         "benchmark": "engine_throughput",
         "corpus": {
             "modes": [mode.value for mode in _ENGINE_BENCH_MODES],
@@ -235,7 +248,7 @@ def test_engine_throughput_three_engines_cold_and_warm():
         },
         "jit_warm_over_jit_cold": jit_repeat,
         "relaxed": RELAX,
-    }
+    })
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
     print("\nEngine throughput (best of "
@@ -264,4 +277,93 @@ def test_engine_throughput_three_engines_cold_and_warm():
     assert jit_repeat >= _MIN_JIT_REPEAT_SPEEDUP, (
         f"warm jit launches are only {jit_repeat:.2f}x faster than cold ones; "
         "the prepared-program cache is not delivering its repeat-launch win"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Test-case reduction throughput (record-only; no gate yet)
+# ---------------------------------------------------------------------------
+
+_REDUCTION_OPTIONS = GeneratorOptions(
+    min_total_threads=4, max_total_threads=16, max_group_size=4,
+    max_statements=10, max_expr_depth=2,
+)
+_REDUCTION_SEEDS = (3, 11)
+_REDUCTION_BUDGET = 400
+
+
+def _one_reduction(program, warm_caches):
+    """Reduce one wrong-code kernel; return (candidates evaluated, seconds,
+    node reduction).  ``warm_caches`` reuses one (result, prepared) cache
+    pair across reductions -- the per-worker configuration campaigns run
+    with -- versus fresh caches per reduction (cold)."""
+    cache, prepared = warm_caches
+    predicate = MismatchPredicate.from_program(
+        program, wrong_code_config(), True,
+        max_steps=MAX_STEPS, cache=cache, prepared_cache=prepared,
+    )
+    start = time.perf_counter()
+    result = Reducer(
+        ReducerConfig(seed=0, max_evaluations=_REDUCTION_BUDGET)
+    ).reduce(program, predicate)
+    elapsed = time.perf_counter() - start
+    return predicate.stats.evaluations, elapsed, result.node_reduction
+
+
+def test_reduction_throughput_records_artifact():
+    """Candidates/sec of the reducer, cold vs warm caches (record-only).
+
+    Reduction is a new workload shape for the caches: every candidate is a
+    *distinct* program (no result-cache hits within one pass sweep), but the
+    re-checks after each accepted step and across pass iterations repeat
+    executions.  The section is recorded into ``BENCH_engine_throughput.json``
+    next to the engine numbers; future PRs can gate once a trajectory exists.
+    """
+    programs = [
+        generate_kernel(Mode.BASIC, seed, options=_REDUCTION_OPTIONS)
+        for seed in _REDUCTION_SEEDS
+    ]
+
+    scenarios = {}
+    for scenario in ("cold", "warm"):
+        # Warm shares one cache pair across reductions; cold gets fresh
+        # caches per reduction.
+        shared = (ResultCache(), PreparedProgramCache()) if scenario == "warm" else None
+        total_candidates = 0
+        total_elapsed = 0.0
+        reductions = []
+        for program in programs:
+            caches = shared if shared is not None else (
+                ResultCache(), PreparedProgramCache()
+            )
+            candidates, elapsed, ratio = _one_reduction(program, caches)
+            total_candidates += candidates
+            total_elapsed += elapsed
+            reductions.append(round(ratio, 3))
+        scenarios[scenario] = {
+            "kernels": len(programs),
+            "candidates": total_candidates,
+            "elapsed_s": round(total_elapsed, 4),
+            "candidates_per_sec": round(total_candidates / total_elapsed, 2),
+            "node_reductions": reductions,
+        }
+
+    artifact = _load_artifact()
+    artifact["reduction"] = {
+        "budget": _REDUCTION_BUDGET,
+        "seeds": list(_REDUCTION_SEEDS),
+        "record_only": True,
+        **scenarios,
+    }
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print("\nReduction throughput (wrong-code corpus, record-only):")
+    for scenario, row in scenarios.items():
+        print(f"  {scenario:5s} {row['candidates_per_sec']:8.2f} candidates/sec"
+              f"  ({row['candidates']} candidates, {row['elapsed_s']:.2f} s,"
+              f" node reductions {row['node_reductions']})")
+    # Sanity only -- this section records a trajectory, it does not gate.
+    assert all(row["candidates_per_sec"] > 0 for row in scenarios.values())
+    assert all(
+        ratio > 0 for row in scenarios.values() for ratio in row["node_reductions"]
     )

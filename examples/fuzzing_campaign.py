@@ -12,6 +12,10 @@ Engines produce identical tables; ``--engine reference`` trades speed for
 the tree-walking baseline, ``--engine jit`` uses the exec-based JIT (every
 worker keeps a prepared-program cache, so repeat launches skip lowering;
 see ENGINE.md).
+
+``--auto-reduce`` turns on campaign auto-triage: every anomalous kernel is
+shrunk to a minimal reproducer preserving its exact failure signature (see
+REDUCTION.md) and the reduced kernels are printed after the table.
 """
 
 import argparse
@@ -32,6 +36,14 @@ def main() -> None:
     parser.add_argument("--engine", choices=available_engines(), default="compiled",
                         help="execution engine for every campaign cell "
                              "(default: compiled)")
+    parser.add_argument("--auto-reduce", action="store_true",
+                        help="shrink every anomalous kernel to a minimal "
+                             "reproducer (campaign auto-triage)")
+    parser.add_argument("--reduce-budget", type=int, default=250,
+                        help="candidate evaluations per reduced kernel "
+                             "(anomalies from the calibrated stochastic "
+                             "residue are irreducible by construction and "
+                             "burn the whole budget; see REDUCTION.md)")
     args = parser.parse_args()
 
     options = GeneratorOptions(min_total_threads=4, max_total_threads=24,
@@ -66,11 +78,25 @@ def main() -> None:
         seed=args.seed,
         parallelism=args.parallelism,
         engine=args.engine,
+        auto_reduce=args.auto_reduce,
+        reduce_budget=args.reduce_budget,
     )
     print(result.render())
 
     total_wrong = sum(c.wrong_code for c in result.counts.values())
     print(f"\nwrong-code results found: {total_wrong}")
+
+    if args.auto_reduce:
+        print(f"\nPhase 3: auto-triage ({len(result.reductions)} anomalous "
+              "kernels reduced)")
+        for summary in result.reductions:
+            signature = ", ".join(f"{cell}:{code}" for cell, code in summary.signature)
+            print(f"\n--- mode={summary.mode} seed={summary.seed} "
+                  f"[{signature}]  nodes {summary.nodes_before} -> "
+                  f"{summary.nodes_after} "
+                  f"({100 * summary.node_reduction:.0f}% removed, "
+                  f"{summary.evaluations} evaluations) ---")
+            print(summary.reduced_source)
 
 
 if __name__ == "__main__":

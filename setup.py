@@ -18,4 +18,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            # Automated test-case reduction: shrink an anomalous generated
+            # kernel while preserving its failure signature (REDUCTION.md).
+            "repro-reduce=repro.reduction.cli:main",
+        ],
+    },
 )

@@ -16,6 +16,11 @@ The package provides, as documented in DESIGN.md:
   the leaf/compound/lift pruning strategies;
 * :mod:`repro.testing` -- differential and EMI harnesses, reliability
   classification, campaign orchestration, and the Figure 1/2 bug exemplars;
+* :mod:`repro.orchestration` -- the sharded campaign execution engine
+  (serialisable jobs, serial/process worker pools, bounded caches);
+* :mod:`repro.reduction` -- automated test-case reduction: seeded
+  deterministic delta debugging with UB-guarded interestingness predicates
+  and campaign auto-triage (REDUCTION.md);
 * :mod:`repro.workloads` -- miniature Parboil/Rodinia benchmarks (Table 2).
 """
 
@@ -29,5 +34,7 @@ __all__ = [
     "generator",
     "emi",
     "testing",
+    "orchestration",
+    "reduction",
     "workloads",
 ]

@@ -6,7 +6,7 @@ or "is used", so that passes relying on them stay semantics-preserving.
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable, Optional, Set
 
 from repro.kernel_lang import ast, builtins
 
@@ -89,6 +89,104 @@ def _target_base(expr: ast.Expr):
     return None
 
 
+def scope_types(fn: ast.FunctionDecl) -> dict:
+    """name -> declared type for a function's parameters and locals.
+
+    Names declared more than once with differing types (shadowing) are
+    excluded, so a lookup that succeeds is unambiguous.
+    """
+    seen: dict = {}
+    ambiguous: Set[str] = set()
+
+    def note(name: str, type_) -> None:
+        if name in seen and seen[name] != type_:
+            ambiguous.add(name)
+        seen[name] = type_
+
+    for param in fn.params:
+        note(param.name, param.type)
+    if fn.body is not None:
+        for node in fn.body.walk():
+            if isinstance(node, ast.DeclStmt):
+                note(node.name, node.type)
+    return {name: t for name, t in seen.items() if name not in ambiguous}
+
+
+def static_value_type(expr: ast.Expr, env: Optional[dict] = None):
+    """The type ``expr`` evaluates to, or ``None`` when unknown.
+
+    A conservative mirror of the interpreter's dynamic typing rules
+    (:mod:`repro.runtime.ops`): literals carry their own type, casts impose
+    theirs, logical operators always -- and comparisons of provably scalar
+    operands -- yield ``int``, work-item
+    functions yield ``size_t``, scalar arithmetic applies
+    :func:`repro.kernel_lang.types.common_scalar_type`, vector/pointer
+    operands dominate a binary result, and unary ``- ~`` promote sub-``int``
+    operands to ``int``.  ``env`` (see :func:`scope_types`) resolves
+    variable references; without it -- and for memory reads and calls --
+    the answer is ``None``: passes must treat that as "could be anything".
+    """
+    from repro.kernel_lang import types as ty
+
+    if isinstance(expr, ast.IntLiteral):
+        return expr.type
+    if isinstance(expr, ast.VarRef):
+        return env.get(expr.name) if env else None
+    if isinstance(expr, ast.Cast):
+        return expr.type if isinstance(expr.type, (ty.IntType, ty.VectorType)) else None
+    if isinstance(expr, ast.VectorLiteral):
+        return expr.type
+    if isinstance(expr, ast.WorkItemExpr):
+        return ty.SIZE_T
+    if isinstance(expr, ast.VectorComponent):
+        base = static_value_type(expr.base, env)
+        return base.element if isinstance(base, ty.VectorType) else None
+    if isinstance(expr, ast.UnaryOp):
+        operand = static_value_type(expr.operand, env)
+        if expr.op == "!":
+            # ``!scalar`` yields int; ``!vector`` yields a 0/1 vector of the
+            # operand's own type (ops.unary lifts component-wise).
+            if isinstance(operand, ty.VectorType):
+                return operand
+            return ty.INT if isinstance(operand, ty.IntType) else None
+        if isinstance(operand, ty.VectorType):
+            return operand
+        if isinstance(operand, ty.IntType):
+            return operand if operand.bits >= 32 else ty.INT
+        return None
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ast.LOGICAL_OPERATORS:
+            # && and || short-circuit through truthiness and always yield a
+            # scalar int, whatever the operands are.
+            return ty.INT
+        if expr.op in ast.COMPARISON_OPERATORS:
+            # Scalar comparisons yield int, but *vector* comparisons yield
+            # a -1/0 vector, so the answer is None unless both sides are
+            # provably scalar.
+            left = static_value_type(expr.left, env)
+            right = static_value_type(expr.right, env)
+            if isinstance(left, ty.IntType) and isinstance(right, ty.IntType):
+                return ty.INT
+            return None
+        if expr.op == ",":
+            return static_value_type(expr.right, env)
+        left = static_value_type(expr.left, env)
+        right = static_value_type(expr.right, env)
+        # Pointer and vector operands dominate the result type.
+        for side in (left, right):
+            if isinstance(side, (ty.PointerType, ty.VectorType)):
+                return side
+        if isinstance(left, ty.IntType) and isinstance(right, ty.IntType):
+            return ty.common_scalar_type(left, right)
+        return None
+    if isinstance(expr, ast.Conditional):
+        then = static_value_type(expr.then, env)
+        otherwise = static_value_type(expr.otherwise, env)
+        if then is not None and then == otherwise:
+            return then
+    return None
+
+
 def contains_barrier(node: ast.Node) -> bool:
     """True if any barrier statement appears under ``node``."""
     return any(isinstance(n, ast.BarrierStmt) for n in node.walk())
@@ -149,6 +247,8 @@ def _all_nodes(program: ast.Program) -> Iterable[ast.Node]:
 __all__ = [
     "expr_has_side_effects",
     "stmt_has_side_effects",
+    "scope_types",
+    "static_value_type",
     "variables_read",
     "variables_assigned",
     "contains_barrier",

@@ -156,19 +156,32 @@ def rewrite_function(
     return ast.FunctionDecl(fn.name, fn.return_type, list(fn.params), new_body, fn.is_kernel)
 
 
+def replace_functions(program: ast.Program, functions) -> ast.Program:
+    """A copy of ``program`` with ``functions`` swapped in.
+
+    The single place that knows how to rebuild a Program around a new
+    function list (structs/buffers shallow-copied, launch shared, metadata
+    copied) -- rewriters and reduction passes all go through it, so adding a
+    Program field only requires updating this helper.
+    """
+    return ast.Program(
+        structs=list(program.structs),
+        functions=list(functions),
+        kernel_name=program.kernel_name,
+        buffers=list(program.buffers),
+        launch=program.launch,
+        metadata=dict(program.metadata),
+    )
+
+
 def rewrite_program(
     program: ast.Program,
     expr_fn: Optional[ExprRewriter] = None,
     stmt_fn: Optional[StmtRewriter] = None,
 ) -> ast.Program:
     """Rewrite every function of ``program`` (launch/buffers are shared)."""
-    return ast.Program(
-        structs=list(program.structs),
-        functions=[rewrite_function(f, expr_fn, stmt_fn) for f in program.functions],
-        kernel_name=program.kernel_name,
-        buffers=list(program.buffers),
-        launch=program.launch,
-        metadata=dict(program.metadata),
+    return replace_functions(
+        program, [rewrite_function(f, expr_fn, stmt_fn) for f in program.functions]
     )
 
 
@@ -177,6 +190,7 @@ __all__ = [
     "map_stmt",
     "rewrite_function",
     "rewrite_program",
+    "replace_functions",
     "ExprRewriter",
     "StmtRewriter",
 ]

@@ -59,17 +59,21 @@ def _is_branch(stmt: ast.Stmt) -> bool:
     return isinstance(stmt, (ast.IfStmt, ast.ForStmt))
 
 
-def _strip_outer_loop_control(block: ast.Block) -> ast.Block:
+def strip_outer_loop_control(block: ast.Block) -> ast.Block:
     """Remove break/continue statements at the outermost level of ``block``
-    (not inside nested loops), keeping lifted loop bodies well-formed."""
+    (not inside nested loops), keeping lifted loop bodies well-formed.
+
+    Public because the test-case reducer's child-lifting pass
+    (:mod:`repro.reduction.passes`) reuses exactly this idiom when it lifts a
+    loop body into the enclosing block."""
     out: List[ast.Stmt] = []
     for stmt in block.statements:
         if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
             continue
         if isinstance(stmt, ast.IfStmt):
-            then_block = _strip_outer_loop_control(stmt.then_block)
+            then_block = strip_outer_loop_control(stmt.then_block)
             else_block = (
-                _strip_outer_loop_control(stmt.else_block)
+                strip_outer_loop_control(stmt.else_block)
                 if stmt.else_block is not None
                 else None
             )
@@ -78,7 +82,7 @@ def _strip_outer_loop_control(block: ast.Block) -> ast.Block:
                                   atomic_section=stmt.atomic_section))
             continue
         if isinstance(stmt, ast.Block):
-            out.append(_strip_outer_loop_control(stmt))
+            out.append(strip_outer_loop_control(stmt))
             continue
         # Nested for/while keep their own break/continue statements.
         out.append(stmt)
@@ -134,7 +138,7 @@ class _Pruner:
             lifted = []
             if stmt.init is not None:
                 lifted.append(stmt.init)
-            body = _strip_outer_loop_control(self.prune_block(stmt.body))
+            body = strip_outer_loop_control(self.prune_block(stmt.body))
             lifted.extend(body.statements)
             return lifted
         return [stmt]
@@ -184,4 +188,5 @@ def count_emi_statements(program: ast.Program) -> int:
     return total
 
 
-__all__ = ["PruningConfig", "prune_program", "count_emi_statements"]
+__all__ = ["PruningConfig", "prune_program", "count_emi_statements",
+           "strip_outer_loop_control"]

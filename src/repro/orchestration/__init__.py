@@ -23,6 +23,8 @@ from repro.orchestration.jobs import (
     CLSMITH_DIFFERENTIAL,
     EMI_BASE_FILTER,
     EMI_FAMILY,
+    REDUCE_CHECK,
+    REDUCE_KERNEL,
     CampaignJob,
     JobResult,
     execute_job,
@@ -37,6 +39,8 @@ __all__ = [
     "CLSMITH_DIFFERENTIAL",
     "EMI_BASE_FILTER",
     "EMI_FAMILY",
+    "REDUCE_CHECK",
+    "REDUCE_KERNEL",
     "CampaignJob",
     "JobResult",
     "execute_job",

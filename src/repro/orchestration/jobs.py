@@ -26,10 +26,21 @@ Four job kinds cover the campaigns of Tables 3-5:
     Materialise one EMI base (from seed, or ``program``), expand its pruned
     variant family and run it on every ``(configuration, optimisation
     level)`` pair.
+``reduce-check``
+    Evaluate one candidate program (shipped by value) against the
+    interestingness predicate described by ``predicate_spec``; report
+    acceptance.  The reducer's :class:`~repro.reduction.reducer.
+    PoolEvaluator` fans candidate batches out as these jobs.
+``reduce-kernel``
+    Materialise one anomalous kernel (from seed, or ``program``) and run a
+    whole reduction against ``predicate_spec`` inside the worker, returning
+    a :class:`~repro.reduction.reducer.ReductionSummary`.  Campaigns with
+    ``auto_reduce=`` enqueue one of these per anomalous record.
 
 :func:`execute_job` interprets a job and returns a :class:`JobResult` of
 plain aggregates (``OutcomeCounts`` per cell, ``EmiBaseResult`` rows, an
-acceptance flag) plus the cache hit/miss delta the job produced.
+acceptance flag, a reduction summary) plus the cache hit/miss delta the job
+produced.
 """
 
 from __future__ import annotations
@@ -50,11 +61,40 @@ from repro.testing.differential import DifferentialHarness
 from repro.testing.emi_harness import EmiBaseResult, EmiHarness
 from repro.testing.outcomes import Outcome, OutcomeCounts
 
+def serialise_configs(
+    configs,
+) -> Tuple[Tuple[Optional[int], ...], Optional[Tuple[Optional[DeviceConfig], ...]]]:
+    """(config_ids, config_overrides) for shipping configurations in jobs.
+
+    Registry configurations travel as their Table 1 ids (cheap; workers
+    re-resolve them locally).  Modified or unregistered DeviceConfig objects
+    (e.g. a registry configuration with its bug models stripped) cannot be
+    reconstructed from an id, so the whole configuration list is shipped by
+    value instead of being silently swapped for registry namesakes.
+    """
+    needs_override = False
+    ids: List[Optional[int]] = []
+    for config in configs:
+        if config is None:
+            ids.append(None)
+            continue
+        ids.append(config.config_id)
+        try:
+            registered = get_configuration(config.config_id)
+        except KeyError:
+            registered = None
+        if registered is not config:
+            needs_override = True
+    return tuple(ids), tuple(configs) if needs_override else None
+
+
 #: Job kinds understood by :func:`execute_job`.
 CLSMITH_DIFFERENTIAL = "clsmith-differential"
 CLSMITH_CURATE = "clsmith-curate"
 EMI_BASE_FILTER = "emi-base-filter"
 EMI_FAMILY = "emi-family"
+REDUCE_CHECK = "reduce-check"
+REDUCE_KERNEL = "reduce-kernel"
 
 
 @dataclass
@@ -88,6 +128,14 @@ class CampaignJob:
     #: registry configuration with its bug models stripped), which must not
     #: be silently swapped for their registry namesakes.
     config_overrides: Optional[Tuple[Optional[DeviceConfig], ...]] = None
+    #: ``reduce-check`` / ``reduce-kernel`` only: the interestingness
+    #: predicate by value (a :class:`repro.reduction.interestingness.
+    #: PredicateSpec`); the configurations, optimisation levels, step budget,
+    #: engine and EMI variant parameters come from the job's own fields.
+    predicate_spec: Optional[object] = None
+    #: ``reduce-kernel`` only: override for the reducer's global
+    #: candidate-evaluation budget (``None`` keeps the ReducerConfig default).
+    reduce_max_evaluations: Optional[int] = None
 
     def resolve_configs(self) -> List[Optional[DeviceConfig]]:
         """The job's live configurations: the shipped overrides, or the
@@ -126,6 +174,15 @@ class JobResult:
     cache: CacheStats = field(default_factory=CacheStats)
     #: Prepared-program cache delta this job contributed (mirrors ``cache``).
     prepared: PreparedCacheStats = field(default_factory=PreparedCacheStats)
+    #: ``reduce-kernel`` only: the reduction outcome (a
+    #: :class:`repro.reduction.reducer.ReductionSummary`), or ``None`` when
+    #: the kernel turned out not to be reducible (e.g. its anomaly involves
+    #: undefined behaviour, which the UB guard refuses to chase).
+    reduction: Optional[object] = None
+    #: ``reduce-check`` only: the predicate's counters for this candidate
+    #: (a :class:`repro.reduction.interestingness.PredicateStats`), so pool
+    #: evaluators can aggregate ub/invalid/error rejections across workers.
+    predicate_stats: Optional[object] = None
 
 
 def execute_job(
@@ -156,6 +213,10 @@ def execute_job(
         result = _execute_emi_base_filter(job, cache, prepared_cache)
     elif job.kind == EMI_FAMILY:
         result = _execute_emi_family(job, cache, prepared_cache)
+    elif job.kind == REDUCE_CHECK:
+        result = _execute_reduce_check(job, cache, prepared_cache)
+    elif job.kind == REDUCE_KERNEL:
+        result = _execute_reduce_kernel(job, cache, prepared_cache)
     else:
         raise ValueError(f"unknown campaign job kind: {job.kind!r}")
     result.cache = cache.snapshot().since(before)
@@ -253,11 +314,78 @@ def _execute_emi_family(
     )
 
 
+def _build_job_predicate(job: CampaignJob, cache: ResultCache,
+                         prepared_cache: PreparedProgramCache):
+    """The live predicate for a reduce job, sharing the worker's caches."""
+    # Imported lazily: repro.reduction pulls in the harness stack, and the
+    # reducer's PoolEvaluator in turn builds CampaignJobs from this module.
+    from repro.reduction.interestingness import build_predicate
+
+    return build_predicate(
+        job.predicate_spec,
+        job.resolve_configs(),
+        job.optimisation_levels,
+        job.max_steps,
+        job.engine,
+        variant_seed=job.variant_seed,
+        variants_per_base=job.variants_per_base,
+        cache=cache,
+        prepared_cache=prepared_cache,
+    )
+
+
+def _execute_reduce_check(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
+    if job.program is None:
+        raise ValueError("reduce-check jobs carry the candidate by value")
+    predicate = _build_job_predicate(job, cache, prepared_cache)
+    accepted = bool(predicate(job.program))
+    return JobResult(
+        job.kind, job.seed, accepted=accepted, predicate_stats=predicate.stats
+    )
+
+
+def _execute_reduce_kernel(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
+    from repro.reduction.reducer import NotReducibleError, Reducer, ReducerConfig
+
+    # No fingerprint pre-marking: EmiFamilyPredicate re-derives every
+    # evaluated program's own fingerprint (refresh_base_fingerprint), which
+    # yields the identical value for the unmodified original.
+    program = job.program if job.program is not None else job.materialise_program()
+    predicate = _build_job_predicate(job, cache, prepared_cache)
+    config = ReducerConfig(seed=job.seed)
+    if job.reduce_max_evaluations is not None:
+        config.max_evaluations = job.reduce_max_evaluations
+    try:
+        result = Reducer(config).reduce(program, predicate)
+    except NotReducibleError:
+        # The original no longer satisfies its own predicate (e.g. the UB
+        # guard vetoed it); report "not reducible" rather than failing the
+        # whole campaign.  Any other exception is a genuine fault and
+        # propagates.
+        return JobResult(job.kind, job.seed, emi_blocks=job.emi_blocks)
+    summary = result.summary(
+        seed=job.seed,
+        mode=job.mode,
+        predicate_kind=job.predicate_spec.kind,
+        signature=job.predicate_spec.signature,
+    )
+    return JobResult(
+        job.kind, job.seed, emi_blocks=job.emi_blocks, reduction=summary
+    )
+
+
 __all__ = [
+    "serialise_configs",
     "CLSMITH_DIFFERENTIAL",
     "CLSMITH_CURATE",
     "EMI_BASE_FILTER",
     "EMI_FAMILY",
+    "REDUCE_CHECK",
+    "REDUCE_KERNEL",
     "CampaignJob",
     "JobResult",
     "execute_job",

@@ -1,0 +1,532 @@
+"""Hierarchical reduction passes for the test-case reducer.
+
+The paper reports that manually shrinking bug-inducing CLsmith/EMI kernels
+was the dominant human cost of the fuzzing campaigns: a minimal reproducer
+must preserve the observed defect while *never* introducing undefined
+behaviour (section 3.2's determinism requirement).  Each pass here proposes
+candidate programs that are strictly smaller than their input; the fixpoint
+driver (:mod:`repro.reduction.reducer`) tests each candidate against an
+interestingness predicate (:mod:`repro.reduction.interestingness`) and keeps
+the first one that still reproduces the defect.
+
+Design contract, property-tested in ``tests/test_reduction_passes.py``:
+
+* every candidate a pass yields **pretty-prints** (the printer accepts it)
+  and **re-validates** through :func:`repro.kernel_lang.semantics.
+  validate_program` -- passes filter out candidates that would be malformed
+  (e.g. a ddmin chunk that deletes a declaration whose variable is still
+  used) instead of handing them to the harness;
+* every candidate **strictly decreases** the program's :func:`size_key`
+  (AST node count + launch threads + buffer cells + struct fields), which
+  makes the reduction fixpoint terminate: each accepted step decreases a
+  non-negative integer;
+* candidate enumeration is **deterministic**: the same program and the same
+  seeded ``rng`` produce the same candidate sequence, which is what makes
+  whole reductions replayable and backend-independent.
+
+The passes mirror the manual tricks the paper's authors applied by hand:
+
+``compound-delete``   delete a whole ``if``/``for``/``while`` subtree
+                      (the EMI *compound* idiom of section 5);
+``ddmin-stmts``       delta-debugging chunk deletion over every statement
+                      list (Zeller-style ddmin, largest chunks first);
+``child-lift``        promote a branch node's children into its parent
+                      (the EMI *lift* idiom -- loop bodies are lifted
+                      through :func:`repro.emi.pruning.
+                      strip_outer_loop_control` exactly as the pruner does);
+``function-prune``    inline simple helpers (reusing the optimisation
+                      pipeline's :class:`~repro.compiler.passes.inline.
+                      InlinePass`), drop uncalled functions and
+                      unreferenced struct/union definitions;
+``dead-params``       remove kernel parameters (and their host buffers)
+                      that no function references;
+``loop-shrink``       shrink literal loop trip counts;
+``expr-to-literal``   replace statement-level expressions by one of their
+                      operands or by a literal ``0``/``1``;
+``grid-shrink``       shrink the NDRange (fewer groups, then a single
+                      work-item) and over-sized buffers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.compiler import analysis, rewrite
+from repro.compiler.passes.inline import InlinePass
+from repro.emi.pruning import strip_outer_loop_control
+from repro.kernel_lang import ast, types as ty
+from repro.kernel_lang.semantics import ValidationError, validate_program
+
+
+def _literal_loop_bound_sum(program: ast.Program) -> int:
+    """Sum of literal ``for`` bounds (``i < N`` shapes), non-negative.
+
+    Part of :func:`size_key` so that shrinking a trip count registers as
+    progress: replacing one literal with a smaller one leaves the node count
+    unchanged, and without this term every loop-shrink candidate would fail
+    the strict-decrease filter.
+    """
+    total = 0
+    for node in program.walk():
+        if (
+            isinstance(node, ast.ForStmt)
+            and isinstance(node.cond, ast.BinaryOp)
+            and isinstance(node.cond.right, ast.IntLiteral)
+        ):
+            total += abs(node.cond.right.value)
+    return total
+
+
+def size_key(program: ast.Program) -> int:
+    """The strictly-decreasing size metric reductions are measured by.
+
+    AST nodes dominate; launch threads, buffer cells, struct fields and
+    literal loop bounds are included so that passes which only shrink the
+    launch geometry, the type environment or a trip count still make
+    measurable progress.
+    """
+    return (
+        ast.count_nodes(program)
+        + program.launch.total_threads
+        + sum(buf.size for buf in program.buffers)
+        + sum(1 + len(st.fields) for st in program.structs)
+        + _literal_loop_bound_sum(program)
+    )
+
+
+def all_blocks(program: ast.Program) -> List[ast.Block]:
+    """Every :class:`~repro.kernel_lang.ast.Block` in deterministic pre-order.
+
+    The same traversal on a clone visits structurally-identical blocks in the
+    same order, which is how candidate descriptors computed on the current
+    program are applied to a fresh clone.
+    """
+    return [node for node in program.walk() if isinstance(node, ast.Block)]
+
+
+_BRANCH_STMTS = (ast.IfStmt, ast.ForStmt, ast.WhileStmt)
+
+
+def _branch_sites(program: ast.Program) -> List[Tuple[int, int]]:
+    """(block index, statement index) of every branch statement."""
+    sites: List[Tuple[int, int]] = []
+    for b_idx, block in enumerate(all_blocks(program)):
+        for s_idx, stmt in enumerate(block.statements):
+            if isinstance(stmt, _BRANCH_STMTS):
+                sites.append((b_idx, s_idx))
+    return sites
+
+
+class ReductionPass:
+    """Base class: deterministic candidate proposal + well-formedness filter."""
+
+    name = "reduction-pass"
+
+    # -- to override -----------------------------------------------------
+
+    def propose(
+        self, program: ast.Program, rng: random.Random
+    ) -> Iterator[ast.Program]:
+        """Yield raw candidate programs (possibly invalid / not smaller)."""
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------
+
+    def candidates(
+        self, program: ast.Program, rng: random.Random
+    ) -> Iterator[ast.Program]:
+        """Yield only candidates that are strictly smaller and well-formed.
+
+        The filter is part of the pass contract (see the module docstring):
+        the reducer and the round-trip property tests both consume this
+        method, so a pass that builds a malformed AST is caught before any
+        kernel executes.
+        """
+        threshold = size_key(program)
+        for candidate in self.propose(program, rng):
+            if size_key(candidate) >= threshold:
+                continue
+            try:
+                validate_program(candidate)
+            except ValidationError:
+                continue
+            yield candidate
+
+
+# ---------------------------------------------------------------------------
+# Statement-level passes
+# ---------------------------------------------------------------------------
+
+
+class CompoundDeletionPass(ReductionPass):
+    """Delete whole ``if``/``for``/``while`` subtrees (largest wins first)."""
+
+    name = "compound-delete"
+
+    def propose(self, program, rng):
+        sites = _branch_sites(program)
+        blocks = all_blocks(program)
+        # Biggest subtrees first: deleting them early saves the most work.
+        sites.sort(
+            key=lambda site: (
+                -ast.count_nodes(blocks[site[0]].statements[site[1]]),
+                site,
+            )
+        )
+        for b_idx, s_idx in sites:
+            clone = program.clone()
+            del all_blocks(clone)[b_idx].statements[s_idx]
+            yield clone
+
+
+class StatementDeletionPass(ReductionPass):
+    """ddmin-style chunk deletion over every statement list.
+
+    For each block, candidate deletions remove aligned chunks whose sizes
+    sweep from the whole list down through halving powers of two to single
+    statements -- the classic delta-debugging schedule, restarted by the
+    driver after every accepted candidate.
+    """
+
+    name = "ddmin-stmts"
+
+    @staticmethod
+    def _chunk_sizes(n: int) -> List[int]:
+        sizes = [n]
+        size = 1
+        while size * 2 <= n:
+            size *= 2
+        while size >= 1:
+            if size != n:
+                sizes.append(size)
+            size //= 2
+        return sizes
+
+    def propose(self, program, rng):
+        for b_idx, block in enumerate(all_blocks(program)):
+            n = len(block.statements)
+            if n == 0:
+                continue
+            for chunk in self._chunk_sizes(n):
+                for start in range(0, n, chunk):
+                    clone = program.clone()
+                    target = all_blocks(clone)[b_idx]
+                    del target.statements[start:start + chunk]
+                    yield clone
+
+
+class ChildLiftPass(ReductionPass):
+    """Replace a branch statement by its children (the EMI *lift* idiom)."""
+
+    name = "child-lift"
+
+    def propose(self, program, rng):
+        for b_idx, s_idx in _branch_sites(program):
+            clone = program.clone()
+            block = all_blocks(clone)[b_idx]
+            stmt = block.statements[s_idx]
+            block.statements[s_idx:s_idx + 1] = self._lifted(stmt)
+            yield clone
+
+    @staticmethod
+    def _lifted(stmt: ast.Stmt) -> List[ast.Stmt]:
+        if isinstance(stmt, ast.IfStmt):
+            lifted = list(stmt.then_block.statements)
+            if stmt.else_block is not None:
+                lifted.extend(stmt.else_block.statements)
+            return lifted
+        if isinstance(stmt, ast.ForStmt):
+            lifted = [] if stmt.init is None else [stmt.init]
+            lifted.extend(strip_outer_loop_control(stmt.body).statements)
+            return lifted
+        if isinstance(stmt, ast.WhileStmt):
+            return list(strip_outer_loop_control(stmt.body).statements)
+        return [stmt]
+
+
+# ---------------------------------------------------------------------------
+# Declaration-level passes
+# ---------------------------------------------------------------------------
+
+
+def _referenced_type_names(program: ast.Program) -> set:
+    """Names of struct/union types referenced by any declaration or cast."""
+
+    def base_type(t: ty.Type) -> ty.Type:
+        while isinstance(t, (ty.PointerType, ty.ArrayType)):
+            t = t.pointee if isinstance(t, ty.PointerType) else t.element
+        return t
+
+    names = set()
+
+    def note(t: ty.Type) -> None:
+        base = base_type(t)
+        if isinstance(base, (ty.StructType, ty.UnionType)):
+            names.add(base.name)
+
+    for fn in program.functions:
+        for param in fn.params:
+            note(param.type)
+        note(fn.return_type)
+        if fn.body is None:
+            continue
+        for node in fn.body.walk():
+            if isinstance(node, ast.DeclStmt):
+                note(node.type)
+            elif isinstance(node, ast.Cast):
+                note(node.type)
+            elif isinstance(node, ast.VectorLiteral):
+                note(node.type)
+    return names
+
+
+class FunctionPrunePass(ReductionPass):
+    """Inline simple helpers, drop uncalled functions and unused structs."""
+
+    name = "function-prune"
+
+    def propose(self, program, rng):
+        called = set()
+        for fn in program.functions:
+            if fn.body is not None:
+                called |= analysis.called_functions(fn.body)
+
+        # Drop each individually-uncalled helper (definition or forward decl).
+        for idx, fn in enumerate(program.functions):
+            if fn.name == program.kernel_name or fn.name in called:
+                continue
+            clone = program.clone()
+            del clone.functions[idx]
+            yield clone
+
+        # Drop each unreferenced struct/union definition.
+        referenced = _referenced_type_names(program)
+        for idx, st in enumerate(program.structs):
+            if st.name in referenced:
+                continue
+            clone = program.clone()
+            del clone.structs[idx]
+            yield clone
+
+        # Inline simple helpers wholesale, then sweep what became uncalled.
+        # InlinePass never mutates its input; the sweep happens on its output.
+        inlined = InlinePass().run(program)
+        still_called = set()
+        for fn in inlined.functions:
+            if fn.body is not None:
+                still_called |= analysis.called_functions(fn.body)
+        yield rewrite.replace_functions(
+            inlined,
+            [
+                fn
+                for fn in inlined.functions
+                if fn.name == inlined.kernel_name or fn.name in still_called
+            ],
+        )
+
+
+class DeadParamBufferPass(ReductionPass):
+    """Remove kernel parameters (and their buffers) nothing references."""
+
+    name = "dead-params"
+
+    def propose(self, program, rng):
+        used = set()
+        for fn in program.functions:
+            if fn.body is not None:
+                used |= analysis.variables_read(fn.body)
+                used |= analysis.variables_assigned(fn.body)
+        try:
+            kernel = program.kernel()
+        except KeyError:
+            return
+        for param in kernel.params:
+            if param.name in used:
+                continue
+            clone = program.clone()
+            clone_kernel = clone.kernel()
+            clone_kernel.params = [
+                p for p in clone_kernel.params if p.name != param.name
+            ]
+            clone.buffers = [b for b in clone.buffers if b.name != param.name]
+            yield clone
+
+
+# ---------------------------------------------------------------------------
+# Expression- and geometry-level passes
+# ---------------------------------------------------------------------------
+
+#: Statement fields that hold a reducible top-level expression.
+_EXPR_SLOTS = {
+    ast.DeclStmt: "init",
+    ast.AssignStmt: "value",
+    ast.ExprStmt: "expr",
+    ast.IfStmt: "cond",
+    ast.ForStmt: "cond",
+    ast.WhileStmt: "cond",
+    ast.ReturnStmt: "value",
+}
+
+#: Upper bound on expression sites attempted per sweep; beyond it the seeded
+#: rng subsamples (deterministically) so pathological kernels stay bounded.
+_MAX_EXPR_SITES = 96
+
+
+class ExprToLiteralPass(ReductionPass):
+    """Replace statement-level expressions by an operand or a literal."""
+
+    name = "expr-to-literal"
+
+    def propose(self, program, rng):
+        sites: List[Tuple[int, int]] = []
+        blocks = all_blocks(program)
+        for b_idx, block in enumerate(blocks):
+            for s_idx, stmt in enumerate(block.statements):
+                slot = _EXPR_SLOTS.get(type(stmt))
+                if slot is None:
+                    continue
+                expr = getattr(stmt, slot)
+                if expr is None or isinstance(expr, ast.IntLiteral):
+                    continue
+                sites.append((b_idx, s_idx))
+        if len(sites) > _MAX_EXPR_SITES:
+            sites = sorted(rng.sample(sites, _MAX_EXPR_SITES))
+        for b_idx, s_idx in sites:
+            stmt = blocks[b_idx].statements[s_idx]
+            slot = _EXPR_SLOTS[type(stmt)]
+            expr = getattr(stmt, slot)
+            for replacement in self._replacements(expr, stmt):
+                clone = program.clone()
+                target = all_blocks(clone)[b_idx].statements[s_idx]
+                setattr(target, slot, replacement)
+                yield clone
+
+    @staticmethod
+    def _replacements(expr: ast.Expr, stmt: ast.Stmt) -> List[ast.Expr]:
+        literal_type = ty.INT
+        if isinstance(stmt, ast.DeclStmt) and isinstance(stmt.type, ty.IntType):
+            literal_type = stmt.type
+        out: List[ast.Expr] = [ast.IntLiteral(0, literal_type)]
+        # No literal-1 for loop conditions: ``while (1)`` / ``for (;1;)``
+        # candidates are guaranteed timeouts that burn the full execution
+        # budget per cell before the predicate can reject them.
+        if not isinstance(stmt, (ast.ForStmt, ast.WhileStmt)):
+            out.append(ast.IntLiteral(1, literal_type))
+        # Operand hoisting: keep a sub-tree, drop the rest of the expression.
+        if isinstance(expr, ast.BinaryOp):
+            out.append(expr.left.clone())
+            out.append(expr.right.clone())
+        elif isinstance(expr, (ast.UnaryOp, ast.Cast)):
+            out.append(expr.operand.clone())
+        elif isinstance(expr, ast.Conditional):
+            out.append(expr.then.clone())
+            out.append(expr.otherwise.clone())
+        return out
+
+
+class LoopShrinkPass(ReductionPass):
+    """Shrink literal loop trip counts (``i < N`` with literal ``N``).
+
+    Only ascending comparisons are touched: lowering the bound of ``i > N``
+    / ``i >= N`` / ``i != N`` loops *increases* their trip count, which is
+    the opposite of a reduction even though the size metric would shrink.
+    """
+
+    name = "loop-shrink"
+
+    def propose(self, program, rng):
+        loops: List[Tuple[int, ast.ForStmt]] = []
+        for idx, node in enumerate(program.walk()):
+            if (
+                isinstance(node, ast.ForStmt)
+                and isinstance(node.cond, ast.BinaryOp)
+                and node.cond.op in ("<", "<=")
+                and isinstance(node.cond.right, ast.IntLiteral)
+            ):
+                loops.append((idx, node))
+        for node_idx, loop in loops:
+            bound = loop.cond.right
+            shrunk = sorted({1, bound.value // 2} - {bound.value})
+            for new_value in shrunk:
+                if new_value < 0 or new_value >= bound.value:
+                    continue
+                clone = program.clone()
+                target = list(clone.walk())[node_idx]
+                target.cond.right = ast.IntLiteral(new_value, bound.type)
+                yield clone
+
+
+class GridShrinkPass(ReductionPass):
+    """Shrink the NDRange launch geometry and over-sized buffers."""
+
+    name = "grid-shrink"
+
+    def propose(self, program, rng):
+        launch = program.launch
+        proposals: List[ast.LaunchSpec] = []
+
+        def add(global_size, local_size):
+            try:
+                spec = ast.LaunchSpec(tuple(global_size), tuple(local_size))
+            except ValueError:
+                return
+            proposals.append(spec)
+
+        # A single work-item, then a single work-group, then per-dim halving.
+        add((1, 1, 1), (1, 1, 1))
+        add(launch.local_size, launch.local_size)
+        for dim in range(3):
+            halved = list(launch.global_size)
+            if halved[dim] % 2 != 0:
+                continue
+            halved[dim] //= 2
+            add(halved, launch.local_size)
+        seen = {(launch.global_size, launch.local_size)}
+        for spec in proposals:
+            key = (spec.global_size, spec.local_size)
+            if key in seen:
+                continue
+            seen.add(key)
+            clone = program.clone()
+            clone.launch = spec
+            yield clone
+
+        # Shrink buffers that are larger than the (possibly already shrunk)
+        # thread count; out-of-bounds candidates are vetoed by the UB guard.
+        threads = launch.total_threads
+        for idx, buf in enumerate(program.buffers):
+            if buf.size <= threads:
+                continue
+            clone = program.clone()
+            clone.buffers[idx].size = max(threads, 1)
+            yield clone
+
+
+#: The default pass schedule: coarsest reductions first.
+DEFAULT_PASSES: Tuple[ReductionPass, ...] = (
+    CompoundDeletionPass(),
+    StatementDeletionPass(),
+    ChildLiftPass(),
+    FunctionPrunePass(),
+    DeadParamBufferPass(),
+    LoopShrinkPass(),
+    ExprToLiteralPass(),
+    GridShrinkPass(),
+)
+
+
+__all__ = [
+    "size_key",
+    "all_blocks",
+    "ReductionPass",
+    "CompoundDeletionPass",
+    "StatementDeletionPass",
+    "ChildLiftPass",
+    "FunctionPrunePass",
+    "DeadParamBufferPass",
+    "LoopShrinkPass",
+    "ExprToLiteralPass",
+    "GridShrinkPass",
+    "DEFAULT_PASSES",
+]

@@ -34,42 +34,28 @@ from repro.orchestration.jobs import (
     CLSMITH_DIFFERENTIAL,
     EMI_BASE_FILTER,
     EMI_FAMILY,
+    REDUCE_KERNEL,
     CampaignJob,
     JobResult,
+    serialise_configs,
 )
 from repro.orchestration.pool import WorkerPool
 from repro.platforms.config import DeviceConfig
-from repro.platforms.registry import get_configuration
+from repro.reduction.interestingness import (
+    FAILURE_CODES,
+    PredicateSpec,
+    Signature,
+    emi_family_signature,
+)
+from repro.reduction.reducer import ReductionSummary
 from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.prepared import PreparedCacheStats
-from repro.testing.outcomes import OutcomeCounts
+from repro.testing.outcomes import Outcome, OutcomeCounts, cell_label
 
 
-def _serialise_configs(
-    configs: Sequence[Optional[DeviceConfig]],
-) -> Tuple[Tuple[Optional[int], ...], Optional[Tuple[Optional[DeviceConfig], ...]]]:
-    """(config_ids, config_overrides) for shipping configurations to workers.
-
-    Registry configurations travel as their Table 1 ids (cheap; workers
-    re-resolve them locally).  Modified or unregistered DeviceConfig objects
-    (e.g. a registry configuration with its bug models stripped) cannot be
-    reconstructed from an id, so the whole configuration list is shipped by
-    value instead of being silently swapped for registry namesakes.
-    """
-    needs_override = False
-    ids: List[Optional[int]] = []
-    for config in configs:
-        if config is None:
-            ids.append(None)
-            continue
-        ids.append(config.config_id)
-        try:
-            registered = get_configuration(config.config_id)
-        except KeyError:
-            registered = None
-        if registered is not config:
-            needs_override = True
-    return tuple(ids), tuple(configs) if needs_override else None
+# Shipping configurations by id/value lives with the job machinery now;
+# the alias keeps this module's many call sites unchanged.
+_serialise_configs = serialise_configs
 
 
 # ---------------------------------------------------------------------------
@@ -87,6 +73,9 @@ class ClsmithCampaignResult:
     cache_stats: CacheStats = field(default_factory=CacheStats)
     #: Aggregated prepared-program (lowering) cache counters, likewise.
     prepared_stats: PreparedCacheStats = field(default_factory=PreparedCacheStats)
+    #: ``auto_reduce=True`` only: one minimised reproducer per anomalous
+    #: kernel, in (mode, seed) job order (see REDUCTION.md).
+    reductions: List[ReductionSummary] = field(default_factory=list)
 
     def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
         return self.counts.setdefault(
@@ -129,6 +118,8 @@ def run_clsmith_campaign(
     seed: int = 0,
     parallelism: Optional[int] = None,
     engine: str = DEFAULT_ENGINE,
+    auto_reduce: bool = False,
+    reduce_budget: Optional[int] = None,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -145,6 +136,15 @@ def run_clsmith_campaign(
     run with the same seed.  ``engine`` selects the execution engine for
     every cell (and is part of the result-cache fingerprint); the table is
     engine-independent by the engine contract (see ENGINE.md).
+
+    With ``auto_reduce=True`` every anomalous kernel (any wrong-code, build
+    failure, crash or timeout cell) is shrunk to a minimal reproducer that
+    preserves its exact failure signature, and the resulting
+    :class:`~repro.reduction.reducer.ReductionSummary` objects are attached
+    as ``result.reductions``.  Reductions run as ``reduce-kernel`` jobs on
+    the same pool (one anomaly per worker), so serial and parallel campaigns
+    attach byte-identical summaries; ``reduce_budget`` caps the candidate
+    evaluations per anomaly.
     """
     config_ids, config_overrides = _serialise_configs(configs)
     result = ClsmithCampaignResult(kernels_per_mode)
@@ -171,12 +171,67 @@ def run_clsmith_campaign(
                 )
                 for kernel_seed in kernel_seeds
             )
-        for job_result in pool.run(jobs):
+        job_results = pool.run(jobs)
+        for job_result in job_results:
             for key, cell_counts in job_result.counts.items():
                 result.counts[key] = result.counts.get(key, OutcomeCounts()).merge(cell_counts)
             result.cache_stats = result.cache_stats.merge(job_result.cache)
             result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
+        if auto_reduce:
+            reduce_jobs = []
+            for job, job_result in zip(jobs, job_results):
+                signature = _clsmith_failure_signature(job_result)
+                if not signature:
+                    continue
+                reduce_jobs.append(
+                    CampaignJob(
+                        kind=REDUCE_KERNEL,
+                        seed=job.seed,
+                        mode=job.mode,
+                        config_ids=config_ids,
+                        config_overrides=config_overrides,
+                        optimisation_levels=(False, True),
+                        options=options,
+                        max_steps=max_steps,
+                        engine=engine,
+                        predicate_spec=PredicateSpec(
+                            kind="differential", signature=signature
+                        ),
+                        reduce_max_evaluations=reduce_budget,
+                    )
+                )
+            _run_reduce_jobs(pool, reduce_jobs, result)
     return result
+
+
+def _run_reduce_jobs(pool: WorkerPool, reduce_jobs: List[CampaignJob], result) -> None:
+    """Run ``reduce-kernel`` jobs and fold their outcomes into a campaign
+    result (shared by the CLsmith and EMI auto-triage paths so the merge
+    policy cannot drift).  Jobs whose kernel turned out not to be reducible
+    (UB-vetoed originals) contribute cache deltas but no summary."""
+    for job_result in pool.run(reduce_jobs):
+        if job_result.reduction is not None:
+            result.reductions.append(job_result.reduction)
+        result.cache_stats = result.cache_stats.merge(job_result.cache)
+        result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
+
+
+def _clsmith_failure_signature(job_result: JobResult) -> Signature:
+    """The (cell label, outcome code) anomaly signature of one kernel's job.
+
+    Kernels with any undefined-behaviour cell are not reducible -- the UB
+    guard would veto the original -- so they yield an empty signature and
+    auto-reduction skips them (UB tests are discarded, never triaged).
+    """
+    cells = []
+    for (_, config_name, optimisations), counts in sorted(job_result.counts.items()):
+        as_dict = counts.as_dict()
+        if as_dict["ub"]:
+            return ()
+        label = cell_label(config_name, optimisations)
+        for code in FAILURE_CODES:
+            cells.extend([(label, code)] * as_dict[code])
+    return tuple(sorted(cells))
 
 
 def _scan_accepted(
@@ -265,6 +320,9 @@ class EmiCampaignResult:
     cache_stats: CacheStats = field(default_factory=CacheStats)
     #: Aggregated prepared-program (lowering) cache counters, likewise.
     prepared_stats: PreparedCacheStats = field(default_factory=PreparedCacheStats)
+    #: ``auto_reduce=True`` only: one minimised base per anomalous EMI
+    #: family, in job order (see REDUCTION.md).
+    reductions: List[ReductionSummary] = field(default_factory=list)
 
     def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
         return self.rows.setdefault(
@@ -360,12 +418,20 @@ def run_emi_campaign(
     bases: Optional[List[ast.Program]] = None,
     parallelism: Optional[int] = None,
     engine: str = DEFAULT_ENGINE,
+    auto_reduce: bool = False,
+    reduce_budget: Optional[int] = None,
 ) -> EmiCampaignResult:
     """Reproduce the Table 5 experiment at a configurable scale.
 
     One job covers one EMI base: the worker materialises the base (from its
     seed, or from ``bases`` when supplied), expands the pruned variant family
     and runs it on every (configuration, optimisation level) pair.
+
+    With ``auto_reduce=True`` every base whose family induces an anomaly
+    (wrong code / build failure / crash / timeout in any cell) is shrunk
+    while its per-cell worst-outcome signature is preserved -- each candidate
+    re-expands its own pruned variant family -- and the summaries are
+    attached as ``result.reductions``.
     """
     config_ids, config_overrides = _serialise_configs(configs)
     family_job = dict(
@@ -397,7 +463,44 @@ def run_emi_campaign(
         result = EmiCampaignResult(len(jobs), 0)
         result.cache_stats = result.cache_stats.merge(filter_stats)
         result.prepared_stats = result.prepared_stats.merge(filter_prepared)
-        _merge_emi_job_results(result, pool.run(jobs))
+        job_results = pool.run(jobs)
+        _merge_emi_job_results(result, job_results)
+        if auto_reduce:
+            reduce_jobs = []
+            for job, job_result in zip(jobs, job_results):
+                signature = emi_family_signature(job_result.emi_cells)
+                if not any(code in FAILURE_CODES for _, code in signature):
+                    continue
+                # Mirror the CLsmith path's UB skip: the predicate's hard UB
+                # guard would veto the original anyway, so don't ship a
+                # doomed reduce job (UB tests are discarded, never triaged).
+                if any(
+                    Outcome.UNDEFINED_BEHAVIOUR in cell.variant_outcomes
+                    for cell in job_result.emi_cells
+                ):
+                    continue
+                reduce_jobs.append(
+                    CampaignJob(
+                        kind=REDUCE_KERNEL,
+                        seed=job.seed,
+                        mode=job.mode,
+                        emi_blocks=job.emi_blocks,
+                        program=job.program,
+                        config_ids=config_ids,
+                        config_overrides=config_overrides,
+                        optimisation_levels=tuple(optimisation_levels),
+                        options=options,
+                        max_steps=max_steps,
+                        engine=engine,
+                        variant_seed=seed,
+                        variants_per_base=variants_per_base,
+                        predicate_spec=PredicateSpec(
+                            kind="emi-family", signature=signature
+                        ),
+                        reduce_max_evaluations=reduce_budget,
+                    )
+                )
+            _run_reduce_jobs(pool, reduce_jobs, result)
     return result
 
 

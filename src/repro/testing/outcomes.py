@@ -65,6 +65,17 @@ def classify_exception(error: BaseException) -> Outcome:
     raise error
 
 
+def cell_label(config_name: str, optimisations: bool) -> str:
+    """The canonical ``config9+`` / ``config9-`` cell spelling.
+
+    The single definition of the format: reduction failure signatures are
+    compared for *exact* equality against labels derived on both sides of
+    the campaign/worker boundary, so every producer must spell cells
+    identically.
+    """
+    return f"{config_name}{'+' if optimisations else '-'}"
+
+
 @dataclass
 class TestRecord:
     """One (test, configuration, optimisation level) execution record."""
@@ -77,8 +88,7 @@ class TestRecord:
 
     @property
     def label(self) -> str:
-        sign = "+" if self.optimisations else "-"
-        return f"{self.config_name}{sign}"
+        return cell_label(self.config_name, self.optimisations)
 
 
 @dataclass
@@ -151,4 +161,5 @@ class OutcomeCounts:
         )
 
 
-__all__ = ["Outcome", "classify_exception", "TestRecord", "OutcomeCounts"]
+__all__ = ["Outcome", "classify_exception", "cell_label", "TestRecord",
+           "OutcomeCounts"]

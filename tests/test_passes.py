@@ -156,6 +156,47 @@ def test_simplify_keeps_effectful_comma_left_operand():
     assert isinstance(simplified[0].expr, ast.BinaryOp)
 
 
+def test_simplify_preserves_integer_promotion_of_narrow_operands():
+    """Regression (found by the test-case reducer dogfooding itself):
+    ``(uchar)e ^ 0`` has promoted type int, so the shift amount of an
+    enclosing ``safe_lshift`` clamps modulo 32; dropping the ``^ 0`` narrows
+    the argument to uchar and the clamp becomes modulo 8.  The identity must
+    not fire when it would narrow the type -- and must still fire when the
+    operand's type provably matches the promoted result."""
+    from repro.runtime.device import run_program
+
+    narrow = ast.BinaryOp(
+        "^", ast.Cast(ty.UCHAR, ast.group_linear_id()), ast.lit(0)
+    )
+    shift = ast.Call("safe_lshift", [narrow, ast.Call("min", [ast.lit(9), ast.lit(9)])])
+    program = _wrap([ast.out_write(shift)])
+    simplified = SimplifyPass().run(program)
+    # The ^ 0 survives (dropping it would change the clamp width)...
+    assert run_program(simplified).outputs == run_program(program).outputs
+    kept = _kernel_stmts(simplified)[0].value.args[0]
+    assert isinstance(kept, ast.BinaryOp) and kept.op == "^"
+    # ...while the same identity on an int-typed operand still fires.
+    wide = ast.BinaryOp("^", ast.Cast(ty.INT, ast.group_linear_id()), ast.lit(0))
+    program_wide = _wrap([ast.out_write(ast.Call("safe_lshift", [wide, ast.lit(1)]))])
+    kept_wide = _kernel_stmts(SimplifyPass().run(program_wide))[0].value.args[0]
+    assert isinstance(kept_wide, ast.Cast)
+
+
+def test_simplify_resolves_variable_types_from_scope():
+    """The scope map lets identities on declared variables keep firing when
+    the declared type already matches the promoted result, and blocks them
+    when it does not."""
+    program = _wrap([
+        ast.DeclStmt("wide", ty.UINT, ast.lit(7)),
+        ast.DeclStmt("narrow", ty.UCHAR, ast.lit(7)),
+        ast.out_write(ast.BinaryOp("+", ast.var("wide"), ast.lit(0))),
+        ast.out_write(ast.BinaryOp("+", ast.var("narrow"), ast.lit(0))),
+    ])
+    simplified = _kernel_stmts(SimplifyPass().run(program))
+    assert isinstance(simplified[2].value, ast.VarRef)      # uint + 0 -> uint
+    assert isinstance(simplified[3].value, ast.BinaryOp)    # uchar + 0 stays
+
+
 # ---------------------------------------------------------------------------
 # Dead-code elimination
 # ---------------------------------------------------------------------------

@@ -1,0 +1,160 @@
+"""Property tests for the reduction passes (the pass contract).
+
+Every candidate a pass yields must (1) pretty-print through the printer,
+(2) re-validate through ``repro.kernel_lang.semantics`` -- this is what
+catches passes that build malformed ASTs before any kernel executes --
+(3) strictly decrease the size metric, and (4) enumerate deterministically
+for a given seed.  There is no text parser in this repository, so the
+"round trip" is print + re-validate: the printer must accept every node the
+pass built, and the validator must accept every scope/shape it produced.
+"""
+
+import itertools
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.emi.pruning import strip_outer_loop_control
+from repro.generator import Mode, generate_kernel
+from repro.generator.options import GeneratorOptions
+from repro.kernel_lang import ast
+from repro.kernel_lang.printer import print_program
+from repro.kernel_lang.semantics import validate_program
+from repro.reduction.passes import (
+    DEFAULT_PASSES,
+    ChildLiftPass,
+    StatementDeletionPass,
+    size_key,
+)
+
+_FAST_OPTIONS = GeneratorOptions(
+    min_total_threads=4,
+    max_total_threads=12,
+    max_group_size=4,
+    max_statements=8,
+    max_expr_depth=2,
+)
+
+#: Candidates examined per (pass, kernel); bounds the property-test cost.
+_CANDIDATE_LIMIT = 25
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from([Mode.BASIC, Mode.VECTOR, Mode.ALL]),
+)
+def test_pass_candidates_print_validate_and_shrink(seed, mode):
+    program = generate_kernel(mode, seed=seed, options=_FAST_OPTIONS)
+    threshold = size_key(program)
+    for pass_ in DEFAULT_PASSES:
+        rng = random.Random(f"property:{seed}")
+        for candidate in itertools.islice(
+            pass_.candidates(program, rng), _CANDIDATE_LIMIT
+        ):
+            # Round trip: the printer accepts every node the pass built...
+            source = print_program(candidate)
+            assert "entry" in source, pass_.name
+            # ...and the validator accepts every scope/shape it produced.
+            assert validate_program(candidate) == [], pass_.name
+            # Strict shrink: the reduction fixpoint terminates.
+            assert size_key(candidate) < threshold, pass_.name
+
+
+@_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_candidate_enumeration_is_deterministic(seed):
+    program = generate_kernel(Mode.ALL, seed=seed, options=_FAST_OPTIONS)
+    for pass_ in DEFAULT_PASSES:
+        first = [
+            print_program(c)
+            for c in itertools.islice(
+                pass_.candidates(program, random.Random("rng:1")), _CANDIDATE_LIMIT
+            )
+        ]
+        second = [
+            print_program(c)
+            for c in itertools.islice(
+                pass_.candidates(program, random.Random("rng:1")), _CANDIDATE_LIMIT
+            )
+        ]
+        assert first == second, pass_.name
+
+
+def test_emi_blocks_reduce_too():
+    """Pass candidates on an EMI-equipped kernel stay printable and valid."""
+    program = generate_kernel(Mode.ALL, seed=4, options=_FAST_OPTIONS, emi_blocks=3)
+    for pass_ in DEFAULT_PASSES:
+        for candidate in itertools.islice(
+            pass_.candidates(program, random.Random("emi")), _CANDIDATE_LIMIT
+        ):
+            print_program(candidate)
+            assert validate_program(candidate) == [], pass_.name
+
+
+def test_child_lift_strips_outer_loop_control():
+    """Lifting a loop body reuses the EMI pruning idiom: outer break/continue
+    disappear, nested loops keep theirs."""
+    inner = ast.ForStmt(
+        init=None,
+        cond=None,
+        update=None,
+        body=ast.block(ast.BreakStmt()),
+    )
+    body = ast.block(
+        ast.BreakStmt(),
+        inner,
+        ast.ContinueStmt(),
+    )
+    lifted = ChildLiftPass._lifted(ast.ForStmt(None, None, None, body))
+    assert len(lifted) == 1 and isinstance(lifted[0], ast.ForStmt)
+    assert isinstance(lifted[0].body.statements[0], ast.BreakStmt)
+    # And the shared helper is literally the one the EMI pruner exports.
+    stripped = strip_outer_loop_control(body)
+    assert [type(s) for s in stripped.statements] == [ast.ForStmt]
+
+
+def test_loop_shrink_candidates_survive_the_size_filter():
+    """Regression: literal loop bounds are part of ``size_key``, so shrinking
+    a trip count is visible progress -- without the bound term every
+    loop-shrink candidate would be filtered as "not smaller" and the pass
+    would be dead."""
+    from repro.kernel_lang import types as ty
+    from repro.reduction.passes import LoopShrinkPass
+
+    loop = ast.ForStmt(
+        init=ast.DeclStmt("i", ty.INT, ast.lit(0)),
+        cond=ast.binop("<", ast.var("i"), ast.lit(100)),
+        update=ast.assign(ast.var("i"), ast.binop("+", ast.var("i"), ast.lit(1))),
+        body=ast.block(ast.out_write(ast.var("i"))),
+    )
+    program = ast.Program(
+        functions=[
+            ast.FunctionDecl(
+                "entry", ty.VOID,
+                [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))],
+                ast.block(loop), is_kernel=True,
+            )
+        ],
+        buffers=[ast.BufferSpec("out", ty.ULONG, 4, is_output=True)],
+        launch=ast.LaunchSpec((4, 1, 1), (1, 1, 1)),
+    )
+    bounds = set()
+    for candidate in LoopShrinkPass().candidates(program, random.Random("x")):
+        for node in candidate.walk():
+            if isinstance(node, ast.ForStmt):
+                bounds.add(node.cond.right.value)
+    assert bounds == {1, 50}
+
+
+def test_ddmin_chunk_schedule_covers_whole_list_and_singletons():
+    sizes = StatementDeletionPass._chunk_sizes(10)
+    assert sizes[0] == 10          # try deleting everything first
+    assert sizes[-1] == 1          # fall back to single statements
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))

@@ -367,3 +367,103 @@ def test_reduction_throughput_records_artifact():
     assert all(
         ratio > 0 for row in scenarios.values() for ratio in row["node_reductions"]
     )
+
+
+# ---------------------------------------------------------------------------
+# Triage throughput (record-only; no gate yet)
+# ---------------------------------------------------------------------------
+
+_BUCKETING_REPEATS = 50
+
+
+def test_triage_throughput_records_artifact():
+    """Buckets/sec of dedup bucketing and probe counts of culprit bisection
+    (record-only).
+
+    Bucketing is pure CPU (alpha-rename + print + hash per reproducer), so
+    it is timed over repeated sweeps; bisection executes probe kernels, so
+    the mean probe count per bucket is the durable trajectory number (probe
+    *cost* tracks the engine benchmarks above).  Recorded into
+    ``BENCH_engine_throughput.json`` next to the reduction section; future
+    PRs can gate once a trajectory exists.
+    """
+    from repro.reduction import PredicateSpec
+    from repro.testing.outcomes import cell_label
+    from repro.triage import attribute_culprit, bucket_reductions
+
+    config = wrong_code_config()
+    cache, prepared = ResultCache(), PreparedProgramCache()
+    summaries = []
+    for seed in _REDUCTION_SEEDS:
+        program = generate_kernel(Mode.BASIC, seed, options=_REDUCTION_OPTIONS)
+        predicate = MismatchPredicate.from_program(
+            program, config, True,
+            max_steps=MAX_STEPS, cache=cache, prepared_cache=prepared,
+        )
+        result = Reducer(
+            ReducerConfig(seed=0, max_evaluations=_REDUCTION_BUDGET)
+        ).reduce(program, predicate)
+        signature = ((cell_label(config.name, True), "w"),)
+        summaries.append(
+            result.summary(seed=seed, mode="BASIC",
+                           predicate_kind="mismatch", signature=signature)
+        )
+
+    start = time.perf_counter()
+    for _ in range(_BUCKETING_REPEATS):
+        buckets = bucket_reductions(summaries)
+    bucketing_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    verdicts = []
+    for bucket in buckets:
+        spec = PredicateSpec(
+            kind="mismatch", signature=bucket.signature, expected_class="w",
+            target_index=0, target_optimisations=True,
+        )
+        verdicts.append(
+            attribute_culprit(
+                bucket.representative.reduced_program, spec, [config],
+                max_steps=MAX_STEPS, cache=cache, prepared_cache=prepared,
+            )
+        )
+    bisection_elapsed = time.perf_counter() - start
+    probe_steps = [verdict.steps for verdict in verdicts]
+
+    artifact = _load_artifact()
+    artifact["triage"] = {
+        "record_only": True,
+        "reproducers": len(summaries),
+        "buckets": len(buckets),
+        "bucketing": {
+            "repeats": _BUCKETING_REPEATS,
+            "elapsed_s": round(bucketing_elapsed, 4),
+            "buckets_per_sec": round(
+                len(buckets) * _BUCKETING_REPEATS / bucketing_elapsed, 2
+            ),
+        },
+        "bisection": {
+            "elapsed_s": round(bisection_elapsed, 4),
+            "bisections_per_sec": round(len(verdicts) / bisection_elapsed, 2),
+            "probe_steps": probe_steps,
+            "mean_probe_steps": round(
+                sum(probe_steps) / len(probe_steps), 2
+            ) if probe_steps else 0,
+            "culprits": [verdict.label for verdict in verdicts],
+        },
+    }
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print("\nTriage throughput (wrong-code corpus, record-only):")
+    print(f"  bucketing {artifact['triage']['bucketing']['buckets_per_sec']:10.2f}"
+          f" buckets/sec  ({len(summaries)} reproducers -> {len(buckets)} "
+          "buckets)")
+    print(f"  bisection {artifact['triage']['bisection']['bisections_per_sec']:10.2f}"
+          f" bisections/sec  (probe steps {probe_steps})")
+    # Sanity only -- this section records a trajectory, it does not gate.
+    assert len(buckets) >= 1
+    assert all(verdict.kind == "bugmodel" for verdict in verdicts)
+    assert all(
+        verdict.label == "wrong-code@synthetic-xor-out-store"
+        for verdict in verdicts
+    )

@@ -9,6 +9,7 @@ compile-time hangs and crashes.
 Run with:  python examples/bug_gallery.py            # all twelve exemplars
            python examples/bug_gallery.py 2a 2f      # just those figures
            python examples/bug_gallery.py --reduce   # auto-reduce each bug
+           python examples/bug_gallery.py --triage   # bucket + bisect them
 
 ``--reduce`` demonstrates the automated test-case reducer end to end: each
 exemplar is shrunk while its defect class on the affected configuration is
@@ -16,6 +17,12 @@ preserved (and undefined behaviour stays banned), printing before/after
 kernel sizes.  The exemplars are already hand-minimal -- they are the
 paper's reduced figures -- so this mostly shows the reducer confirming
 minimality; generated campaign kernels shrink by >90% (see REDUCTION.md).
+
+``--triage`` goes one step further: the reduced exemplars are deduplicated
+into bug buckets and each bucket is bisected to its culprit bug model,
+printing the Table-3-style Markdown report of TRIAGE.md -- every figure
+should come out as its own bucket attributed to the model that reproduces
+that figure's defect.
 """
 
 import argparse
@@ -23,7 +30,12 @@ import argparse
 from repro.compiler import compile_program
 from repro.kernel_lang.printer import print_program
 from repro.platforms import get_configuration
-from repro.reduction import MismatchPredicate, Reducer, ReducerConfig
+from repro.reduction import (
+    MismatchPredicate,
+    PredicateSpec,
+    Reducer,
+    ReducerConfig,
+)
 from repro.testing.figures import FIGURE_EXPECTATIONS
 from repro.testing.outcomes import classify_exception
 
@@ -52,21 +64,24 @@ def replay(expectation) -> None:
     print()
 
 
-def reduce_exemplar(expectation) -> None:
-    """Shrink one gallery bug while preserving its defect class."""
+def _exemplar_predicate(expectation):
+    """The first affected (configuration, opt level) that reproduces."""
     program = expectation.builder()
-    predicate = None
     for config_id, opt in expectation.affected:
         for optimisations in ([opt] if opt is not None else [True, False]):
             try:
                 predicate = MismatchPredicate.from_program(
                     program, get_configuration(config_id), optimisations
                 )
-                break
+                return program, predicate
             except ValueError:
                 continue
-        if predicate is not None:
-            break
+    return program, None
+
+
+def reduce_exemplar(expectation) -> None:
+    """Shrink one gallery bug while preserving its defect class."""
+    program, predicate = _exemplar_predicate(expectation)
     label = f"Figure {expectation.figure:<3}"
     if predicate is None:
         print(f"{label} no reducible anomaly (defect class "
@@ -82,17 +97,62 @@ def reduce_exemplar(expectation) -> None:
           f"{result.evaluations} evaluations)")
 
 
+def triage_gallery(expectations) -> None:
+    """Reduce, bucket and bisect the exemplars; print the Markdown report."""
+    from repro.triage import attribute_culprit, bucket_reductions, render_markdown
+
+    summaries = []
+    contexts = {}
+    for index, expectation in enumerate(expectations):
+        program, predicate = _exemplar_predicate(expectation)
+        if predicate is None:
+            print(f"Figure {expectation.figure}: no reducible anomaly; skipped")
+            continue
+        result = Reducer(ReducerConfig(seed=0, max_evaluations=400)).reduce(
+            program, predicate
+        )
+        signature = ((predicate.target_label, predicate.expected_class),)
+        summary = result.summary(
+            seed=index, mode=f"figure-{expectation.figure}",
+            predicate_kind="mismatch", signature=signature,
+        )
+        summaries.append(summary)
+        contexts[id(summary)] = predicate
+    buckets = bucket_reductions(summaries)
+    for bucket in buckets:
+        predicate = contexts[id(bucket.representative)]
+        spec = PredicateSpec(
+            kind="mismatch", signature=bucket.signature,
+            expected_class=predicate.expected_class, target_index=0,
+            target_optimisations=predicate.optimisations,
+        )
+        bucket.culprit = attribute_culprit(
+            bucket.representative.reduced_program, spec,
+            [predicate.target_config],
+            optimisation_levels=(predicate.optimisations,),
+        )
+    print(render_markdown(buckets, title="Bug gallery triage report"))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("figures", nargs="*",
                         help="figure labels to replay (default: all twelve)")
     parser.add_argument("--reduce", action="store_true",
                         help="auto-reduce each exemplar instead of replaying it")
+    parser.add_argument("--triage", action="store_true",
+                        help="reduce, bucket and bisect the exemplars, "
+                             "printing a Markdown triage report")
     args = parser.parse_args()
     wanted = set(args.figures)
-    for expectation in FIGURE_EXPECTATIONS:
-        if wanted and expectation.figure not in wanted:
-            continue
+    selected = [
+        expectation for expectation in FIGURE_EXPECTATIONS
+        if not wanted or expectation.figure in wanted
+    ]
+    if args.triage:
+        triage_gallery(selected)
+        return
+    for expectation in selected:
         if args.reduce:
             reduce_exemplar(expectation)
         else:

@@ -13,9 +13,14 @@ the tree-walking baseline, ``--engine jit`` uses the exec-based JIT (every
 worker keeps a prepared-program cache, so repeat launches skip lowering;
 see ENGINE.md).
 
-``--auto-reduce`` turns on campaign auto-triage: every anomalous kernel is
-shrunk to a minimal reproducer preserving its exact failure signature (see
-REDUCTION.md) and the reduced kernels are printed after the table.
+``--auto-reduce`` turns on campaign auto-reduction: every anomalous kernel
+is shrunk to a minimal reproducer preserving its exact failure signature
+(see REDUCTION.md) and the reduced kernels are printed after the table.
+``--auto-triage`` additionally deduplicates the reproducers into bug
+buckets, bisects each bucket to its culprit bug model or optimisation pass,
+and prints the Markdown triage report (see TRIAGE.md).  ``--store FILE``
+makes the campaign persistent: killed runs resume from the store with
+byte-identical tables and reports.
 """
 
 import argparse
@@ -44,6 +49,13 @@ def main() -> None:
                              "(anomalies from the calibrated stochastic "
                              "residue are irreducible by construction and "
                              "burn the whole budget; see REDUCTION.md)")
+    parser.add_argument("--auto-triage", action="store_true",
+                        help="bucket + bisect the reduced reproducers and "
+                             "print a Markdown triage report (implies "
+                             "--auto-reduce)")
+    parser.add_argument("--store", default=None,
+                        help="persist the campaign to this JSONL store; "
+                             "re-running resumes it (see TRIAGE.md)")
     args = parser.parse_args()
 
     options = GeneratorOptions(min_total_threads=4, max_total_threads=24,
@@ -80,14 +92,20 @@ def main() -> None:
         engine=args.engine,
         auto_reduce=args.auto_reduce,
         reduce_budget=args.reduce_budget,
+        auto_triage=args.auto_triage,
+        resume=args.store,
     )
     print(result.render())
 
     total_wrong = sum(c.wrong_code for c in result.counts.values())
     print(f"\nwrong-code results found: {total_wrong}")
 
-    if args.auto_reduce:
-        print(f"\nPhase 3: auto-triage ({len(result.reductions)} anomalous "
+    if args.auto_triage:
+        print(f"\nPhase 3: triage ({len(result.reductions)} reproducers "
+              f"in {result.triage.n_buckets} buckets)\n")
+        print(result.triage.render_markdown(title="Campaign triage report"))
+    elif args.auto_reduce:
+        print(f"\nPhase 3: auto-reduction ({len(result.reductions)} anomalous "
               "kernels reduced)")
         for summary in result.reductions:
             signature = ", ".join(f"{cell}:{code}" for cell, code in summary.signature)

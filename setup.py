@@ -23,6 +23,9 @@ setup(
             # Automated test-case reduction: shrink an anomalous generated
             # kernel while preserving its failure signature (REDUCTION.md).
             "repro-reduce=repro.reduction.cli:main",
+            # Bug triage: bucket + bisect reduced reproducers out of a
+            # persistent campaign store into a Markdown report (TRIAGE.md).
+            "repro-triage=repro.triage.cli:main",
         ],
     },
 )

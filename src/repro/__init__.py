@@ -20,7 +20,10 @@ The package provides, as documented in DESIGN.md:
   (serialisable jobs, serial/process worker pools, bounded caches);
 * :mod:`repro.reduction` -- automated test-case reduction: seeded
   deterministic delta debugging with UB-guarded interestingness predicates
-  and campaign auto-triage (REDUCTION.md);
+  and campaign auto-reduction (REDUCTION.md);
+* :mod:`repro.triage` -- bug triage: dedup bucketing by canonical
+  fingerprints, culprit bisection over bug models and optimisation passes,
+  and the persistent resumable campaign store (TRIAGE.md);
 * :mod:`repro.workloads` -- miniature Parboil/Rodinia benchmarks (Table 2).
 """
 
@@ -36,5 +39,6 @@ __all__ = [
     "testing",
     "orchestration",
     "reduction",
+    "triage",
     "workloads",
 ]

@@ -25,6 +25,7 @@ from repro.orchestration.jobs import (
     EMI_FAMILY,
     REDUCE_CHECK,
     REDUCE_KERNEL,
+    TRIAGE_BISECT,
     CampaignJob,
     JobResult,
     execute_job,
@@ -41,6 +42,7 @@ __all__ = [
     "EMI_FAMILY",
     "REDUCE_CHECK",
     "REDUCE_KERNEL",
+    "TRIAGE_BISECT",
     "CampaignJob",
     "JobResult",
     "execute_job",

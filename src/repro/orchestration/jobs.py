@@ -35,7 +35,18 @@ Four job kinds cover the campaigns of Tables 3-5:
     Materialise one anomalous kernel (from seed, or ``program``) and run a
     whole reduction against ``predicate_spec`` inside the worker, returning
     a :class:`~repro.reduction.reducer.ReductionSummary`.  Campaigns with
-    ``auto_reduce=`` enqueue one of these per anomalous record.
+    ``auto_reduce=`` enqueue one of these per anomalous record, except
+    when a process-backend pool has more workers than anomalies -- then
+    each reduction is driven from the parent and its candidates fan out
+    as per-candidate ``reduce-check`` jobs (see REDUCTION.md).
+``triage-bisect``
+    Attribute one bug bucket's representative reproducer (shipped by value)
+    to a culprit component: bisect over the target configuration's
+    bug-model injection points and, failing that, over the
+    optimisation-pass schedule -- returning a
+    :class:`~repro.triage.bisection.BisectionResult`.  Campaigns with
+    ``auto_triage=`` enqueue one of these per bucket, so bisections share
+    the issuing worker's result/prepared caches like every other job.
 
 :func:`execute_job` interprets a job and returns a :class:`JobResult` of
 plain aggregates (``OutcomeCounts`` per cell, ``EmiBaseResult`` rows, an
@@ -95,6 +106,7 @@ EMI_BASE_FILTER = "emi-base-filter"
 EMI_FAMILY = "emi-family"
 REDUCE_CHECK = "reduce-check"
 REDUCE_KERNEL = "reduce-kernel"
+TRIAGE_BISECT = "triage-bisect"
 
 
 @dataclass
@@ -183,6 +195,9 @@ class JobResult:
     #: (a :class:`repro.reduction.interestingness.PredicateStats`), so pool
     #: evaluators can aggregate ub/invalid/error rejections across workers.
     predicate_stats: Optional[object] = None
+    #: ``triage-bisect`` only: the culprit attribution (a
+    #: :class:`repro.triage.bisection.BisectionResult`).
+    bisection: Optional[object] = None
 
 
 def execute_job(
@@ -217,6 +232,8 @@ def execute_job(
         result = _execute_reduce_check(job, cache, prepared_cache)
     elif job.kind == REDUCE_KERNEL:
         result = _execute_reduce_kernel(job, cache, prepared_cache)
+    elif job.kind == TRIAGE_BISECT:
+        result = _execute_triage_bisect(job, cache, prepared_cache)
     else:
         raise ValueError(f"unknown campaign job kind: {job.kind!r}")
     result.cache = cache.snapshot().since(before)
@@ -378,6 +395,32 @@ def _execute_reduce_kernel(
     )
 
 
+def _execute_triage_bisect(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
+    # Imported lazily: repro.triage builds on the reduction/harness stack,
+    # which in turn builds jobs from this module.
+    from repro.triage.bisection import attribute_culprit
+
+    if job.program is None:
+        raise ValueError("triage-bisect jobs carry the reproducer by value")
+    bisection = attribute_culprit(
+        job.program,
+        job.predicate_spec,
+        job.resolve_configs(),
+        optimisation_levels=job.optimisation_levels,
+        max_steps=job.max_steps,
+        engine=job.engine,
+        variant_seed=job.variant_seed,
+        variants_per_base=job.variants_per_base,
+        cache=cache,
+        prepared_cache=prepared_cache,
+    )
+    return JobResult(
+        job.kind, job.seed, emi_blocks=job.emi_blocks, bisection=bisection
+    )
+
+
 __all__ = [
     "serialise_configs",
     "CLSMITH_DIFFERENTIAL",
@@ -386,6 +429,7 @@ __all__ = [
     "EMI_FAMILY",
     "REDUCE_CHECK",
     "REDUCE_KERNEL",
+    "TRIAGE_BISECT",
     "CampaignJob",
     "JobResult",
     "execute_job",

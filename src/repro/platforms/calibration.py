@@ -36,6 +36,25 @@ from repro.platforms.bugmodels import BugModel, Flags, MISCOMPILE
 from repro.runtime.errors import BuildFailure, CompileTimeout
 
 
+def hash_host_setup(h, program: ast.Program) -> None:
+    """Feed the host-side setup (buffers, NDRange, scalar args) into ``h``.
+
+    The single definition of "what besides the source decides an
+    execution": :func:`program_fingerprint` (result caches, defect keying)
+    and the triage bucketing fingerprint (:mod:`repro.triage.bucketing`)
+    both hash it, so a new semantic field on ``BufferSpec``/``LaunchSpec``
+    only needs adding here to reach every consumer.
+    """
+    for spec in program.buffers:
+        h.update(
+            f"{spec.name}:{spec.element_type.spelling()}:{spec.size}:"
+            f"{spec.address_space}:{spec.init}:{spec.is_output};".encode()
+        )
+    h.update(str(program.launch.global_size).encode())
+    h.update(str(program.launch.local_size).encode())
+    h.update(str(sorted(program.metadata.get("scalar_args", {}).items())).encode())
+
+
 def program_fingerprint(program: ast.Program) -> str:
     """A stable fingerprint of a program *and its host-side setup*.
 
@@ -46,14 +65,7 @@ def program_fingerprint(program: ast.Program) -> str:
     """
     h = hashlib.sha256()
     h.update(printer.print_program(program).encode())
-    for spec in program.buffers:
-        h.update(
-            f"{spec.name}:{spec.element_type.spelling()}:{spec.size}:"
-            f"{spec.address_space}:{spec.init}:{spec.is_output};".encode()
-        )
-    h.update(str(program.launch.global_size).encode())
-    h.update(str(program.launch.local_size).encode())
-    h.update(str(sorted(program.metadata.get("scalar_args", {}).items())).encode())
+    hash_host_setup(h, program)
     return h.hexdigest()
 
 

@@ -1,4 +1,4 @@
-"""Automated test-case reduction (campaign auto-triage).
+"""Automated test-case reduction (campaign auto-reduction).
 
 The paper reports that manually reducing bug-inducing CLsmith/EMI kernels to
 minimal reproducers was the dominant human cost of the fuzzing campaigns:
@@ -22,8 +22,10 @@ Campaigns integrate through ``auto_reduce=`` on
 :func:`~repro.testing.campaign.run_clsmith_campaign` and
 :func:`~repro.testing.campaign.run_emi_campaign`, which reduce every
 anomalous record and attach :class:`~repro.reduction.reducer.
-ReductionSummary` objects to the campaign result.  See REDUCTION.md for the
-pass catalogue, the interestingness contract and the determinism guarantees.
+ReductionSummary` objects to the campaign result; the triage subsystem
+(:mod:`repro.triage`, TRIAGE.md) buckets and bisects those summaries.  See
+REDUCTION.md for the pass catalogue, the interestingness contract and the
+determinism guarantees.
 """
 
 from repro.reduction.interestingness import (
@@ -42,6 +44,7 @@ from repro.reduction.passes import DEFAULT_PASSES, ReductionPass, size_key
 from repro.reduction.reducer import (
     LocalEvaluator,
     NotReducibleError,
+    PerCandidateEvaluator,
     PoolEvaluator,
     Reducer,
     ReducerConfig,
@@ -69,6 +72,7 @@ __all__ = [
     "size_key",
     "LocalEvaluator",
     "NotReducibleError",
+    "PerCandidateEvaluator",
     "PoolEvaluator",
     "Reducer",
     "ReducerConfig",

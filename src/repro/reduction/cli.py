@@ -6,6 +6,13 @@ signature is preserved:
 
     repro-reduce --mode BASIC --seed 3 --configs 1,9,19
     repro-reduce --mode ALL --seed 7 --configs 9 --parallelism 4 --show-source
+    repro-reduce --mode BASIC --seed 3 --configs 1,9,19 --json > summary.json
+
+``--json`` replaces the human-readable output with one machine-readable
+JSON document on stdout -- the full ``ReductionSummary`` (sizes, pass
+attribution, predicate counters, reduced source) plus the replayable
+accepted-step trace -- so triage and external tooling can consume a
+reduction without re-running it.  Diagnostics stay on stderr.
 
 With ``--parallelism N > 1`` candidate evaluations are dispatched through a
 process-backed :class:`~repro.orchestration.pool.WorkerPool`.  Pool runs are
@@ -19,12 +26,13 @@ nothing to reduce.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
 from repro.generator import generate_kernel
 from repro.generator.options import Mode
-from repro.kernel_lang import ast
 from repro.orchestration.pool import WorkerPool
 from repro.platforms.registry import get_configuration
 from repro.reduction.interestingness import (
@@ -60,7 +68,38 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "(default: in-process)")
     parser.add_argument("--show-source", action="store_true",
                         help="print the reduced kernel source")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON document "
+                             "(summary + trace) instead of the human output")
     return parser.parse_args(argv)
+
+
+def _json_document(args, signature, result) -> dict:
+    """The ``--json`` payload: summary fields + the replayable trace.
+
+    Mirrors the store's reduction-summary encoding (every analytic field is
+    plain JSON) minus the opaque program blob -- the printed source plus the
+    (seed, trace) pair are sufficient to reconstruct the reduced kernel via
+    :func:`repro.reduction.reducer.replay_trace`.
+    """
+    summary = result.summary(
+        seed=args.seed, mode=args.mode, predicate_kind="differential",
+        signature=signature,
+    )
+    # Imported here: the store owns the summary-encoding policy, but the
+    # reduction package must stay importable without triage.
+    from repro.triage.store import encode_summary
+
+    document = encode_summary(summary)
+    document.pop("reduced_program")
+    document.update(
+        configs=[int(c) for c in args.configs.split(",") if c],
+        engine=args.engine,
+        max_steps=args.max_steps,
+        reduction_seed=args.reduction_seed,
+        trace=[dataclasses.asdict(step) for step in result.trace],
+    )
+    return document
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -82,7 +121,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"on configurations {args.configs}; nothing to reduce",
               file=sys.stderr)
         return 1
-    print(f"anomaly signature: {', '.join(f'{c}:{o}' for c, o in signature)}")
+    print(f"anomaly signature: {', '.join(f'{c}:{o}' for c, o in signature)}",
+          file=sys.stderr if args.json else sys.stdout)
 
     config = ReducerConfig(seed=args.reduction_seed, max_evaluations=args.budget)
     spec = PredicateSpec(kind="differential", signature=signature)
@@ -97,6 +137,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             configs, signature, max_steps=args.max_steps, engine=args.engine
         )
         result = Reducer(config).reduce(program, predicate)
+
+    if args.json:
+        print(json.dumps(_json_document(args, signature, result), indent=2,
+                         sort_keys=True))
+        return 0
 
     print(f"nodes : {result.nodes_before} -> {result.nodes_after} "
           f"({100 * result.node_reduction:.1f}% removed)")

@@ -313,6 +313,96 @@ class PoolEvaluator:
         return None, used, False
 
 
+class PerCandidateEvaluator(PoolEvaluator):
+    """Per-candidate ``reduce-check`` dispatch with *lazy* accounting.
+
+    Campaign-issued reductions use this (instead of whole ``reduce-kernel``
+    jobs) when a process pool has more workers than anomalies: the driver
+    runs in the parent and every candidate becomes its own job, so one
+    large anomaly parallelises across workers that would otherwise idle.
+
+    The job construction and stats merging are inherited from
+    :class:`PoolEvaluator`; only the accounting policy differs.  Where the
+    base class charges whole fixed-size chunks against the budget, this
+    evaluator *speculates*: it submits up to ``chunk`` candidates
+    concurrently but charges -- in evaluations, predicate stats and budget
+    -- only the candidates up to and including the first accepted one,
+    exactly as the lazy :class:`LocalEvaluator` would have.  A reduction
+    driven through it is therefore byte-identical (reduced kernel, trace,
+    evaluation counts, pass attribution, predicate stats) to the serial
+    backend's in-worker reduction, which is what keeps the campaign
+    guarantee "serial == parallel summaries" intact.  The speculative
+    candidates that did execute are only visible in the cache counters
+    (``cache_stats`` / ``prepared_stats``), which honestly record all work
+    done.
+    """
+
+    def __init__(
+        self,
+        pool,
+        spec: PredicateSpec,
+        job_fields: Dict[str, object],
+        chunk: Optional[int] = None,
+    ) -> None:
+        # Speculation width: a pure performance knob (results are
+        # accounting-identical for any value), default two jobs per worker.
+        super().__init__(
+            pool, spec, job_fields,
+            chunk=chunk if chunk is not None else pool.parallelism * 2,
+        )
+        #: Cache deltas of every dispatched job, speculative ones included.
+        self.cache_stats = None
+        self.prepared_stats = None
+
+    def _note_caches(self, job_results) -> None:
+        for job_result in job_results:
+            self.cache_stats = (
+                job_result.cache if self.cache_stats is None
+                else self.cache_stats.merge(job_result.cache)
+            )
+            self.prepared_stats = (
+                job_result.prepared if self.prepared_stats is None
+                else self.prepared_stats.merge(job_result.prepared)
+            )
+
+    def check_original(self, program: ast.Program) -> bool:
+        job_result = self.pool.run(self._jobs([program]))[0]
+        self._note_caches([job_result])
+        self._merge_stats([job_result])
+        return bool(job_result.accepted)
+
+    def first_accepted(
+        self, candidates: Iterator[ast.Program], budget: int
+    ) -> Tuple[Optional[Tuple[int, ast.Program]], int, bool]:
+        used = 0
+        offset = 0
+        while used < budget:
+            batch: List[ast.Program] = []
+            stream_ended = False
+            while len(batch) < min(self.chunk, budget - used):
+                try:
+                    batch.append(next(candidates))
+                except StopIteration:
+                    stream_ended = True
+                    break
+            if not batch:
+                return None, used, True
+            job_results = self.pool.run(self._jobs(batch))
+            self._note_caches(job_results)
+            for position, job_result in enumerate(job_results):
+                if job_result.accepted:
+                    # Lazy accounting: charge only up to the acceptance.
+                    self._merge_stats(job_results[: position + 1])
+                    used += position + 1
+                    return (offset + position, batch[position]), used, False
+            self._merge_stats(job_results)
+            used += len(batch)
+            offset += len(batch)
+            if stream_ended:
+                return None, used, True
+        return None, used, False
+
+
 # ---------------------------------------------------------------------------
 # The driver
 # ---------------------------------------------------------------------------
@@ -521,6 +611,7 @@ __all__ = [
     "ReductionResult",
     "LocalEvaluator",
     "PoolEvaluator",
+    "PerCandidateEvaluator",
     "ReducerConfig",
     "Reducer",
     "replay_trace",

@@ -21,6 +21,7 @@ the same seed (see ORCHESTRATION.md and ``tests/test_orchestration.py``).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,11 +36,13 @@ from repro.orchestration.jobs import (
     EMI_BASE_FILTER,
     EMI_FAMILY,
     REDUCE_KERNEL,
+    TRIAGE_BISECT,
     CampaignJob,
     JobResult,
     serialise_configs,
 )
 from repro.orchestration.pool import WorkerPool
+from repro.platforms.calibration import program_fingerprint
 from repro.platforms.config import DeviceConfig
 from repro.reduction.interestingness import (
     FAILURE_CODES,
@@ -47,10 +50,25 @@ from repro.reduction.interestingness import (
     Signature,
     emi_family_signature,
 )
-from repro.reduction.reducer import ReductionSummary
+from repro.reduction.reducer import (
+    NotReducibleError,
+    PerCandidateEvaluator,
+    Reducer,
+    ReducerConfig,
+    ReductionSummary,
+)
 from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.prepared import PreparedCacheStats
 from repro.testing.outcomes import Outcome, OutcomeCounts, cell_label
+from repro.triage.bucketing import bucket_reductions
+from repro.triage.report import TriageResult
+from repro.triage.store import (
+    StoreBackedPool,
+    campaign_key,
+    config_identity,
+    job_identity,
+    open_store,
+)
 
 
 # Shipping configurations by id/value lives with the job machinery now;
@@ -76,6 +94,9 @@ class ClsmithCampaignResult:
     #: ``auto_reduce=True`` only: one minimised reproducer per anomalous
     #: kernel, in (mode, seed) job order (see REDUCTION.md).
     reductions: List[ReductionSummary] = field(default_factory=list)
+    #: ``auto_triage=True`` only: deduplicated bug buckets with culprit
+    #: attributions and a Markdown report (see TRIAGE.md).
+    triage: Optional[TriageResult] = None
 
     def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
         return self.counts.setdefault(
@@ -120,6 +141,8 @@ def run_clsmith_campaign(
     engine: str = DEFAULT_ENGINE,
     auto_reduce: bool = False,
     reduce_budget: Optional[int] = None,
+    auto_triage: bool = False,
+    resume=None,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -141,14 +164,50 @@ def run_clsmith_campaign(
     failure, crash or timeout cell) is shrunk to a minimal reproducer that
     preserves its exact failure signature, and the resulting
     :class:`~repro.reduction.reducer.ReductionSummary` objects are attached
-    as ``result.reductions``.  Reductions run as ``reduce-kernel`` jobs on
-    the same pool (one anomaly per worker), so serial and parallel campaigns
-    attach byte-identical summaries; ``reduce_budget`` caps the candidate
-    evaluations per anomaly.
+    as ``result.reductions``.  Reductions run as ``reduce-kernel`` jobs
+    (one anomaly per worker); a process backend with more workers than
+    anomalies instead drives each reduction from the parent and fans its
+    candidates out as per-candidate ``reduce-check`` jobs, so a single
+    large anomaly parallelises across the otherwise-idle pool -- with lazy
+    accounting that keeps every dispatch path attaching byte-identical
+    summaries.  ``reduce_budget`` caps the candidate evaluations per
+    anomaly.
+
+    ``auto_triage=True`` (implies ``auto_reduce``) additionally deduplicates
+    the reduced reproducers into bug buckets, attributes each bucket to a
+    culprit bug model or optimisation pass via ``triage-bisect`` jobs on the
+    same pool, and attaches the result as ``result.triage`` (see TRIAGE.md).
+
+    ``resume=`` names a :class:`~repro.triage.store.CampaignStore` (or its
+    path): every executed job is recorded there, and a re-run of the same
+    campaign replays recorded results instead of re-executing them -- a
+    campaign killed mid-run resumes to byte-identical tables, buckets and
+    reports on both backends.
     """
+    auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
     result = ClsmithCampaignResult(kernels_per_mode)
-    with WorkerPool(parallelism) as pool:
+    store = open_store(resume)
+    store_key = ""
+    if store is not None:
+        store_key = campaign_key(
+            "clsmith",
+            config_ids=config_ids,
+            kernels_per_mode=kernels_per_mode,
+            modes=tuple(mode.value for mode in modes),
+            options=options,
+            curated=config_identity(curate_on),
+            max_steps=max_steps,
+            seed=seed,
+            engine=engine,
+        )
+        store.begin_campaign(
+            store_key, {"entry": "run_clsmith_campaign", "seed": seed}
+        )
+    with _campaign_resources(parallelism, store, resume) as worker_pool:
+        pool = worker_pool if store is None else StoreBackedPool(
+            worker_pool, store, campaign=store_key
+        )
         jobs: List[CampaignJob] = []
         for mode_index, mode in enumerate(modes):
             kernel_seeds, curation_stats, curation_prepared = _curated_seeds(
@@ -200,20 +259,213 @@ def run_clsmith_campaign(
                         reduce_max_evaluations=reduce_budget,
                     )
                 )
-            _run_reduce_jobs(pool, reduce_jobs, result)
+            _run_reduce_jobs(
+                pool, reduce_jobs, result, store=store, campaign=store_key
+            )
+        if auto_triage:
+            result.triage = _run_triage(
+                pool,
+                result,
+                dict(
+                    config_ids=config_ids,
+                    config_overrides=config_overrides,
+                    optimisation_levels=(False, True),
+                    options=options,
+                    max_steps=max_steps,
+                    engine=engine,
+                ),
+                store=store,
+                campaign=store_key,
+            )
     return result
 
 
-def _run_reduce_jobs(pool: WorkerPool, reduce_jobs: List[CampaignJob], result) -> None:
-    """Run ``reduce-kernel`` jobs and fold their outcomes into a campaign
-    result (shared by the CLsmith and EMI auto-triage paths so the merge
-    policy cannot drift).  Jobs whose kernel turned out not to be reducible
-    (UB-vetoed originals) contribute cache deltas but no summary."""
-    for job_result in pool.run(reduce_jobs):
-        if job_result.reduction is not None:
-            result.reductions.append(job_result.reduction)
+@contextmanager
+def _campaign_resources(parallelism: Optional[int], store, resume):
+    """One worker pool, plus store-close on every exit path.
+
+    A campaign-opened store must release its append handle even when the
+    campaign body raises (the kill-mid-run scenario ``resume=`` exists
+    for); caller-owned stores stay open, since the caller may keep
+    appending campaigns to them.
+    """
+    from repro.triage.store import CampaignStore
+
+    try:
+        with WorkerPool(parallelism) as pool:
+            yield pool
+    finally:
+        if store is not None and not isinstance(resume, CampaignStore):
+            store.close()
+
+
+def _reduce_in_parent(
+    pool, job: CampaignJob
+) -> Tuple[Optional[ReductionSummary], PerCandidateEvaluator]:
+    """Drive one campaign reduction in the parent, per-candidate dispatch.
+
+    The ROADMAP rung behind this: on the process backend a whole-reduction
+    ``reduce-kernel`` job pins one anomaly to one worker, so a campaign with
+    a single large anomaly leaves the pool idle.  Driving the fixpoint here
+    and shipping each candidate as its own ``reduce-check`` job parallelises
+    *within* the reduction; :class:`~repro.reduction.reducer.
+    PerCandidateEvaluator`'s lazy accounting keeps the resulting summary
+    byte-identical to the serial backend's in-worker reduction.
+    """
+    evaluator = PerCandidateEvaluator(
+        pool,
+        job.predicate_spec,
+        job_fields=dict(
+            seed=job.seed,
+            mode=job.mode,
+            config_ids=job.config_ids,
+            config_overrides=job.config_overrides,
+            optimisation_levels=job.optimisation_levels,
+            options=job.options,
+            max_steps=job.max_steps,
+            emi_blocks=job.emi_blocks,
+            variant_seed=job.variant_seed,
+            variants_per_base=job.variants_per_base,
+            engine=job.engine,
+        ),
+    )
+    config = ReducerConfig(seed=job.seed)
+    if job.reduce_max_evaluations is not None:
+        config.max_evaluations = job.reduce_max_evaluations
+    program = job.materialise_program()
+    try:
+        outcome = Reducer(config).reduce(program, evaluator=evaluator)
+    except NotReducibleError:
+        # Mirrors the worker-side reduce-kernel policy: a kernel that no
+        # longer satisfies its own predicate contributes no summary.
+        return None, evaluator
+    summary = outcome.summary(
+        seed=job.seed,
+        mode=job.mode,
+        predicate_kind=job.predicate_spec.kind,
+        signature=job.predicate_spec.signature,
+    )
+    return summary, evaluator
+
+
+def _run_reduce_jobs(
+    pool, reduce_jobs: List[CampaignJob], result, store=None, campaign: str = ""
+) -> None:
+    """Run campaign-issued reductions and fold their outcomes into a
+    campaign result (shared by the CLsmith and EMI auto-triage paths so the
+    merge policy cannot drift).
+
+    Serial backends run whole ``reduce-kernel`` jobs.  Process backends
+    pick the dispatch axis by saturation: with at least as many anomalies
+    as workers, whole ``reduce-kernel`` jobs already fill the pool (and
+    across-anomaly parallelism beats within-reduction parallelism, whose
+    accept chain is inherently sequential); with fewer anomalies than
+    workers, each reduction is instead driven in the parent with
+    per-candidate ``reduce-check`` dispatch (see :func:`_reduce_in_parent`)
+    so the idle workers evaluate candidates.  Summaries are byte-identical
+    whichever axis runs -- the choice depends only on the job count and the
+    pool width, never on timing.  Anomalies that turned out not to be
+    reducible (UB-vetoed originals) contribute cache deltas but no summary.
+    With a store, each summary is also recorded as a ``reduction`` record
+    (keyed by campaign + reduce-job identity) together with the job context
+    `repro-triage` needs for later cross-campaign bucketing and bisection.
+    """
+    summaries: List[
+        Tuple[CampaignJob, Optional[ReductionSummary], CacheStats, PreparedCacheStats]
+    ] = []
+    per_candidate = (
+        pool.backend == "process" and len(reduce_jobs) < pool.parallelism
+    )
+    if per_candidate:
+        for job in reduce_jobs:
+            stored = (
+                store.lookup_reduction(job_identity(job), campaign=campaign)
+                if store else None
+            )
+            if stored is not None:
+                # Replay the recorded cache deltas too, so a resumed
+                # campaign's surfaced counters include the reduction phase
+                # exactly like every job-record replay does.
+                summary, cache_delta, prepared_delta = stored
+            else:
+                summary, evaluator = _reduce_in_parent(pool, job)
+                cache_delta = evaluator.cache_stats or CacheStats()
+                prepared_delta = evaluator.prepared_stats or PreparedCacheStats()
+            result.cache_stats = result.cache_stats.merge(cache_delta)
+            result.prepared_stats = result.prepared_stats.merge(prepared_delta)
+            summaries.append((job, summary, cache_delta, prepared_delta))
+    else:
+        for job, job_result in zip(reduce_jobs, pool.run(reduce_jobs)):
+            result.cache_stats = result.cache_stats.merge(job_result.cache)
+            result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
+            summaries.append(
+                (job, job_result.reduction, job_result.cache, job_result.prepared)
+            )
+    for job, summary, cache_delta, prepared_delta in summaries:
+        if summary is None:
+            continue
+        result.reductions.append(summary)
+        if store is not None:
+            store.record_reduction(
+                job_identity(job), summary, job, campaign=campaign,
+                cache=cache_delta, prepared=prepared_delta,
+            )
+
+
+def _run_triage(
+    pool, result, job_template: Dict[str, object], store=None, campaign: str = ""
+) -> TriageResult:
+    """Bucket the campaign's reductions and bisect one culprit per bucket.
+
+    Bucketing is pure and happens in the parent; bisection ships as one
+    ``triage-bisect`` job per bucket on the campaign's own pool (sharing
+    the per-worker result/prepared caches), in deterministic bucket order,
+    so serial and process backends attach identical attributions.
+    """
+    buckets = bucket_reductions(result.reductions)
+    jobs = [
+        CampaignJob(
+            kind=TRIAGE_BISECT,
+            seed=bucket.representative.seed,
+            mode=bucket.representative.mode,
+            program=bucket.representative.reduced_program,
+            predicate_spec=PredicateSpec(
+                kind=bucket.predicate_kind, signature=bucket.signature
+            ),
+            **job_template,
+        )
+        for bucket in buckets
+    ]
+    for bucket, job_result in zip(buckets, pool.run(jobs)):
+        bucket.culprit = job_result.bisection
         result.cache_stats = result.cache_stats.merge(job_result.cache)
         result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
+    triage = TriageResult(buckets)
+    if store is not None:
+        import dataclasses
+
+        for bucket in buckets:
+            store.record_once(
+                "bucket",
+                f"{campaign}:{bucket.key}",
+                {
+                    "campaign": campaign,
+                    "fingerprint": bucket.key,
+                    "signature": [list(cell) for cell in bucket.signature],
+                    "mode": bucket.mode,
+                    "predicate_kind": bucket.predicate_kind,
+                    "worst_code": bucket.worst_code,
+                    "occurrences": bucket.occurrences,
+                    "members": [dataclasses.asdict(m) for m in bucket.members],
+                    "canonical_source": bucket.canonical_source,
+                    "culprit": (
+                        dataclasses.asdict(bucket.culprit)
+                        if bucket.culprit is not None
+                        else None
+                    ),
+                },
+            )
+    return triage
 
 
 def _clsmith_failure_signature(job_result: JobResult) -> Signature:
@@ -323,6 +575,9 @@ class EmiCampaignResult:
     #: ``auto_reduce=True`` only: one minimised base per anomalous EMI
     #: family, in job order (see REDUCTION.md).
     reductions: List[ReductionSummary] = field(default_factory=list)
+    #: ``auto_triage=True`` only: deduplicated bug buckets with culprit
+    #: attributions and a Markdown report (see TRIAGE.md).
+    triage: Optional[TriageResult] = None
 
     def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
         return self.rows.setdefault(
@@ -420,6 +675,8 @@ def run_emi_campaign(
     engine: str = DEFAULT_ENGINE,
     auto_reduce: bool = False,
     reduce_budget: Optional[int] = None,
+    auto_triage: bool = False,
+    resume=None,
 ) -> EmiCampaignResult:
     """Reproduce the Table 5 experiment at a configurable scale.
 
@@ -431,8 +688,12 @@ def run_emi_campaign(
     (wrong code / build failure / crash / timeout in any cell) is shrunk
     while its per-cell worst-outcome signature is preserved -- each candidate
     re-expands its own pruned variant family -- and the summaries are
-    attached as ``result.reductions``.
+    attached as ``result.reductions``.  ``auto_triage=True`` (implies
+    ``auto_reduce``) buckets and bisects the reproducers into
+    ``result.triage``, and ``resume=`` makes the campaign persistent and
+    resumable -- both exactly as on :func:`run_clsmith_campaign`.
     """
+    auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
     family_job = dict(
         kind=EMI_FAMILY,
@@ -448,7 +709,33 @@ def run_emi_campaign(
     )
     filter_stats = CacheStats()
     filter_prepared = PreparedCacheStats()
-    with WorkerPool(parallelism) as pool:
+    store = open_store(resume)
+    store_key = ""
+    if store is not None:
+        store_key = campaign_key(
+            "emi",
+            config_ids=config_ids,
+            n_bases=n_bases,
+            variants_per_base=variants_per_base,
+            optimisation_levels=tuple(optimisation_levels),
+            options=options,
+            max_steps=max_steps,
+            seed=seed,
+            engine=engine,
+            # Caller-supplied bases feed the key by content (mirroring
+            # job_identity), so two different base batches with otherwise
+            # identical parameters are two campaigns, not one.
+            supplied_bases=(
+                tuple(program_fingerprint(base) for base in bases)
+                if bases is not None
+                else None
+            ),
+        )
+        store.begin_campaign(store_key, {"entry": "run_emi_campaign", "seed": seed})
+    with _campaign_resources(parallelism, store, resume) as worker_pool:
+        pool = worker_pool if store is None else StoreBackedPool(
+            worker_pool, store, campaign=store_key
+        )
         if bases is not None:
             jobs = [CampaignJob(seed=seed, program=base, **family_job) for base in bases]
         else:
@@ -500,7 +787,26 @@ def run_emi_campaign(
                         reduce_max_evaluations=reduce_budget,
                     )
                 )
-            _run_reduce_jobs(pool, reduce_jobs, result)
+            _run_reduce_jobs(
+                pool, reduce_jobs, result, store=store, campaign=store_key
+            )
+        if auto_triage:
+            result.triage = _run_triage(
+                pool,
+                result,
+                dict(
+                    config_ids=config_ids,
+                    config_overrides=config_overrides,
+                    optimisation_levels=tuple(optimisation_levels),
+                    options=options,
+                    max_steps=max_steps,
+                    engine=engine,
+                    variant_seed=seed,
+                    variants_per_base=variants_per_base,
+                ),
+                store=store,
+                campaign=store_key,
+            )
     return result
 
 

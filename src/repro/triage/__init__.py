@@ -1,0 +1,79 @@
+"""Bug triage: dedup bucketing, culprit bisection, persistent campaigns.
+
+The fourth major subsystem (after orchestration, the engine layer and
+reduction): it turns the reduction subsystem's minimal reproducers into the
+paper's actual deliverable -- a short list of *distinct bugs*, each with a
+representative reproducer, a culprit component and an occurrence count --
+and makes campaigns persistent and resumable along the way.
+
+* :mod:`repro.triage.bucketing` -- canonical bug fingerprints
+  (alpha-normalised AST shape x failure signature x mode) clustering
+  reduced reproducers into :class:`~repro.triage.bucketing.BugBucket`\\ s,
+  smallest reproducer as representative;
+* :mod:`repro.triage.bisection` -- culprit attribution by bisecting over a
+  configuration's bug-model injection points and over the optimisation-pass
+  schedule of :mod:`repro.compiler.pipeline`, validated against the known
+  injected defects of :mod:`repro.reduction.corpus`;
+* :mod:`repro.triage.store` -- the append-only JSONL campaign store behind
+  ``resume=`` on both campaign entry points (byte-identical resumed runs)
+  and cross-campaign dedup;
+* :mod:`repro.triage.report` -- Table-3-style Markdown reports;
+* :mod:`repro.triage.cli` -- the ``repro-triage`` console entry point.
+
+Campaigns integrate through ``auto_triage=`` on
+:func:`~repro.testing.campaign.run_clsmith_campaign` and
+:func:`~repro.testing.campaign.run_emi_campaign`: campaign -> reduce ->
+bucket -> bisect (as ``triage-bisect`` jobs on the campaign's own worker
+pool) -> report, with serial == parallel results property-tested.  See
+TRIAGE.md for the fingerprint definition, the bisection contract and the
+store schema.
+"""
+
+from repro.triage.bucketing import (
+    BucketMember,
+    BugBucket,
+    bucket_reductions,
+    bug_fingerprint,
+    canonical_program,
+    canonical_source,
+    canonical_shape_hash,
+    worst_signature_code,
+)
+from repro.triage.bisection import (
+    BisectionResult,
+    attribute_culprit,
+    bisect_bug_models,
+    bisect_passes,
+)
+from repro.triage.report import TriageResult, render_markdown
+from repro.triage.store import (
+    SCHEMA_VERSION,
+    CampaignStore,
+    StoreBackedPool,
+    campaign_key,
+    job_identity,
+    open_store,
+)
+
+__all__ = [
+    "BucketMember",
+    "BugBucket",
+    "bucket_reductions",
+    "bug_fingerprint",
+    "canonical_program",
+    "canonical_source",
+    "canonical_shape_hash",
+    "worst_signature_code",
+    "BisectionResult",
+    "attribute_culprit",
+    "bisect_bug_models",
+    "bisect_passes",
+    "TriageResult",
+    "render_markdown",
+    "SCHEMA_VERSION",
+    "CampaignStore",
+    "StoreBackedPool",
+    "campaign_key",
+    "job_identity",
+    "open_store",
+]

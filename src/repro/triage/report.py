@@ -1,0 +1,124 @@
+"""Markdown triage reports: one section per bug bucket.
+
+The paper's Table 3 and bug gallery condense thousands of anomalous test
+cases into a short list of distinct bugs, each with a reduced exemplar and
+an affected-configuration row.  :func:`render_markdown` produces the same
+artefact from a list of :class:`~repro.triage.bucketing.BugBucket`\\ s:
+
+* a summary table -- one row per bucket: defect class, culprit label,
+  occurrence count, affected cells, reproducer size;
+* one section per bucket with the failure-signature cells, the bisection
+  verdict, the member list (which campaign records collapsed into the
+  bucket) and the representative reproducer's source in a code fence.
+
+Rendering is pure and deterministic (bucket order is fixed by
+:func:`~repro.triage.bucketing.bucket_reductions`), so a resumed campaign's
+report is byte-identical to an uninterrupted one -- part of the store's
+contract, property-tested in ``tests/test_triage_store.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.triage.bucketing import BugBucket
+
+#: Spelling of an unattributed bucket's culprit cell in reports.
+UNATTRIBUTED = "(not bisected)"
+
+
+@dataclass
+class TriageResult:
+    """Everything one triage run produced, attachable to campaign results."""
+
+    buckets: List[BugBucket] = field(default_factory=list)
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def occurrences(self) -> int:
+        return sum(bucket.occurrences for bucket in self.buckets)
+
+    def render_markdown(self, title: str = "Bug triage report") -> str:
+        return render_markdown(self.buckets, title=title)
+
+
+def _culprit_cell(bucket: BugBucket) -> str:
+    if bucket.culprit is None:
+        return UNATTRIBUTED
+    label = bucket.culprit.label
+    if not bucket.culprit.verified:
+        label += " (unverified)"
+    return label
+
+
+def _signature_cell(bucket: BugBucket) -> str:
+    return ", ".join(f"{cell}:{code}" for cell, code in bucket.signature) or "-"
+
+
+def render_bucket_markdown(bucket: BugBucket, index: int) -> str:
+    """One ``## bucket`` section: signature, culprit, members, source."""
+    summary = bucket.representative
+    lines = [
+        f"## Bucket {index}: `{bucket.short_key}` — "
+        f"{bucket.worst_code} × {bucket.occurrences}",
+        "",
+        f"- **defect class**: `{bucket.worst_code}`"
+        f" (mode `{bucket.mode}`, predicate `{bucket.predicate_kind}`)",
+        f"- **failure signature**: {_signature_cell(bucket)}",
+        f"- **culprit**: {_culprit_cell(bucket)}"
+        + (
+            f" — bisected on `{bucket.culprit.config_name}`"
+            f" in {bucket.culprit.steps} probes"
+            if bucket.culprit is not None
+            else ""
+        ),
+        f"- **occurrences**: {bucket.occurrences} "
+        f"({', '.join(f'{m.mode}/{m.seed}' for m in bucket.members)})",
+        f"- **representative**: mode `{summary.mode}` seed {summary.seed}, "
+        f"{summary.nodes_before} → {summary.nodes_after} nodes "
+        f"({100 * summary.node_reduction:.0f}% removed), "
+        f"{summary.tokens_after} tokens, {summary.evaluations} evaluations",
+        "",
+        "```c",
+        summary.reduced_source.rstrip("\n"),
+        "```",
+    ]
+    if bucket.culprit is not None and bucket.culprit.detail:
+        lines.insert(len(lines) - 3, f"- **note**: {bucket.culprit.detail}")
+    return "\n".join(lines)
+
+
+def render_markdown(
+    buckets: Sequence[BugBucket], title: str = "Bug triage report"
+) -> str:
+    """The full report: summary table plus one section per bucket."""
+    occurrences = sum(bucket.occurrences for bucket in buckets)
+    lines = [
+        f"# {title}",
+        "",
+        f"{len(buckets)} distinct bug bucket(s) from {occurrences} reduced "
+        "reproducer(s).",
+        "",
+        "| bucket | class | culprit | occurrences | cells | nodes |",
+        "| --- | --- | --- | ---: | --- | ---: |",
+    ]
+    for index, bucket in enumerate(buckets, start=1):
+        lines.append(
+            f"| {index} `{bucket.short_key}` "
+            f"| {bucket.worst_code} "
+            f"| {_culprit_cell(bucket)} "
+            f"| {bucket.occurrences} "
+            f"| {_signature_cell(bucket)} "
+            f"| {bucket.representative.nodes_after} |"
+        )
+    for index, bucket in enumerate(buckets, start=1):
+        lines.append("")
+        lines.append(render_bucket_markdown(bucket, index))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["UNATTRIBUTED", "TriageResult", "render_bucket_markdown", "render_markdown"]

@@ -1,0 +1,433 @@
+"""Tests for the bug triage subsystem: bucketing, bisection, campaigns.
+
+These lock the subsystem's contract (see TRIAGE.md):
+
+* bucket fingerprints are invariant under variable/function renaming, under
+  the kernel-seed metadata, and under pretty-print round trips -- and
+  distinct injected defect configurations never collide on the 21-kernel
+  synthetic corpus;
+* ground truth: on the synthetic defect corpus, bucketing clusters
+  anomalies 1:1 with the injected defect configurations (no merged or
+  split buckets) and bisection attributes every bucket to the correct
+  injected bug model;
+* pass bisection blames a deliberately broken optimisation pass planted in
+  the schedule;
+* campaign integration: ``auto_triage=`` attaches identical buckets,
+  culprits and reports on the serial and process backends, for both the
+  CLsmith and the EMI entry points.
+"""
+
+import dataclasses
+
+from repro.compiler.passes import (
+    ConstantFoldPass,
+    DeadCodeEliminationPass,
+    SimplifyPass,
+)
+from repro.compiler.passes.base import Pass
+from repro.generator import generate_kernel
+from repro.generator.options import GeneratorOptions, Mode
+from repro.kernel_lang import ast, types as ty
+from repro.reduction import (
+    MismatchPredicate,
+    PredicateSpec,
+    Reducer,
+    ReducerConfig,
+    ReductionSummary,
+)
+from repro.reduction.corpus import (
+    clean_config,
+    emi_parity_config,
+    seeded_corpus,
+    wrong_code_config,
+)
+from repro.testing.campaign import run_clsmith_campaign, run_emi_campaign
+from repro.testing.outcomes import cell_label
+from repro.triage import (
+    attribute_culprit,
+    bisect_passes,
+    bucket_reductions,
+    bug_fingerprint,
+    canonical_source,
+)
+
+_FAST_OPTIONS = GeneratorOptions(
+    min_total_threads=4,
+    max_total_threads=12,
+    max_group_size=4,
+    max_statements=8,
+    max_expr_depth=2,
+)
+
+
+def _renamed(program: ast.Program) -> ast.Program:
+    """An independently alpha-renamed copy: every function, parameter,
+    local and buffer name gets a ``_r`` suffix (injective, so scoping is
+    preserved without any cleverness)."""
+    clone = program.clone()
+    function_names = {fn.name for fn in clone.functions}
+    for fn in clone.functions:
+        scoped = {param.name for param in fn.params}
+        if fn.body is not None:
+            scoped |= {
+                node.name for node in fn.body.walk()
+                if isinstance(node, ast.DeclStmt)
+            }
+            for node in fn.body.walk():
+                if isinstance(node, ast.DeclStmt):
+                    node.name += "_r"
+                elif isinstance(node, ast.VarRef) and node.name in scoped:
+                    node.name += "_r"
+                elif isinstance(node, ast.Call) and node.name in function_names:
+                    node.name += "_r"
+        for param in fn.params:
+            param.name += "_r"
+        fn.name += "_r"
+    kernel_params = {buf.name for buf in clone.buffers}
+    for buf in clone.buffers:
+        buf.name += "_r"
+    clone.kernel_name += "_r"
+    scalar_args = clone.metadata.get("scalar_args")
+    if isinstance(scalar_args, dict):
+        clone.metadata["scalar_args"] = {
+            (name + "_r" if name in kernel_params else name): value
+            for name, value in scalar_args.items()
+        }
+    return clone
+
+
+_SIG = (("config901+", "w"),)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint invariance properties
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_invariant_under_renaming_seed_and_round_trips():
+    for mode, seed in ((Mode.BASIC, 3), (Mode.VECTOR, 5), (Mode.ALL, 7)):
+        program = generate_kernel(mode, seed, options=_FAST_OPTIONS)
+        fingerprint = bug_fingerprint(program, _SIG, mode.value)
+        # Variable / function / buffer renaming.
+        assert bug_fingerprint(_renamed(program), _SIG, mode.value) == fingerprint
+        assert canonical_source(_renamed(program)) == canonical_source(program)
+        # Kernel seed (and any other generator provenance) lives in
+        # metadata; fingerprints must not see it.
+        reseeded = program.clone()
+        reseeded.metadata["seed"] = 999_999
+        reseeded.metadata["mode"] = "SOMETHING-ELSE"
+        assert bug_fingerprint(reseeded, _SIG, mode.value) == fingerprint
+        # Statement-order-preserving pretty-print round trips: cloning and
+        # re-printing is a fixpoint of the canonical form.
+        assert bug_fingerprint(program.clone(), _SIG, mode.value) == fingerprint
+        assert canonical_source(program.clone()) == canonical_source(program)
+
+
+def test_fingerprint_distinguishes_signature_mode_and_shape():
+    program = generate_kernel(Mode.BASIC, 3, options=_FAST_OPTIONS)
+    base = bug_fingerprint(program, _SIG, "BASIC")
+    assert bug_fingerprint(program, (("config902+", "c"),), "BASIC") != base
+    assert bug_fingerprint(program, _SIG, "VECTOR") != base
+    edited = program.clone()
+    edited.kernel().body.statements.insert(0, ast.out_write(ast.lit(7)))
+    assert bug_fingerprint(edited, _SIG, "BASIC") != base
+
+
+def test_distinct_defect_configs_never_collide_on_the_21_kernel_corpus():
+    corpus = seeded_corpus(per_class=7, options=_FAST_OPTIONS)
+    assert len(corpus) == 21
+    by_config = {}
+    for program, config, code in corpus:
+        signature = ((cell_label(config.name, True), code),)
+        fingerprint = bug_fingerprint(
+            program, signature, program.metadata.get("mode", ""), "mismatch"
+        )
+        by_config.setdefault(config.config_id, set()).add(fingerprint)
+    config_ids = sorted(by_config)
+    for i, left in enumerate(config_ids):
+        for right in config_ids[i + 1:]:
+            assert not (by_config[left] & by_config[right]), (left, right)
+    # Even byte-identical source never collides across defect signatures.
+    program = corpus[0][0]
+    fingerprints = {
+        bug_fingerprint(program, ((cell_label(config.name, True), code),),
+                        "BASIC", "mismatch")
+        for _, config, code in (corpus[0], corpus[7], corpus[14])
+    }
+    assert len(fingerprints) == 3
+
+
+# ---------------------------------------------------------------------------
+# Bucketing mechanics
+# ---------------------------------------------------------------------------
+
+
+def _summary(program, seed, nodes, tokens, signature=_SIG, mode="BASIC"):
+    return ReductionSummary(
+        seed=seed, mode=mode, predicate_kind="mismatch",
+        signature=signature, nodes_before=nodes * 10, nodes_after=nodes,
+        tokens_before=tokens * 10, tokens_after=tokens, evaluations=5,
+        steps=2, budget_exhausted=False, pass_attribution={},
+        reduced_source="", reduced_program=program,
+    )
+
+
+def test_bucketing_picks_smallest_representative_and_is_order_independent():
+    program = generate_kernel(Mode.BASIC, 3, options=_FAST_OPTIONS)
+    big = _summary(program, seed=1, nodes=20, tokens=50)
+    small = _summary(_renamed(program), seed=2, nodes=10, tokens=30)
+    other = _summary(program, seed=3, nodes=5, tokens=9,
+                     signature=(("config902-", "c"),))
+    forward = bucket_reductions([big, small, other])
+    backward = bucket_reductions([other, small, big])
+    assert [b.key for b in forward] == [b.key for b in backward]
+    assert len(forward) == 2
+    # Severity order: the w bucket precedes the c bucket.
+    assert [b.worst_code for b in forward] == ["w", "c"]
+    w_bucket = forward[0]
+    assert w_bucket.occurrences == 2
+    assert w_bucket.representative is small  # fewest nodes wins
+    assert [m.seed for m in w_bucket.members] == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Ground truth: 1:1 clustering + correct attribution on the corpus
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_buckets_one_to_one_with_injected_defects_and_bisect():
+    corpus = seeded_corpus(per_class=3, modes=(Mode.BASIC,),
+                           options=_FAST_OPTIONS)
+    reducer = Reducer(
+        ReducerConfig(seed=1, max_evaluations=600, max_pass_evaluations=200)
+    )
+    summaries = []
+    expected_culprits = {}
+    configs_by_name = {}
+    for program, config, code in corpus:
+        predicate = MismatchPredicate.from_program(program, config, True)
+        result = reducer.reduce(program, predicate)
+        signature = ((cell_label(config.name, True), code),)
+        summaries.append(
+            result.summary(
+                seed=program.metadata.get("seed", 0), mode="BASIC",
+                predicate_kind="mismatch", signature=signature,
+            )
+        )
+        expected_culprits[signature] = config.bug_models[0].name
+        configs_by_name[config.name] = config
+
+    buckets = bucket_reductions(summaries)
+    # 1:1 with the injected defect configurations: no merged buckets (three
+    # distinct defects -> three buckets) and no split buckets (every
+    # defect's three anomalies collapse into one).
+    assert len(buckets) == 3
+    assert sorted(b.occurrences for b in buckets) == [3, 3, 3]
+    assert {b.signature for b in buckets} == set(expected_culprits)
+
+    # Bisection attributes every bucket to its injected defect model.
+    correct = 0
+    for bucket in buckets:
+        config = configs_by_name[bucket.signature[0][0].rstrip("+-")]
+        spec = PredicateSpec(
+            kind="mismatch", signature=bucket.signature,
+            expected_class=bucket.worst_code, target_index=0,
+            target_optimisations=True,
+        )
+        verdict = attribute_culprit(
+            bucket.representative.reduced_program, spec, [config]
+        )
+        assert verdict.kind == "bugmodel"
+        assert verdict.verified
+        if verdict.culprit == expected_culprits[bucket.signature]:
+            correct += 1
+    assert correct == len(buckets)  # acceptance asks >= 90%; this is 100%
+
+
+# ---------------------------------------------------------------------------
+# Bisection mechanics
+# ---------------------------------------------------------------------------
+
+
+def _minimal_wrong_code_program() -> ast.Program:
+    return ast.Program(
+        functions=[
+            ast.FunctionDecl(
+                "entry",
+                ty.VOID,
+                [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))],
+                ast.block(ast.out_write(ast.lit(1))),
+                is_kernel=True,
+            )
+        ],
+        buffers=[ast.BufferSpec("out", ty.ULONG, 4, is_output=True)],
+        launch=ast.LaunchSpec((4, 1, 1), (1, 1, 1)),
+    )
+
+
+def test_bisection_finds_the_culprit_among_decoy_models():
+    from repro.platforms.bugmodels import (
+        AlteraVectorInStructBug,
+        AnonGpuGroupIdMiscompile,
+        IntelSizeTMixRejection,
+    )
+    from repro.reduction.corpus import XorOutStoreBug
+
+    # Three decoys that cannot fire on the minimal kernel (no structs, no
+    # helpers, no int/size_t mixes) around the real culprit.
+    config = dataclasses.replace(
+        wrong_code_config(),
+        bug_models=[
+            AlteraVectorInStructBug(),
+            IntelSizeTMixRejection(),
+            XorOutStoreBug(),
+            AnonGpuGroupIdMiscompile(),
+        ],
+    )
+    spec = PredicateSpec(
+        kind="mismatch", signature=_SIG, expected_class="w",
+        target_index=0, target_optimisations=True,
+    )
+    verdict = attribute_culprit(_minimal_wrong_code_program(), spec, [config])
+    assert verdict.kind == "bugmodel"
+    assert verdict.culprit == "synthetic-xor-out-store"
+    assert verdict.label == "wrong-code@synthetic-xor-out-store"
+    assert verdict.verified
+    assert verdict.config_name == "config901"
+    assert verdict.steps >= 4  # full + empty + binary search + singleton
+
+
+def test_bisection_reports_unknown_when_nothing_reproduces():
+    spec = PredicateSpec(
+        kind="mismatch", signature=(("config910+", "w"),), expected_class="w",
+        target_index=0, target_optimisations=True,
+    )
+    verdict = attribute_culprit(
+        _minimal_wrong_code_program(), spec, [clean_config(910)]
+    )
+    assert verdict.kind == "unknown"
+    assert verdict.label == "wrong-code@unknown"
+    assert not verdict.verified
+
+
+class _BrokenXorPass(Pass):
+    """A deliberately miscompiling optimisation pass for bisection tests."""
+
+    name = "broken-xor"
+
+    def run(self, program: ast.Program) -> ast.Program:
+        from repro.compiler import rewrite
+
+        def flip(stmt: ast.Stmt):
+            if (
+                isinstance(stmt, ast.AssignStmt)
+                and isinstance(stmt.target, ast.IndexAccess)
+                and isinstance(stmt.target.base, ast.VarRef)
+                and stmt.target.base.name == "out"
+            ):
+                return [
+                    ast.AssignStmt(
+                        stmt.target.clone(),
+                        ast.BinaryOp("^", stmt.value.clone(), ast.IntLiteral(1)),
+                        stmt.op,
+                    )
+                ]
+            return None
+
+        return rewrite.rewrite_program(program, stmt_fn=flip)
+
+
+def test_pass_bisection_blames_the_planted_broken_pass():
+    schedule = [
+        ConstantFoldPass(),
+        SimplifyPass(),
+        _BrokenXorPass(),
+        DeadCodeEliminationPass(),
+    ]
+    program = generate_kernel(Mode.BASIC, 3, options=_FAST_OPTIONS)
+    culprit, steps = bisect_passes(
+        program, config=None, expected_class="w", passes=schedule
+    )
+    assert culprit == "broken-xor"
+    assert steps >= 3  # baseline + full schedule + at least one probe
+
+
+def test_pass_bisection_declines_a_clean_schedule():
+    program = generate_kernel(Mode.BASIC, 3, options=_FAST_OPTIONS)
+    culprit, _ = bisect_passes(program, config=None, expected_class="w")
+    assert culprit is None
+
+
+# ---------------------------------------------------------------------------
+# Campaign integration: auto_triage on both entry points, both backends
+# ---------------------------------------------------------------------------
+
+
+def test_clsmith_auto_triage_serial_equals_parallel():
+    configs = [clean_config(911), clean_config(912), wrong_code_config()]
+
+    def campaign(parallelism):
+        return run_clsmith_campaign(
+            configs,
+            kernels_per_mode=2,
+            modes=(Mode.BASIC,),
+            options=_FAST_OPTIONS,
+            auto_triage=True,
+            reduce_budget=200,
+            parallelism=parallelism,
+        )
+
+    # parallelism=3 > 2 anomalies: the process backend takes the
+    # per-candidate dispatch path (anomalies < workers), the strongest
+    # byte-identity case.  The saturated reduce-kernel path is covered by
+    # tests/test_reduction.py.
+    serial, parallel = campaign(None), campaign(3)
+    assert serial.table_rows() == parallel.table_rows()
+    # auto_triage implies auto_reduce; summaries stay byte-identical even
+    # though the process backend dispatches per-candidate reduce-check jobs.
+    assert [s.reduced_source for s in serial.reductions] == [
+        s.reduced_source for s in parallel.reductions
+    ]
+    assert [s.evaluations for s in serial.reductions] == [
+        s.evaluations for s in parallel.reductions
+    ]
+    assert serial.triage is not None and parallel.triage is not None
+    assert serial.triage.render_markdown() == parallel.triage.render_markdown()
+    assert [b.key for b in serial.triage.buckets] == [
+        b.key for b in parallel.triage.buckets
+    ]
+    # Both seeds reduced to the same minimal wrong-code kernel: one bucket,
+    # two occurrences, attributed to the injected miscompiler.
+    bucket = serial.triage.buckets[0]
+    assert serial.triage.n_buckets == 1
+    assert bucket.occurrences == 2
+    assert bucket.culprit.label == "wrong-code@synthetic-xor-out-store"
+    assert bucket.culprit.verified
+
+
+def test_emi_auto_triage_attributes_the_parity_miscompiler():
+    from repro.testing.campaign import generate_emi_bases
+
+    options = GeneratorOptions(
+        min_total_threads=4, max_total_threads=12, max_group_size=4,
+        max_statements=6, max_expr_depth=2,
+    )
+    bases = generate_emi_bases(2, seed=0, options=options)
+    result = run_emi_campaign(
+        [emi_parity_config()],
+        bases=bases,
+        variants_per_base=6,
+        optimisation_levels=(False,),
+        options=options,
+        auto_triage=True,
+        reduce_budget=250,
+    )
+    assert result.reductions
+    assert result.triage is not None and result.triage.n_buckets >= 1
+    report = result.triage.render_markdown()
+    assert "## Bucket 1:" in report
+    for bucket in result.triage.buckets:
+        assert bucket.predicate_kind == "emi-family"
+        assert bucket.culprit is not None
+        assert bucket.culprit.label.endswith("@synthetic-emi-parity")
+        assert bucket.culprit.kind == "bugmodel"

@@ -281,6 +281,184 @@ def test_engine_throughput_three_engines_cold_and_warm():
 
 
 # ---------------------------------------------------------------------------
+# Batched (family) execution throughput: one lowering, many variants
+# ---------------------------------------------------------------------------
+
+_BATCH_FAMILIES = 4
+#: Matches the Table 5 campaign scale (conftest ``EMI_VARIANTS_PER_BASE``):
+#: the family size ``EmiHarness.run_family`` actually batches.
+_BATCH_VARIANTS_PER_BASE = 10
+_BATCH_REPEATS = 3
+#: Lowering-heavy corpus: batching shares *lowering*, so the cell isolates
+#: that cost -- small launches (execution scales with threads, lowering with
+#: kernel size) and full-size kernel bodies.
+_BATCH_OPTIONS = GeneratorOptions(
+    min_total_threads=4,
+    max_total_threads=8,
+    max_group_size=4,
+    max_statements=10,
+)
+#: The batched-dispatch promise: on the jit, lowering an EMI family as one
+#: emitted module must beat member-by-member lowering by this factor (cold;
+#: a warm prepared cache serves both flows identically).
+_MIN_JIT_BATCH_SPEEDUP = 1.5
+
+
+def _batch_corpus():
+    """EMI families (base + pruned-variant set) -- the exact workload
+    ``EmiHarness.run_family`` batches.  Bases come from
+    ``generate_emi_bases`` (ALL-mode kernels with live injected blocks), so
+    families contain the production mix of distinct and structurally
+    identical members (pruning different blocks often converges on the
+    same residue)."""
+    from repro.emi import generate_variants
+    from repro.testing.campaign import generate_emi_bases
+
+    bases = generate_emi_bases(_BATCH_FAMILIES, seed=0, options=_BATCH_OPTIONS)
+    return [
+        [base] + generate_variants(base)[:_BATCH_VARIANTS_PER_BASE]
+        for base in bases
+    ]
+
+
+def _measure_batch(families, engine, batched, warm_cache):
+    """Best-of-N elapsed for one (engine, dispatch, cache) cell.
+
+    ``batched`` lowers each family through ``lower_batch`` (timed, including
+    the shared lowering) and executes members from the batch; sequential
+    executes member by member, each launch paying its own lowering.
+    ``warm_cache`` pre-warmed serves both flows from the prepared cache.
+    """
+    from repro.runtime.engine import get_engine
+
+    eng = get_engine(engine)
+    best = float("inf")
+    hashes = []
+    for _ in range(_BATCH_REPEATS):
+        run_hashes = []
+        start = time.perf_counter()
+        for family in families:
+            if batched:
+                batch = (
+                    warm_cache.lower_batch(eng, family, max_steps=MAX_STEPS)
+                    if warm_cache is not None
+                    else eng.lower_batch(family, max_steps=MAX_STEPS)
+                )
+                run_hashes.extend(
+                    run_program(
+                        program, engine=engine, max_steps=MAX_STEPS,
+                        prepared=prepared,
+                    ).result_hash()
+                    for program, prepared in zip(family, batch)
+                )
+            else:
+                run_hashes.extend(
+                    run_program(
+                        program, engine=engine, max_steps=MAX_STEPS,
+                        prepared_cache=warm_cache,
+                    ).result_hash()
+                    for program in family
+                )
+        best = min(best, time.perf_counter() - start)
+        hashes = run_hashes
+    return best, hashes
+
+
+def test_batched_family_execution_throughput():
+    """Batched vs sequential kernels/sec per engine, cold/warm.
+
+    Cold is where batching pays: one shared lowering per family covers its
+    duplicate members and shares helpers across the distinct ones, versus
+    one full lowering per member.  Warm (pre-warmed prepared cache) is
+    recorded to show the two flows converge once lowerings are cached
+    (within the noise of per-family vs per-member cache lookups).  Gates
+    the jit's cold batched speedup
+    (the engine with the heaviest lowering step, hence the headline win);
+    results are asserted hash-identical between the two flows, batching is
+    not allowed to change a single output.
+    """
+    from repro.runtime.batch import dedup_members
+
+    families = _batch_corpus()
+    n_members = sum(len(family) for family in families)
+    distinct_per_family = [len(dedup_members(family)[0]) for family in families]
+
+    rows = {}
+    speedups = {}
+    for engine in _ENGINES:
+        rows[engine] = {}
+        for scenario in ("cold", "warm"):
+            if scenario == "warm":
+                warm = PreparedProgramCache()
+                from repro.runtime.engine import get_engine
+
+                for family in families:
+                    warm.lower_batch(
+                        get_engine(engine), family, max_steps=MAX_STEPS
+                    )
+            else:
+                warm = None
+            seq_best, seq_hashes = _measure_batch(
+                families, engine, batched=False, warm_cache=warm
+            )
+            bat_best, bat_hashes = _measure_batch(
+                families, engine, batched=True, warm_cache=warm
+            )
+            assert bat_hashes == seq_hashes, (
+                f"{engine}/{scenario}: batched execution changed results"
+            )
+            ratio = round(seq_best / bat_best, 2)
+            rows[engine][scenario] = {
+                "kernels": n_members,
+                "sequential": {
+                    "elapsed_s": round(seq_best, 4),
+                    "kernels_per_sec": round(n_members / seq_best, 2),
+                },
+                "batched": {
+                    "elapsed_s": round(bat_best, 4),
+                    "kernels_per_sec": round(n_members / bat_best, 2),
+                },
+                "batched_over_sequential": ratio,
+            }
+            speedups[f"{engine}_{scenario}"] = ratio
+
+    artifact = _load_artifact()
+    artifact["batch"] = {
+        "corpus": {
+            "generator": "generate_emi_bases",
+            "families": _BATCH_FAMILIES,
+            "members_per_family": [len(family) for family in families],
+            "distinct_per_family": distinct_per_family,
+            "max_steps": MAX_STEPS,
+        },
+        "engines": rows,
+        "batched_over_sequential": speedups,
+        "relaxed": RELAX,
+    }
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print("\nBatched family execution (best of "
+          f"{_BATCH_REPEATS} runs, {n_members} kernels per cell, "
+          f"distinct per family {distinct_per_family}):")
+    for engine in _ENGINES:
+        for scenario in ("cold", "warm"):
+            row = rows[engine][scenario]
+            print(f"  {engine:10s} {scenario:4s}  "
+                  f"seq {row['sequential']['kernels_per_sec']:8.2f} k/s  "
+                  f"batch {row['batched']['kernels_per_sec']:8.2f} k/s  "
+                  f"({row['batched_over_sequential']:.2f}x)")
+
+    if RELAX:
+        return
+    jit_cold = rows["jit"]["cold"]["batched_over_sequential"]
+    assert jit_cold >= _MIN_JIT_BATCH_SPEEDUP, (
+        f"batched jit EMI-family execution is only {jit_cold:.2f}x sequential "
+        f"(cold); the one-module-per-family emission promises >= "
+        f"{_MIN_JIT_BATCH_SPEEDUP}x on this corpus"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Test-case reduction throughput (record-only; no gate yet)
 # ---------------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.runtime.engine import (
     DEFAULT_ENGINE,
     ExecutionEngine,
     PreparedLaunch,
+    PreparedProgram,
     get_engine,
 )
 from repro.runtime.errors import ExecutionTimeout, KernelRuntimeError
@@ -117,8 +118,18 @@ class Device:
 
     # ------------------------------------------------------------------
 
-    def run(self, program: ast.Program) -> KernelResult:
-        """Execute ``program`` over its full NDRange and collect outputs."""
+    def run(
+        self, program: ast.Program, prepared: Optional[PreparedProgram] = None
+    ) -> KernelResult:
+        """Execute ``program`` over its full NDRange and collect outputs.
+
+        ``prepared`` short-circuits the lowering step with an
+        already-lowered form of ``program`` (a batch launch member -- see
+        ENGINE.md): it must have been lowered by this device's engine with
+        this device's ``comma_yields_zero``/``max_steps``, and neither the
+        engine's ``lower`` nor the prepared cache is consulted (no stats
+        traffic); only the per-launch bind runs.
+        """
         launch = program.launch
         global_memory = memory.GlobalMemory()
         for spec in program.buffers:
@@ -133,16 +144,17 @@ class Device:
         detector = (
             RaceDetector(throw_on_race=self.throw_on_race) if self.check_races else None
         )
-        engine = get_engine(self.engine)
-        if self.prepared_cache is not None:
+        if prepared is not None:
+            lowered = prepared
+        elif self.prepared_cache is not None:
             lowered = self.prepared_cache.lower(
-                engine,
+                get_engine(self.engine),
                 program,
                 comma_yields_zero=self.comma_yields_zero,
                 max_steps=self.max_steps,
             )
         else:
-            lowered = engine.lower(
+            lowered = get_engine(self.engine).lower(
                 program,
                 comma_yields_zero=self.comma_yields_zero,
                 max_steps=self.max_steps,
@@ -248,6 +260,7 @@ def run_program(
     comma_yields_zero: bool = False,
     engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
     prepared_cache: Optional[PreparedProgramCache] = None,
+    prepared: Optional[PreparedProgram] = None,
 ) -> KernelResult:
     """Convenience wrapper: run ``program`` on a default device."""
     device = Device(
@@ -260,7 +273,7 @@ def run_program(
         engine=engine,
         prepared_cache=prepared_cache,
     )
-    return device.run(program)
+    return device.run(program, prepared=prepared)
 
 
 __all__ = ["Device", "KernelResult", "run_program"]

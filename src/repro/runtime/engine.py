@@ -50,7 +50,7 @@ step so lowered programs can be reused across launches (see
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Generator, List, Optional, Union
+from typing import Callable, Dict, Generator, Iterator, List, Optional, Union
 
 from repro.kernel_lang import ast
 from repro.runtime import memory
@@ -118,6 +118,38 @@ class PreparedProgram(ABC):
         """Bind this lowering to one launch's global/constant buffers."""
 
 
+class PreparedBatch:
+    """Lowerings of a variant set, aligned with the input programs.
+
+    Returned by :meth:`ExecutionEngine.lower_batch`: ``prepared[i]`` is the
+    :class:`PreparedProgram` for ``programs[i]``.  Members share lowering
+    work where the engine can prove it safe (shared helper emissions, one
+    compiled module per family -- see ENGINE.md), but each member is an
+    independent :class:`PreparedProgram`: binding and launching one member
+    is byte-identical to having lowered it alone.  Launches remain strictly
+    sequential -- a batch shares *lowering*, never a live launch.
+    """
+
+    def __init__(
+        self,
+        programs: List[ast.Program],
+        prepared: List[PreparedProgram],
+    ) -> None:
+        if len(programs) != len(prepared):
+            raise ValueError("programs and prepared lowerings must align")
+        self.programs = list(programs)
+        self.prepared = list(prepared)
+
+    def __len__(self) -> int:
+        return len(self.prepared)
+
+    def __getitem__(self, index: int) -> PreparedProgram:
+        return self.prepared[index]
+
+    def __iter__(self):
+        return iter(self.prepared)
+
+
 class ExecutionEngine(ABC):
     """Turns programs into schedulable work-item coroutines."""
 
@@ -144,6 +176,31 @@ class ExecutionEngine(ABC):
         both are part of the prepared-program cache key.
         """
 
+    def lower_batch(
+        self,
+        programs: List[ast.Program],
+        comma_yields_zero: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> PreparedBatch:
+        """Lower a variant set together, sharing work where safe.
+
+        The default implementation simply loops :meth:`lower` -- correct for
+        every engine (the reference walker needs nothing more).  Engines with
+        a real lowering step override this to share it across the batch (one
+        emitted module per EMI family on the jit, shared function records on
+        the compiled engine); the batch == sequential byte-identity property
+        in ``tests/test_batch_execution.py`` gates every such fast path.
+        """
+        return PreparedBatch(
+            programs,
+            [
+                self.lower(
+                    program, comma_yields_zero=comma_yields_zero, max_steps=max_steps
+                )
+                for program in programs
+            ],
+        )
+
     def prepare(
         self,
         program: ast.Program,
@@ -155,6 +212,28 @@ class ExecutionEngine(ABC):
         return self.lower(
             program, comma_yields_zero=comma_yields_zero, max_steps=max_steps
         ).bind(global_memory)
+
+    def prepare_batch(
+        self,
+        programs: List[ast.Program],
+        global_memory: memory.GlobalMemory,
+        comma_yields_zero: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> Iterator[PreparedLaunch]:
+        """Batch convenience: lower together, bind each member lazily.
+
+        Yields one :class:`PreparedLaunch` per program, binding each member
+        only when the iterator reaches it: family members may share lowering
+        state (e.g. one step counter per jit family), so binding member N
+        while member N-1's launch is still active would violate the
+        one-active-launch rule.  Drive each yielded launch to completion
+        before advancing.
+        """
+        batch = self.lower_batch(
+            programs, comma_yields_zero=comma_yields_zero, max_steps=max_steps
+        )
+        for prepared in batch:
+            yield prepared.bind(global_memory)
 
 
 # ---------------------------------------------------------------------------
@@ -301,6 +380,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "DEFAULT_MAX_STEPS",
     "ExecutionEngine",
+    "PreparedBatch",
     "PreparedProgram",
     "PreparedLaunch",
     "PreparedGroup",

@@ -48,6 +48,7 @@ from repro.runtime import memory, ops
 from repro.runtime.engine import (
     DEFAULT_MAX_STEPS,
     ExecutionEngine,
+    PreparedBatch,
     PreparedGroup,
     PreparedLaunch,
     PreparedProgram,
@@ -159,6 +160,34 @@ class _FnState:
         return name
 
 
+class _FamilyEmission:
+    """Shared emission state for one batched family of programs.
+
+    One instance spans every :class:`_ModuleEmitter` of a
+    :meth:`JitEngine.lower_batch` family: the constant pool, work-item spec
+    table and function-name counter are family-global so the members'
+    sources concatenate into one module (one ``compile`` + one ``exec``)
+    without name collisions, and helper functions the base already emitted
+    can be referenced -- not re-emitted -- by structurally identical
+    variants.  A solo :meth:`JitEngine.lower` gets a private instance, so
+    the single-program path is unchanged.
+    """
+
+    __slots__ = ("consts", "const_keys", "const_n", "wi_map", "wi_specs",
+                 "fn_n", "base")
+
+    def __init__(self) -> None:
+        self.consts: Dict[str, object] = {}
+        self.const_keys: Dict[object, str] = {}
+        self.const_n = 0
+        self.wi_map: Dict[Tuple[str, int], int] = {}
+        self.wi_specs: List[Tuple[str, int]] = []
+        self.fn_n = 0
+        #: The family's first (base) emitter; set by ``lower_batch`` once the
+        #: base module is emitted, consulted by later members for sharing.
+        self.base: Optional["_ModuleEmitter"] = None
+
+
 class _ModuleEmitter:
     """Emits one Python module of source for one program."""
 
@@ -167,6 +196,8 @@ class _ModuleEmitter:
         program: ast.Program,
         comma_yields_zero: bool,
         max_steps: int,
+        family: Optional[_FamilyEmission] = None,
+        entry_suffix: str = "",
     ) -> None:
         self.program = program
         self.comma_yields_zero = comma_yields_zero
@@ -175,15 +206,36 @@ class _ModuleEmitter:
             fn.name: fn for fn in program.functions if fn.body is not None
         }
         self._yielding = support.yielding_functions(self._functions)
-        self._fn_py = {
-            name: f"_fn{i}" for i, name in enumerate(self._functions)
-        }
+        self._family = family if family is not None else _FamilyEmission()
+        self._entry_suffix = entry_suffix
+        base = self._family.base
+        #: Functions whose lowering is reused from the family's base module:
+        #: structurally equal there (transitively, per ``shareable_functions``)
+        #: and actually emitted by the base.  Equal subgraphs have equal
+        #: derived analyses (yielding status, ticks, scopes), so pointing the
+        #: call sites at the base's code object is byte-identical.
+        self._shared_fns: set = set()
+        if base is not None:
+            from repro.runtime.batch import shareable_functions
+
+            self._shared_fns = {
+                name
+                for name in shareable_functions(base._functions, self._functions)
+                if name in base._emitted_fns
+            }
+        self._fn_py: Dict[str, str] = {}
+        for name in self._functions:
+            if name in self._shared_fns:
+                self._fn_py[name] = base._fn_py[name]
+            else:
+                self._fn_py[name] = f"_fn{self._family.fn_n}"
+                self._family.fn_n += 1
+        self._emitted_fns: set = set()
         self.out: List[Tuple[int, str]] = []
-        self.consts: Dict[str, object] = {}
-        self._const_keys: Dict[object, str] = {}
-        self._const_n = 0
-        self._wi_map: Dict[Tuple[str, int], int] = {}
-        self.wi_specs: List[Tuple[str, int]] = []
+        self.consts: Dict[str, object] = self._family.consts
+        self._const_keys: Dict[object, str] = self._family.const_keys
+        self._wi_map: Dict[Tuple[str, int], int] = self._family.wi_map
+        self.wi_specs: List[Tuple[str, int]] = self._family.wi_specs
         #: (ns_name, "global"|"local", param_name, param_type) resolved at
         #: bind / bind_group time.
         self.param_plan: List[Tuple[str, str, str, ty.PointerType]] = []
@@ -241,8 +293,8 @@ class _ModuleEmitter:
     def const(self, key: object, obj: object, prefix: str) -> str:
         name = self._const_keys.get(key)
         if name is None:
-            name = f"_{prefix}{self._const_n}"
-            self._const_n += 1
+            name = f"_{prefix}{self._family.const_n}"
+            self._family.const_n += 1
             self._const_keys[key] = name
             self.consts[name] = obj
         return name
@@ -310,8 +362,11 @@ class _ModuleEmitter:
         # helpers would only slow the one-off CPython compile down.
         reachable = self._reachable_functions()
         for name, decl in self._functions.items():
-            if name in reachable:
+            # Family members skip helpers the base already emitted (their
+            # call sites point at the base's function instead).
+            if name in reachable and name not in self._shared_fns:
                 self.emit_function(decl)
+                self._emitted_fns.add(name)
         self.emit_thread()
         return "\n".join("    " * ind + text for ind, text in self.out)
 
@@ -366,7 +421,8 @@ class _ModuleEmitter:
             self.program.metadata.get("scalar_args", {})
         )
         fs = _FnState(None)
-        self.w(0, "def _thread(wi, hook):")
+        sfx = self._entry_suffix
+        self.w(0, f"def _thread{sfx}(wi, hook):")
         self.w(1, "depth = 0")
         for k, param in enumerate(kernel.params):
             var = sc.declare(param.name, param.type)
@@ -374,12 +430,12 @@ class _ModuleEmitter:
             if isinstance(param.type, ty.PointerType):
                 space = param.type.address_space
                 if space in (ty.GLOBAL, ty.CONSTANT):
-                    ns_name = f"_p{k}"
+                    ns_name = f"_p{k}{sfx}"
                     self.param_plan.append((ns_name, "global", param.name, param.type))
                     self.consts[ns_name] = None  # bound per launch
                     self.w(1, f"{var} = _Cell({param.name!r}, {tconst}, {ns_name})")
                 elif space == ty.LOCAL:
-                    ns_name = f"_p{k}"
+                    ns_name = f"_p{k}{sfx}"
                     self.param_plan.append((ns_name, "local", param.name, param.type))
                     self.consts[ns_name] = None  # bound per work-group
                     self.w(1, f"{var} = _Cell({param.name!r}, {tconst}, {ns_name})")
@@ -403,10 +459,10 @@ class _ModuleEmitter:
         self.w(1, "return")
         self.w(0, "")
         if self.kernel_yields:
-            self.w(0, "_main = _thread")
+            self.w(0, f"_main{sfx} = _thread{sfx}")
         else:
-            self.w(0, "def _main(wi, hook):")
-            self.w(1, "_thread(wi, hook)")
+            self.w(0, f"def _main{sfx}(wi, hook):")
+            self.w(1, f"_thread{sfx}(wi, hook)")
             self.w(1, "return")
             self.w(1, "yield")
         self.w(0, "")
@@ -1300,13 +1356,14 @@ class JitProgram(PreparedProgram):
         limits: ExecutionLimits,
         param_plan: List[Tuple[str, str, str, ty.PointerType]],
         wi_specs: List[Tuple[str, int]],
+        entry_name: str = "_main",
     ) -> None:
         self.program = program
         self._ns = namespace
         self._limits = limits
         self._param_plan = param_plan
         self._wi_specs = wi_specs
-        self._entry = namespace["_main"]
+        self._entry = namespace[entry_name]
 
     def bind(self, global_memory: memory.GlobalMemory) -> "JitLaunch":
         # One active launch at a time: the emitted code ticks this module's
@@ -1383,6 +1440,79 @@ class JitEngine(ExecutionEngine):
             emitter.param_plan,
             emitter.wi_specs,
         )
+
+    def lower_batch(
+        self,
+        programs: List[ast.Program],
+        comma_yields_zero: bool = False,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> PreparedBatch:
+        """One emitted module per family: shared helpers, per-member entries.
+
+        Structurally identical members collapse first (EMI pruning routinely
+        regenerates the same residue -- see
+        :func:`repro.runtime.batch.dedup_members`), so each *distinct*
+        program is emitted and CPython-compiled exactly once and duplicate
+        members share its :class:`JitProgram`.  The distinct members' sources
+        are emitted into one concatenated module with a family-global
+        constant pool, work-item table and function namespace, paying one
+        CPython ``compile`` + ``exec`` for the whole family.  Helper
+        functions that are structurally identical to the base's
+        (transitively -- see :func:`repro.runtime.batch.shareable_functions`)
+        are emitted once and referenced by every member; each distinct
+        member keeps its own ``_thread_v{j}``/``_main_v{j}`` entry and
+        parameter slots.  The family shares one step counter (``L``), which
+        every member's :meth:`JitProgram.bind` resets -- launches are
+        strictly sequential, so batched results stay byte-identical to
+        sequential lowering.
+        """
+        from repro.runtime.batch import dedup_members
+
+        programs = list(programs)
+        if len(programs) <= 1:
+            return super().lower_batch(
+                programs, comma_yields_zero=comma_yields_zero, max_steps=max_steps
+            )
+        distinct, slots = dedup_members(programs)
+        if len(distinct) == 1:
+            shared = self.lower(
+                distinct[0], comma_yields_zero=comma_yields_zero, max_steps=max_steps
+            )
+            return PreparedBatch(programs, [shared] * len(programs))
+        family = _FamilyEmission()
+        emitters: List[_ModuleEmitter] = []
+        sources: List[str] = []
+        for j, program in enumerate(distinct):
+            emitter = _ModuleEmitter(
+                program,
+                comma_yields_zero,
+                max_steps,
+                family=family,
+                entry_suffix=f"_v{j}",
+            )
+            sources.append(emitter.emit_module())
+            emitters.append(emitter)
+            if family.base is None:
+                family.base = emitter
+        limits = ExecutionLimits(max_steps=max_steps)
+        namespace = dict(_BASE_NS)
+        namespace.update(family.consts)
+        namespace["L"] = limits
+        label = f"<jit-family:{distinct[0].kernel_name}x{len(distinct)}>"
+        code = compile("\n".join(sources), label, "exec")
+        exec(code, namespace)
+        prepared = [
+            JitProgram(
+                program,
+                namespace,
+                limits,
+                emitter.param_plan,
+                family.wi_specs,
+                entry_name=f"_main_v{j}",
+            )
+            for j, (program, emitter) in enumerate(zip(distinct, emitters))
+        ]
+        return PreparedBatch(programs, [prepared[slot] for slot in slots])
 
 
 __all__ = ["JitEngine", "JitProgram", "JitLaunch", "JitGroup"]

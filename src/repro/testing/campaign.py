@@ -143,6 +143,7 @@ def run_clsmith_campaign(
     reduce_budget: Optional[int] = None,
     auto_triage: bool = False,
     resume=None,
+    batch: bool = True,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -182,7 +183,16 @@ def run_clsmith_campaign(
     path): every executed job is recorded there, and a re-run of the same
     campaign replays recorded results instead of re-executing them -- a
     campaign killed mid-run resumes to byte-identical tables, buckets and
-    reports on both backends.
+    reports on both backends.  With a store and ``auto_triage``, anomalies
+    whose pre-reduction fingerprint matches one an *earlier* campaign
+    already reduced are not re-reduced: the stored reproducer is attached
+    instead (bucket-aware scheduling; see TRIAGE.md).
+
+    ``batch=True`` (the default) lowers each kernel's configuration sweep
+    as one engine batch instead of cell by cell; results and surfaced
+    cache counters are byte-identical either way (ENGINE.md), so ``batch``
+    is not part of the campaign's store identity and a stored campaign
+    resumes cleanly across the switch.
     """
     auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
@@ -212,7 +222,7 @@ def run_clsmith_campaign(
         for mode_index, mode in enumerate(modes):
             kernel_seeds, curation_stats, curation_prepared = _curated_seeds(
                 pool, mode, kernels_per_mode, seed + mode_index * 10_000, options,
-                curate_on, max_steps, engine,
+                curate_on, max_steps, engine, batch=batch,
             )
             result.cache_stats = result.cache_stats.merge(curation_stats)
             result.prepared_stats = result.prepared_stats.merge(curation_prepared)
@@ -227,6 +237,7 @@ def run_clsmith_campaign(
                     options=options,
                     max_steps=max_steps,
                     engine=engine,
+                    batch=batch,
                 )
                 for kernel_seed in kernel_seeds
             )
@@ -260,7 +271,10 @@ def run_clsmith_campaign(
                     )
                 )
             _run_reduce_jobs(
-                pool, reduce_jobs, result, store=store, campaign=store_key
+                pool, reduce_jobs, result, store=store, campaign=store_key,
+                known_anomalies=_stored_anomaly_summaries(
+                    store, store_key, enabled=auto_triage
+                ),
             )
         if auto_triage:
             result.triage = _run_triage(
@@ -348,8 +362,52 @@ def _reduce_in_parent(
     return summary, evaluator
 
 
+def _anomaly_fingerprint(job: CampaignJob) -> str:
+    """The bucket fingerprint of a reduce job's *unreduced* anomaly.
+
+    Same construction as the post-reduction bucket key (alpha-normalised
+    shape x failure signature x mode x predicate kind), but over the
+    anomalous program as generated -- computable before any reduction runs,
+    which is what lets bucket-aware scheduling skip work (see TRIAGE.md).
+    """
+    from repro.triage.bucketing import bug_fingerprint
+
+    program = job.program if job.program is not None else job.materialise_program()
+    return bug_fingerprint(
+        program, job.predicate_spec.signature, job.mode, job.predicate_spec.kind
+    )
+
+
+def _stored_anomaly_summaries(
+    store, campaign: str, enabled: bool = True
+) -> Dict[str, ReductionSummary]:
+    """Anomaly fingerprint -> reduced reproducer, from *other* campaigns.
+
+    This is the input to bucket-aware scheduling: an anomaly whose
+    fingerprint appears here was already reduced by an earlier campaign
+    sharing the store, so re-reducing it would only rediscover a known
+    bucket.  Records written by ``campaign`` itself are excluded -- a
+    killed-and-resumed campaign must make exactly the decisions its
+    uninterrupted twin would, so its own partial progress never feeds
+    back into its scheduling (the resume byte-identity property).
+    """
+    if store is None or not enabled:
+        return {}
+    known: Dict[str, ReductionSummary] = {}
+    for record in store.records("anomaly"):
+        if record.get("campaign") == campaign:
+            continue
+        stored = store.lookup_reduction(
+            record["reduction_key"], campaign=record.get("campaign", "")
+        )
+        if stored is not None and record["key"] not in known:
+            known[record["key"]] = stored[0]
+    return known
+
+
 def _run_reduce_jobs(
-    pool, reduce_jobs: List[CampaignJob], result, store=None, campaign: str = ""
+    pool, reduce_jobs: List[CampaignJob], result, store=None, campaign: str = "",
+    known_anomalies: Optional[Dict[str, ReductionSummary]] = None,
 ) -> None:
     """Run campaign-issued reductions and fold their outcomes into a
     campaign result (shared by the CLsmith and EMI auto-triage paths so the
@@ -368,16 +426,37 @@ def _run_reduce_jobs(
     reducible (UB-vetoed originals) contribute cache deltas but no summary.
     With a store, each summary is also recorded as a ``reduction`` record
     (keyed by campaign + reduce-job identity) together with the job context
-    `repro-triage` needs for later cross-campaign bucketing and bisection.
+    `repro-triage` needs for later cross-campaign bucketing and bisection,
+    plus an ``anomaly`` record mapping the pre-reduction fingerprint to
+    that reduction.
+
+    ``known_anomalies`` (see :func:`_stored_anomaly_summaries`) is the
+    bucket-aware scheduling input: jobs whose anomaly fingerprint appears
+    there are not reduced at all -- the stored reproducer is attached in
+    the job's position instead, contributing no cache traffic.
     """
-    summaries: List[
-        Tuple[CampaignJob, Optional[ReductionSummary], CacheStats, PreparedCacheStats]
-    ] = []
+    known_anomalies = known_anomalies or {}
+    skipped: Dict[int, ReductionSummary] = {}
+    fingerprints: Dict[int, str] = {}
+    if store is not None or known_anomalies:
+        for index, job in enumerate(reduce_jobs):
+            fingerprints[index] = _anomaly_fingerprint(job)
+            stored_summary = known_anomalies.get(fingerprints[index])
+            if stored_summary is not None:
+                skipped[index] = stored_summary
+    live = [
+        (index, job)
+        for index, job in enumerate(reduce_jobs)
+        if index not in skipped
+    ]
+    summaries: Dict[
+        int, Tuple[CampaignJob, Optional[ReductionSummary], CacheStats, PreparedCacheStats]
+    ] = {}
     per_candidate = (
-        pool.backend == "process" and len(reduce_jobs) < pool.parallelism
+        pool.backend == "process" and len(live) < pool.parallelism
     )
     if per_candidate:
-        for job in reduce_jobs:
+        for index, job in live:
             stored = (
                 store.lookup_reduction(job_identity(job), campaign=campaign)
                 if store else None
@@ -393,22 +472,33 @@ def _run_reduce_jobs(
                 prepared_delta = evaluator.prepared_stats or PreparedCacheStats()
             result.cache_stats = result.cache_stats.merge(cache_delta)
             result.prepared_stats = result.prepared_stats.merge(prepared_delta)
-            summaries.append((job, summary, cache_delta, prepared_delta))
+            summaries[index] = (job, summary, cache_delta, prepared_delta)
     else:
-        for job, job_result in zip(reduce_jobs, pool.run(reduce_jobs)):
+        for (index, job), job_result in zip(
+            live, pool.run([job for _, job in live])
+        ):
             result.cache_stats = result.cache_stats.merge(job_result.cache)
             result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
-            summaries.append(
-                (job, job_result.reduction, job_result.cache, job_result.prepared)
+            summaries[index] = (
+                job, job_result.reduction, job_result.cache, job_result.prepared
             )
-    for job, summary, cache_delta, prepared_delta in summaries:
+    for index in range(len(reduce_jobs)):
+        if index in skipped:
+            result.reductions.append(skipped[index])
+            continue
+        job, summary, cache_delta, prepared_delta = summaries[index]
         if summary is None:
             continue
         result.reductions.append(summary)
         if store is not None:
+            reduction_key = job_identity(job)
             store.record_reduction(
-                job_identity(job), summary, job, campaign=campaign,
+                reduction_key, summary, job, campaign=campaign,
                 cache=cache_delta, prepared=prepared_delta,
+            )
+            store.record_once(
+                "anomaly", fingerprints[index],
+                {"campaign": campaign, "reduction_key": reduction_key},
             )
 
 
@@ -528,6 +618,7 @@ def _curated_seeds(
     curate_on: Optional[DeviceConfig],
     max_steps: int,
     engine: str = DEFAULT_ENGINE,
+    batch: bool = True,
 ) -> Tuple[List[int], CacheStats, PreparedCacheStats]:
     """Seeds of the first ``count`` candidates that survive test curation.
 
@@ -549,6 +640,7 @@ def _curated_seeds(
             options=options,
             max_steps=max_steps,
             engine=engine,
+            batch=batch,
         )
 
     accepted, stats, prepared = _scan_accepted(pool, count, count * 5, job_for_attempt)
@@ -677,6 +769,7 @@ def run_emi_campaign(
     reduce_budget: Optional[int] = None,
     auto_triage: bool = False,
     resume=None,
+    batch: bool = True,
 ) -> EmiCampaignResult:
     """Reproduce the Table 5 experiment at a configurable scale.
 
@@ -691,7 +784,15 @@ def run_emi_campaign(
     attached as ``result.reductions``.  ``auto_triage=True`` (implies
     ``auto_reduce``) buckets and bisects the reproducers into
     ``result.triage``, and ``resume=`` makes the campaign persistent and
-    resumable -- both exactly as on :func:`run_clsmith_campaign`.
+    resumable -- both exactly as on :func:`run_clsmith_campaign`, including
+    bucket-aware scheduling (anomalies another campaign already reduced
+    attach their stored reproducer instead of re-reducing).
+
+    ``batch=True`` (the default) lowers each family's executable variants
+    as one engine batch per (configuration, optimisation level) cell --
+    on the jit engine one exec'd module per family -- with byte-identical
+    results and counters either way (ENGINE.md); like the CLsmith entry
+    point, ``batch`` is not part of the campaign's store identity.
     """
     auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
@@ -706,6 +807,7 @@ def run_emi_campaign(
         variants_per_base=variants_per_base,
         variant_seed=seed,
         engine=engine,
+        batch=batch,
     )
     filter_stats = CacheStats()
     filter_prepared = PreparedCacheStats()
@@ -788,7 +890,10 @@ def run_emi_campaign(
                     )
                 )
             _run_reduce_jobs(
-                pool, reduce_jobs, result, store=store, campaign=store_key
+                pool, reduce_jobs, result, store=store, campaign=store_key,
+                known_anomalies=_stored_anomaly_summaries(
+                    store, store_key, enabled=auto_triage
+                ),
             )
         if auto_triage:
             result.triage = _run_triage(

@@ -25,10 +25,10 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 from repro.compiler.driver import CompilerDriver
 from repro.kernel_lang import ast
 from repro.platforms.config import DeviceConfig
-from repro.runtime.device import KernelResult
 from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import KernelRuntimeError, BuildFailure
 from repro.runtime.prepared import PreparedProgramCache
+from repro.testing.harness_base import ExecutionHarnessBase
 from repro.testing.outcomes import Outcome, TestRecord, classify_exception
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -61,7 +61,7 @@ class DifferentialResult:
         return bool(self.wrong_code_records)
 
 
-class DifferentialHarness:
+class DifferentialHarness(ExecutionHarnessBase):
     """Runs programs across configurations and applies majority voting."""
 
     def __init__(
@@ -73,38 +73,66 @@ class DifferentialHarness:
         cache: Optional["ResultCache"] = None,
         engine: str = DEFAULT_ENGINE,
         prepared_cache: Optional[PreparedProgramCache] = None,
+        batch: bool = True,
     ) -> None:
-        # Imported lazily: repro.orchestration itself imports this module.
-        from repro.orchestration.cache import ResultCache
-
+        super().__init__(
+            max_steps=max_steps,
+            cache_results=cache_results,
+            cache=cache,
+            engine=engine,
+            prepared_cache=prepared_cache,
+            batch=batch,
+        )
         self.configs = list(configs)
         self.optimisation_levels = list(optimisation_levels)
-        self.max_steps = max_steps
-        self.cache = cache if cache is not None else ResultCache()
-        #: Live switch: flipping it after construction (dis)engages the cache.
-        self.cache_results = True if cache is not None else cache_results
-        #: Execution engine every cell runs on (cache keys include it).
-        self.engine = engine
-        #: Cross-launch prepared-program cache: identical compiled programs
-        #: (most configurations compile most programs identically) reuse one
-        #: lowering, so only the cheap per-launch bind is paid per cell.
-        #: Its hit/miss/eviction stats are surfaced via ``prepared_stats``.
-        self.prepared_cache = (
-            prepared_cache if prepared_cache is not None else PreparedProgramCache()
-        )
 
     # ------------------------------------------------------------------
 
     def run(self, program: ast.Program) -> DifferentialResult:
-        """Compile/execute ``program`` everywhere and vote on the results."""
-        records: List[TestRecord] = []
+        """Compile/execute ``program`` everywhere and vote on the results.
+
+        All cells compile first, the cells that will actually execute are
+        lowered together as a batch (see ``ExecutionHarnessBase._plan_batch``),
+        and the executions then replay in cell order -- producing records,
+        cache traffic and verdicts byte-identical to the sequential
+        cell-by-cell flow.
+        """
+        cells = [
+            (config, optimisations)
+            for config in self.configs
+            for optimisations in self.optimisation_levels
+        ]
+        records: List[Optional[TestRecord]] = [None] * len(cells)
+        compiled_kernels: List[Optional[object]] = []
+        for index, (config, optimisations) in enumerate(cells):
+            name = config.name if config is not None else "reference"
+            compiled = None
+            try:
+                compiled = CompilerDriver(config).compile(
+                    program, optimisations=optimisations
+                )
+            except (BuildFailure, KernelRuntimeError) as error:
+                records[index] = TestRecord(
+                    name, optimisations, classify_exception(error), detail=str(error)
+                )
+            compiled_kernels.append(compiled)
+
+        plan = self._plan_batch(compiled_kernels)
+
         values: List[Tuple[TestRecord, str]] = []
-        for config in self.configs:
-            for optimisations in self.optimisation_levels:
-                record = self._run_one(program, config, optimisations)
-                records.append(record)
-                if record.outcome is Outcome.PASS and record.result is not None:
-                    values.append((record, record.result.result_hash()))
+        for index, (config, optimisations) in enumerate(cells):
+            if records[index] is not None:
+                continue
+            name = config.name if config is not None else "reference"
+            try:
+                result = self._execute(compiled_kernels[index], prepared=plan[index])
+            except (BuildFailure, KernelRuntimeError) as error:
+                records[index] = TestRecord(
+                    name, optimisations, classify_exception(error), detail=str(error)
+                )
+                continue
+            records[index] = TestRecord(name, optimisations, Outcome.PASS, result=result)
+            values.append((records[index], result.result_hash()))
 
         majority_value, majority_size = self._majority(v for _, v in values)
         if majority_value is not None and majority_size >= MAJORITY_THRESHOLD:
@@ -121,6 +149,7 @@ class DifferentialHarness:
         config: Optional[DeviceConfig],
         optimisations: bool,
     ) -> TestRecord:
+        """Single-cell path (no batching); kept for direct callers."""
         name = config.name if config is not None else "reference"
         try:
             compiled = CompilerDriver(config).compile(program, optimisations=optimisations)
@@ -131,20 +160,6 @@ class DifferentialHarness:
         except (BuildFailure, KernelRuntimeError) as error:
             return TestRecord(name, optimisations, classify_exception(error), detail=str(error))
         return TestRecord(name, optimisations, Outcome.PASS, result=result)
-
-    def _execute(self, compiled) -> KernelResult:
-        from repro.orchestration.cache import cached_run
-
-        cache = self.cache if self.cache_results else None
-        return cached_run(
-            cache, compiled, self.max_steps, self.engine,
-            prepared_cache=self.prepared_cache,
-        )
-
-    @property
-    def prepared_stats(self):
-        """Live prepared-program cache counters (see runtime/prepared.py)."""
-        return self.prepared_cache.stats
 
     @staticmethod
     def _majority(values: Iterable[str]) -> Tuple[Optional[str], int]:

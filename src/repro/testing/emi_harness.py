@@ -27,6 +27,7 @@ from repro.runtime.device import KernelResult
 from repro.runtime.engine import DEFAULT_ENGINE
 from repro.runtime.errors import BuildFailure, KernelRuntimeError
 from repro.runtime.prepared import PreparedProgramCache
+from repro.testing.harness_base import ExecutionHarnessBase
 from repro.testing.outcomes import Outcome, classify_exception
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -66,7 +67,7 @@ class EmiBaseResult:
         return "ok"
 
 
-class EmiHarness:
+class EmiHarness(ExecutionHarnessBase):
     """Runs EMI variant families against one configuration at a time."""
 
     def __init__(
@@ -76,21 +77,15 @@ class EmiHarness:
         cache: Optional["ResultCache"] = None,
         engine: str = DEFAULT_ENGINE,
         prepared_cache: Optional[PreparedProgramCache] = None,
+        batch: bool = True,
     ) -> None:
-        # Imported lazily: repro.orchestration itself imports this module.
-        from repro.orchestration.cache import ResultCache
-
-        self.max_steps = max_steps
-        self.cache = cache if cache is not None else ResultCache()
-        #: Live switch: flipping it after construction (dis)engages the cache.
-        self.cache_results = True if cache is not None else cache_results
-        #: Execution engine every variant runs on (cache keys include it).
-        self.engine = engine
-        #: Cross-launch prepared-program cache: pruned EMI variant families
-        #: collapse onto few distinct compiled programs, so repeat launches
-        #: reuse one lowering.  Stats surface via ``prepared_stats``.
-        self.prepared_cache = (
-            prepared_cache if prepared_cache is not None else PreparedProgramCache()
+        super().__init__(
+            max_steps=max_steps,
+            cache_results=cache_results,
+            cache=cache,
+            engine=engine,
+            prepared_cache=prepared_cache,
+            batch=batch,
         )
 
     # ------------------------------------------------------------------
@@ -102,14 +97,38 @@ class EmiHarness:
         optimisations: bool,
     ) -> EmiBaseResult:
         """Run all ``variants`` (typically including the base itself) on one
-        configuration and summarise the outcomes."""
-        outcomes: List[Outcome] = []
+        configuration and summarise the outcomes.
+
+        The whole family compiles first and its executable members are
+        lowered together as one batch (shared function bodies on the
+        compiled/jit engines; see ``ExecutionHarnessBase._plan_batch``);
+        outcomes and cache traffic are byte-identical to running
+        ``run_single`` per variant.
+        """
+        driver = CompilerDriver(config)
+        outcomes: List[Optional[Outcome]] = [None] * len(variants)
+        compiled_kernels: List[Optional[object]] = []
+        for index, variant in enumerate(variants):
+            compiled = None
+            try:
+                compiled = driver.compile(variant, optimisations=optimisations)
+            except (BuildFailure, KernelRuntimeError) as error:
+                outcomes[index] = classify_exception(error)
+            compiled_kernels.append(compiled)
+
+        plan = self._plan_batch(compiled_kernels)
+
         values: List[str] = []
-        for variant in variants:
-            outcome, result = self.run_single(variant, config, optimisations)
-            outcomes.append(outcome)
-            if outcome is Outcome.PASS and result is not None:
-                values.append(result.result_hash())
+        for index in range(len(variants)):
+            if outcomes[index] is not None:
+                continue
+            try:
+                result = self._execute(compiled_kernels[index], prepared=plan[index])
+            except (BuildFailure, KernelRuntimeError) as error:
+                outcomes[index] = classify_exception(error)
+                continue
+            outcomes[index] = Outcome.PASS
+            values.append(result.result_hash())
 
         distinct = len(set(values))
         bad_base = len(values) == 0
@@ -164,20 +183,6 @@ class EmiHarness:
         except (BuildFailure, KernelRuntimeError) as error:
             return classify_exception(error), None
         return Outcome.PASS, result
-
-    def _execute(self, compiled) -> KernelResult:
-        from repro.orchestration.cache import cached_run
-
-        cache = self.cache if self.cache_results else None
-        return cached_run(
-            cache, compiled, self.max_steps, self.engine,
-            prepared_cache=self.prepared_cache,
-        )
-
-    @property
-    def prepared_stats(self):
-        """Live prepared-program cache counters (see runtime/prepared.py)."""
-        return self.prepared_cache.stats
 
 
 __all__ = ["EmiHarness", "EmiBaseResult"]

@@ -50,6 +50,9 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "campaigns in the store, cross-campaign dedup)")
     parser.add_argument("--list", action="store_true",
                         help="list the campaigns recorded in the store")
+    parser.add_argument("--compact", action="store_true",
+                        help="rewrite the store dropping superseded/duplicate "
+                             "records (atomic in-place compaction), then exit")
     parser.add_argument("--no-bisect", action="store_true",
                         help="skip culprit bisection (dedup report only)")
     parser.add_argument("--output", default=None,
@@ -139,6 +142,12 @@ def _run(argv: Optional[List[str]]) -> int:
               file=sys.stderr)
         return 2
     with CampaignStore(args.store) as store:
+        if args.compact:
+            dropped = store.compact()
+            kept = len(list(store.records()))
+            print(f"compacted {args.store}: dropped {dropped} record(s), "
+                  f"kept {kept}", file=sys.stderr)
+            return 0
         if args.list:
             campaigns = store.campaigns()
             for record in campaigns:

@@ -504,6 +504,71 @@ class CampaignStore:
     def campaigns(self) -> List[Dict]:
         return list(self.records("campaign"))
 
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the log in place, dropping superseded records.
+
+        The append-only format never rewrites lines, so a log can
+        accumulate records no reader observes: ``record_once`` dedups only
+        within one process, and two processes appending to the same store
+        file (or a store file assembled by concatenating shards) can leave
+        duplicate ``(kind, key)`` lines of which only one is served by the
+        index.  Compaction keeps, for every ``(kind, key)``, the record the
+        loaded index actually resolves to (the last occurrence), at the
+        position of the key's *first* occurrence -- so record iteration
+        order, which store-wide bucketing depends on, is preserved.  Lines
+        a current reader cannot interpret (newer schema version, or no
+        string key) are kept verbatim; a damaged trailing line is dropped
+        exactly as :meth:`_load` would repair it.
+
+        The rewrite goes through a temp file and an atomic rename, so a
+        crash mid-compaction leaves either the old or the new file intact.
+        A log with no superseded records is rewritten byte-identically
+        (property-tested in ``tests/test_triage_store.py``).  Returns the
+        number of lines dropped.
+        """
+        self.close()
+        if not os.path.exists(self.path):
+            return 0
+        lines: List[bytes] = []
+        slot: Dict[Tuple[str, str], int] = {}
+        dropped = 0
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    dropped += 1
+                    break
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    dropped += 1
+                    break
+                if not isinstance(record, dict) or "kind" not in record:
+                    dropped += 1
+                    break
+                key = record.get("key")
+                if int(record.get("v", 0)) > SCHEMA_VERSION or not isinstance(key, str):
+                    lines.append(raw)
+                    continue
+                ident = (record["kind"], key)
+                if ident in slot:
+                    lines[slot[ident]] = raw
+                    dropped += 1
+                else:
+                    slot[ident] = len(lines)
+                    lines.append(raw)
+        tmp = self.path + ".compact"
+        with open(tmp, "wb") as handle:
+            handle.writelines(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._index.clear()
+        self._records.clear()
+        self._load()
+        return dropped
+
 
 def open_store(resume) -> Optional[CampaignStore]:
     """Normalise a campaign's ``resume=`` argument (path | store | None)."""

@@ -1,0 +1,374 @@
+"""The batch == sequential byte-identity property (batched execution's gate).
+
+A batch shares *lowering*, never results: running any member of a
+``lower_batch`` family must be byte-identical to having lowered that member
+alone -- same outputs, same final step counts, same ``ExecutionTimeout``
+payload at ``max_steps + 1``, same race reports, same UB classification --
+on every engine, and the harnesses, campaigns and worker pools built on top
+must produce identical tables, records and cache statistics whether batch
+dispatch is on (the default) or off.  Every engine fast path (the jit's
+one-module-per-family emission, the compiled engine's shared function
+records) is gated by the tests in this file; see ENGINE.md for the batch
+launch protocol itself.
+"""
+
+import inspect
+
+import pytest
+
+from repro.emi import generate_variants
+from repro.generator import generate_kernel
+from repro.generator.options import GeneratorOptions, Mode
+from repro.kernel_lang import ast, types as ty
+from repro.platforms import get_configuration
+from repro.runtime import memory
+from repro.runtime.device import run_program
+from repro.runtime.engine import PreparedBatch, PreparedLaunch, get_engine
+from repro.runtime.errors import ExecutionTimeout
+from repro.testing.campaign import (
+    generate_emi_bases,
+    run_clsmith_campaign,
+    run_emi_campaign,
+)
+from repro.testing.differential import DifferentialHarness
+from repro.testing.emi_harness import EmiHarness
+
+ENGINES = ("reference", "compiled", "jit")
+
+_FAST = GeneratorOptions(
+    min_total_threads=4, max_total_threads=12, max_group_size=4, max_statements=8
+)
+
+#: The options test_engine.py's timeout corpus uses: every Mode.BASIC seed
+#: below exceeds a 40-step budget on every engine.
+_TIMEOUT_OPTIONS = GeneratorOptions(
+    min_total_threads=4, max_total_threads=24, max_group_size=8, max_statements=8
+)
+
+
+def _observe(program, **kwargs):
+    """Everything observable about one execution, exceptions included."""
+    try:
+        result = run_program(program, **kwargs)
+    except Exception as exc:  # noqa: BLE001 - classification is the point
+        kind = getattr(exc, "kind", None)
+        steps = getattr(exc, "steps", None)
+        return ("raise", type(exc).__name__, kind, steps)
+    return (
+        "ok",
+        result.outputs,
+        result.steps,
+        tuple(result.race_reports),
+        result.result_hash(),
+    )
+
+
+def _family(seed, n_variants=6):
+    base = generate_emi_bases(1, seed=seed, options=_FAST)[0]
+    return [base] + generate_variants(base)[:n_variants]
+
+
+# ---------------------------------------------------------------------------
+# Engine level: lower_batch members == individually lowered programs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_members_match_sequential_on_emi_family(engine):
+    """The gating property: for every member of a batched EMI family, the
+    batch-lowered execution is byte-identical (outputs, steps, hash) to a
+    fresh sequential lowering -- under both comma-defect settings."""
+    for seed in (3, 11):
+        family = _family(seed)
+        for comma in (False, True):
+            batch = get_engine(engine).lower_batch(
+                family, comma_yields_zero=comma, max_steps=300_000
+            )
+            assert isinstance(batch, PreparedBatch)
+            assert len(batch) == len(family)
+            for program, prepared in zip(family, batch):
+                kwargs = dict(
+                    engine=engine, comma_yields_zero=comma, max_steps=300_000
+                )
+                sequential = _observe(program, **kwargs)
+                batched = _observe(program, prepared=prepared, **kwargs)
+                assert batched == sequential, (
+                    f"{engine} batch member diverges from sequential "
+                    f"(seed={seed}, comma={comma})"
+                )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_members_are_relaunchable(engine):
+    """Cached family members are reused across launches: running the same
+    batch member twice must give identical results (bind resets the shared
+    step counter)."""
+    family = _family(3, n_variants=3)
+    batch = get_engine(engine).lower_batch(family, max_steps=300_000)
+    for program, prepared in zip(family, batch):
+        first = _observe(program, engine=engine, max_steps=300_000, prepared=prepared)
+        second = _observe(program, engine=engine, max_steps=300_000, prepared=prepared)
+        assert first == second
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_members_report_identical_timeout_payload(engine):
+    """Timeout parity inside a batch: every member classifies as a timeout
+    with the exact first-crossing payload ``max_steps + 1``, matching its
+    sequential lowering."""
+    programs = [
+        generate_kernel(Mode.BASIC, seed, options=_TIMEOUT_OPTIONS)
+        for seed in range(4)
+    ]
+    batch = get_engine(engine).lower_batch(programs, max_steps=40)
+    for program, prepared in zip(programs, batch):
+        sequential = _observe(program, engine=engine, max_steps=40)
+        assert sequential[:2] == ("raise", "ExecutionTimeout")
+        batched = _observe(program, engine=engine, max_steps=40, prepared=prepared)
+        assert batched == sequential
+        with pytest.raises(ExecutionTimeout) as excinfo:
+            run_program(program, engine=engine, max_steps=40, prepared=prepared)
+        assert excinfo.value.steps == 41
+
+
+def _racy_program():
+    """Every thread writes acc[0] without synchronisation."""
+    kernel = ast.FunctionDecl(
+        "entry",
+        ty.VOID,
+        [ast.ParamDecl("acc", ty.PointerType(ty.UINT, ty.GLOBAL))],
+        ast.Block(
+            [
+                ast.AssignStmt(
+                    ast.IndexAccess(ast.var("acc"), ast.lit(0)),
+                    ast.global_linear_id(),
+                )
+            ]
+        ),
+        is_kernel=True,
+    )
+    return ast.Program(
+        functions=[kernel],
+        buffers=[ast.BufferSpec("acc", ty.UINT, 1, is_output=True)],
+        launch=ast.LaunchSpec((4, 1, 1), (4, 1, 1)),
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_members_report_identical_races(engine):
+    """Race-report parity inside a batch -- including a duplicated member,
+    which exercises the engines' handling of repeats in one batch."""
+    program = _racy_program()
+    batch = get_engine(engine).lower_batch([program, program])
+    sequential = _observe(
+        program, engine=engine, check_races=True, throw_on_race=False
+    )
+    assert sequential[0] == "ok" and sequential[3], "expected race reports"
+    for prepared in batch:
+        batched = _observe(
+            program,
+            engine=engine,
+            check_races=True,
+            throw_on_race=False,
+            prepared=prepared,
+        )
+        assert batched == sequential
+
+
+def _single_thread_program(statements):
+    kernel = ast.FunctionDecl(
+        "entry",
+        ty.VOID,
+        [ast.ParamDecl("out", ty.PointerType(ty.ULONG, ty.GLOBAL))],
+        ast.Block(statements),
+        is_kernel=True,
+    )
+    return ast.Program(
+        functions=[kernel],
+        buffers=[ast.BufferSpec("out", ty.ULONG, 1, is_output=True)],
+        launch=ast.LaunchSpec((1, 1, 1), (1, 1, 1)),
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_of_heterogeneous_programs_preserves_ub_classification(engine):
+    """A batch need not be a variant family: structurally unrelated members
+    (here, distinct UB kinds) still classify exactly as sequential runs."""
+    programs = [
+        _single_thread_program(
+            [ast.out_write(ast.binop("/", ast.lit(1), ast.lit(0)))]
+        ),
+        _single_thread_program(
+            [ast.out_write(ast.binop("<<", ast.lit(1), ast.lit(99)))]
+        ),
+        _single_thread_program([ast.out_write(ast.lit(7))]),
+    ]
+    batch = get_engine(engine).lower_batch(programs)
+    for program, prepared in zip(programs, batch):
+        sequential = _observe(program, engine=engine)
+        batched = _observe(program, engine=engine, prepared=prepared)
+        assert batched == sequential
+    assert _observe(programs[2], engine=engine, prepared=batch[2])[0] == "ok"
+
+
+def test_prepared_batch_rejects_misaligned_lists():
+    program = _single_thread_program([ast.out_write(ast.lit(1))])
+    prepared = get_engine("compiled").lower(program)
+    with pytest.raises(ValueError, match="align"):
+        PreparedBatch([program], [prepared, prepared])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_prepare_batch_yields_lazily_bound_launches(engine):
+    """``prepare_batch`` is a generator: members bind one at a time as the
+    iterator advances (family members may share lowering state, so binding
+    member N while N-1 is live would violate the one-active-launch rule)."""
+    programs = [
+        _single_thread_program([ast.out_write(ast.lit(n))]) for n in (1, 2)
+    ]
+    global_memory = memory.GlobalMemory()
+    for spec in programs[0].buffers:
+        global_memory.allocate(
+            spec.name,
+            spec.element_type,
+            spec.size,
+            spec.initial_contents(),
+            spec.address_space,
+        )
+    launches = get_engine(engine).prepare_batch(programs, global_memory)
+    assert inspect.isgenerator(launches), "prepare_batch must bind lazily"
+    for launch in launches:
+        assert isinstance(launch, PreparedLaunch)
+
+
+# ---------------------------------------------------------------------------
+# The jit fast path: one emitted module per family
+# ---------------------------------------------------------------------------
+
+
+def test_jit_family_shares_one_emitted_module():
+    """A jit family is one exec'd module: every member resolves its entry
+    from the same namespace and shares one step counter.  Structurally
+    identical members (EMI pruning regenerates the same residue often)
+    collapse onto one JitProgram; distinct members get distinct entries."""
+    from repro.platforms.calibration import program_fingerprint
+
+    family = _family(3)
+    fingerprints = [program_fingerprint(program) for program in family]
+    n_distinct = len(set(fingerprints))
+    assert 1 < n_distinct < len(family), "corpus should contain duplicates"
+    batch = get_engine("jit").lower_batch(family, max_steps=300_000)
+    namespaces = {id(member._ns) for member in batch.prepared}
+    assert namespaces == {id(batch.prepared[0]._ns)}
+    limits = {id(member._limits) for member in batch.prepared}
+    assert limits == {id(batch.prepared[0]._limits)}
+    by_fp = {}
+    for fp, member in zip(fingerprints, batch.prepared):
+        by_fp.setdefault(fp, set()).add(id(member))
+    # One JitProgram per distinct program, shared across its duplicates.
+    assert all(len(ids) == 1 for ids in by_fp.values())
+    assert len({id(member._entry) for member in batch.prepared}) == n_distinct
+
+
+def test_jit_single_member_batch_falls_back_to_plain_lowering():
+    """``lower_batch`` on one program must not pay family-emission overhead
+    (and must still satisfy the byte-identity property)."""
+    program = _family(3, n_variants=0)[0]
+    batch = get_engine("jit").lower_batch([program], max_steps=300_000)
+    assert len(batch) == 1
+    assert _observe(
+        program, engine="jit", max_steps=300_000, prepared=batch[0]
+    ) == _observe(program, engine="jit", max_steps=300_000)
+
+
+# ---------------------------------------------------------------------------
+# Harness level: batch dispatch on == off
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_differential_harness_batch_matches_sequential(engine):
+    configs = [None] + [get_configuration(i) for i in (1, 17, 19, 20)]
+    kwargs = dict(max_steps=300_000, engine=engine)
+    for seed in (0, 5):
+        program = generate_kernel(Mode.BASIC, seed, options=_FAST)
+        batched = DifferentialHarness(configs, **kwargs).run(program)
+        sequential = DifferentialHarness(configs, batch=False, **kwargs).run(program)
+        assert batched == sequential
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_emi_harness_batch_matches_sequential(engine):
+    base = generate_emi_bases(1, seed=3, options=_FAST)[0]
+    variants = [base] + generate_variants(base)[:6]
+    kwargs = dict(max_steps=300_000, engine=engine)
+    for config in (None, get_configuration(19)):
+        batched = EmiHarness(**kwargs).run_family(variants, config, optimisations=True)
+        sequential = EmiHarness(batch=False, **kwargs).run_family(
+            variants, config, optimisations=True
+        )
+        assert batched == sequential
+
+
+@pytest.mark.parametrize("engine", ("compiled", "jit"))
+def test_harness_batch_is_stats_transparent(engine):
+    """Batch planning must not perturb the observable cache accounting:
+    result-cache and prepared-cache counters match the sequential flow
+    exactly, including ``prepared_stats.lookups == cache_stats.misses``."""
+    configs = [None] + [get_configuration(i) for i in (1, 19)]
+    program = generate_kernel(Mode.BASIC, seed=2, options=_FAST)
+    batched = DifferentialHarness(configs, max_steps=300_000, engine=engine)
+    sequential = DifferentialHarness(
+        configs, max_steps=300_000, engine=engine, batch=False
+    )
+    batched.run(program)
+    sequential.run(program)
+    assert batched.cache.stats == sequential.cache.stats
+    assert batched.prepared_stats == sequential.prepared_stats
+    assert batched.prepared_stats.lookups == batched.cache.stats.misses
+
+
+# ---------------------------------------------------------------------------
+# Campaign level: batch dispatch on == off, serial and process backends
+# ---------------------------------------------------------------------------
+
+
+def test_clsmith_campaign_batch_matches_sequential_serial_and_parallel():
+    configs = [get_configuration(i) for i in (1, 19)]
+    kwargs = dict(
+        kernels_per_mode=2,
+        modes=(Mode.BASIC,),
+        options=_FAST,
+        max_steps=300_000,
+        seed=0,
+        engine="jit",
+    )
+    batched = run_clsmith_campaign(configs, **kwargs)
+    sequential = run_clsmith_campaign(configs, batch=False, **kwargs)
+    assert batched.table_rows() == sequential.table_rows()
+    assert batched.render() == sequential.render()
+    assert batched.cache_stats == sequential.cache_stats
+    assert batched.prepared_stats == sequential.prepared_stats
+    parallel = run_clsmith_campaign(configs, parallelism=2, **kwargs)
+    assert parallel.table_rows() == batched.table_rows()
+    assert parallel.render() == batched.render()
+
+
+def test_emi_campaign_batch_matches_sequential():
+    configs = [get_configuration(i) for i in (1, 19)]
+    kwargs = dict(
+        n_bases=2,
+        variants_per_base=4,
+        optimisation_levels=(True,),
+        options=_FAST,
+        max_steps=300_000,
+        seed=2,
+        engine="jit",
+    )
+    batched = run_emi_campaign(configs, **kwargs)
+    sequential = run_emi_campaign(configs, batch=False, **kwargs)
+    assert batched.rows == sequential.rows
+    assert batched.cache_stats == sequential.cache_stats
+    assert batched.prepared_stats == sequential.prepared_stats
+    parallel = run_emi_campaign(configs, parallelism=2, **kwargs)
+    assert parallel.rows == batched.rows

@@ -293,6 +293,162 @@ def test_resume_without_interruption_replays_everything(tmp_path):
 # ---------------------------------------------------------------------------
 
 
+def test_bucket_aware_scheduling_skips_known_anomalies(tmp_path):
+    """A triaging campaign must not re-reduce an anomaly another campaign
+    already reduced: the stored representative attaches instead.
+
+    Campaign B runs with ``reduce_budget=1`` -- far too small to reproduce
+    campaign A's reduction -- so B's seed-0 summary matching A's
+    byte-for-byte (with ``evaluations`` impossible under B's budget) proves
+    the reduction was attached from the store, not re-run.  B's genuinely
+    new seed-1 anomaly still reduces (within its tiny budget) and records.
+    """
+    configs = [clean_config(911), clean_config(912), wrong_code_config()]
+    path = str(tmp_path / "store.jsonl")
+    shared = dict(modes=(Mode.BASIC,), options=_FAST_OPTIONS, auto_triage=True,
+                  seed=0, resume=path)
+    first = run_clsmith_campaign(
+        configs, kernels_per_mode=1, reduce_budget=200, **shared
+    )
+    assert len(first.reductions) == 1
+    assert first.reductions[0].evaluations > 1
+    second = run_clsmith_campaign(
+        configs, kernels_per_mode=2, reduce_budget=1, **shared
+    )
+    assert len(second.reductions) == 2
+    attached, fresh = second.reductions
+    assert attached.reduced_source == first.reductions[0].reduced_source
+    assert attached.evaluations == first.reductions[0].evaluations > 1
+    assert fresh.evaluations <= 1
+    with CampaignStore(path) as store:
+        campaigns = [record["key"] for record in store.campaigns()]
+        assert len(campaigns) == 2
+        by_campaign = {key: 0 for key in campaigns}
+        for record in store.records("reduction"):
+            by_campaign[record["campaign"]] += 1
+        # One reduction record per campaign: B recorded only its new
+        # anomaly, the skipped one stays owned by A.
+        assert sorted(by_campaign.values()) == [1, 1]
+        anomalies = list(store.records("anomaly"))
+    assert len(anomalies) == 2
+    assert all("reduction_key" in record for record in anomalies)
+    # The dedup still buckets the shared reproducer once across campaigns.
+    assert second.triage.n_buckets >= 1
+
+
+def test_bucket_aware_skip_does_not_break_resume(tmp_path):
+    """Skip decisions ignore the campaign's *own* anomaly records, so a
+    killed-and-resumed triage campaign cannot skip reductions its first
+    attempt already recorded -- the resumed output stays byte-identical."""
+    configs = [clean_config(911), clean_config(912), wrong_code_config()]
+    kwargs = dict(kernels_per_mode=1, modes=(Mode.BASIC,), options=_FAST_OPTIONS,
+                  auto_triage=True, reduce_budget=200)
+    full_path = str(tmp_path / "full.jsonl")
+    part_path = str(tmp_path / "part.jsonl")
+    full = run_clsmith_campaign(configs, resume=full_path, **kwargs)
+    lines = open(full_path).read().splitlines(keepends=True)
+    # Keep everything up to and including the anomaly/reduction records'
+    # neighbourhood: even a prefix holding the anomaly record must replay
+    # (not skip) the reduction, because it belongs to this campaign.
+    with open(part_path, "w") as handle:
+        handle.writelines(lines[:-1])
+    resumed = run_clsmith_campaign(configs, resume=part_path, **kwargs)
+    assert resumed.render() == full.render()
+    assert [s.reduced_source for s in resumed.reductions] == [
+        s.reduced_source for s in full.reductions
+    ]
+    assert resumed.triage.render_markdown() == full.triage.render_markdown()
+
+
+# ---------------------------------------------------------------------------
+# Compaction
+# ---------------------------------------------------------------------------
+
+
+def test_compact_on_clean_store_is_byte_identical(tmp_path):
+    """A log with no superseded records compacts to the very same bytes,
+    and the compacted store still resumes a campaign as a full replay."""
+    configs = [clean_config(911), clean_config(912), wrong_code_config()]
+    kwargs = dict(kernels_per_mode=1, modes=(Mode.BASIC,),
+                  options=_FAST_OPTIONS, auto_reduce=True, reduce_budget=150)
+    path = str(tmp_path / "store.jsonl")
+    first = run_clsmith_campaign(configs, resume=path, **kwargs)
+    before = open(path, "rb").read()
+    with CampaignStore(path) as store:
+        assert store.compact() == 0
+    assert open(path, "rb").read() == before
+    second = run_clsmith_campaign(configs, resume=path, **kwargs)
+    assert open(path, "rb").read() == before  # replay appends nothing
+    assert second.render() == first.render()
+
+
+def test_compact_drops_superseded_and_damaged_records(tmp_path):
+    path = str(tmp_path / "store.jsonl")
+    with CampaignStore(path) as store:
+        store.record_once("campaign", "k1", {"meta": {"a": 1}})
+        store.record_once("campaign", "k2", {"meta": {}})
+    clean = open(path, "rb").read()
+    # Simulate a supersede: a later occurrence of k1 (as a crashed writer or
+    # manual merge might produce).  The loaded index serves the *last*
+    # occurrence, so compaction must keep that record -- at k1's original
+    # position -- and drop the stale first line.
+    superseded = json.dumps(
+        {"v": 1, "kind": "campaign", "key": "k1", "meta": {"a": 2}},
+        sort_keys=True, separators=(",", ":"),
+    )
+    with open(path, "a") as handle:
+        handle.write(superseded + "\n")
+        handle.write('{"v": 1, "kind": "campaign", "key"')  # torn tail
+    with CampaignStore(path) as store:
+        # The torn tail is already repaired away at open; compaction then
+        # drops the stale first occurrence of k1.
+        assert store.compact() == 1
+        records = list(store.records("campaign"))
+    assert [record["key"] for record in records] == ["k1", "k2"]
+    assert records[0]["meta"] == {"a": 2}
+    lines = open(path).read().splitlines()
+    assert len(lines) == 2
+    assert lines[0] == superseded
+    # Compacting again is a fixpoint: nothing further to drop.
+    with CampaignStore(path) as store:
+        assert store.compact() == 0
+    # An exact duplicate line compacts back to the clean bytes.
+    with open(path, "w") as handle:
+        handle.write(clean.decode("utf-8"))
+        handle.write(clean.decode("utf-8").splitlines(keepends=True)[0])
+    with CampaignStore(path) as store:
+        assert store.compact() == 1
+    assert open(path, "rb").read() == clean
+
+
+def test_compact_preserves_newer_schema_records_verbatim(tmp_path):
+    """Forward compatibility: records a newer writer appended (which this
+    reader skips) must survive compaction untouched."""
+    path = str(tmp_path / "store.jsonl")
+    future = json.dumps({"v": 999, "kind": "job", "key": "x", "payload": [1]})
+    with CampaignStore(path) as store:
+        store.record_once("campaign", "k1", {"meta": {}})
+    with open(path, "a") as handle:
+        handle.write(future + "\n")
+    with CampaignStore(path) as store:
+        assert store.compact() == 0
+    assert future in open(path).read().splitlines()
+
+
+def test_cli_compact_flag_compacts_and_exits(tmp_path, capsys):
+    from repro.triage.cli import main
+
+    path = str(tmp_path / "store.jsonl")
+    with CampaignStore(path) as store:
+        store.record_once("campaign", "k1", {"meta": {}})
+    line = open(path).read()
+    with open(path, "a") as handle:
+        handle.write(line)  # duplicate to drop
+    assert main(["--store", path, "--compact"]) == 0
+    assert "dropped 1 record(s), kept 1" in capsys.readouterr().err
+    assert open(path).read() == line
+
+
 def test_cross_campaign_dedup_merges_buckets_from_two_campaigns(tmp_path):
     configs = [clean_config(911), clean_config(912), wrong_code_config()]
     path = str(tmp_path / "store.jsonl")

@@ -24,6 +24,7 @@ byte-identical tables and reports.
 """
 
 import argparse
+import sys
 
 from repro.generator.options import GeneratorOptions, Mode
 from repro.platforms import all_configurations, get_configuration
@@ -81,20 +82,31 @@ def main() -> None:
 
     # --- Phase 2: intensive CLsmith testing (Table 4) ----------------------
     print("\nPhase 2: CLsmith differential testing on the reliable configurations")
-    result = run_clsmith_campaign(
-        above,
-        kernels_per_mode=args.kernels_per_mode,
-        modes=(Mode.BASIC, Mode.VECTOR, Mode.BARRIER, Mode.ALL),
-        options=options,
-        curate_on=get_configuration(1),
-        seed=args.seed,
-        parallelism=args.parallelism,
-        engine=args.engine,
-        auto_reduce=args.auto_reduce,
-        reduce_budget=args.reduce_budget,
-        auto_triage=args.auto_triage,
-        resume=args.store,
-    )
+    try:
+        result = run_clsmith_campaign(
+            above,
+            kernels_per_mode=args.kernels_per_mode,
+            modes=(Mode.BASIC, Mode.VECTOR, Mode.BARRIER, Mode.ALL),
+            options=options,
+            curate_on=get_configuration(1),
+            seed=args.seed,
+            parallelism=args.parallelism,
+            engine=args.engine,
+            auto_reduce=args.auto_reduce,
+            reduce_budget=args.reduce_budget,
+            auto_triage=args.auto_triage,
+            resume=args.store,
+        )
+    except KeyboardInterrupt:
+        # The campaign's pool tears its workers down on the way out (hard
+        # terminate; nothing leaks).  With --store the partial progress is
+        # already on disk: re-running the same command resumes it.
+        print("\ninterrupted", end="", file=sys.stderr)
+        if args.store:
+            print(f"; progress saved — re-run with --store {args.store} "
+                  "to resume", end="", file=sys.stderr)
+        print(file=sys.stderr)
+        sys.exit(130)
     print(result.render())
 
     total_wrong = sum(c.wrong_code for c in result.counts.values())

@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the campaign runtime.
+
+The paper's overnight campaigns run against OpenCL stacks that crash, hang
+and misbehave routinely; the fault-tolerant dispatch loop in
+:mod:`repro.orchestration.pool` exists to survive exactly that.  Testing it
+honestly needs faults that are *injected on purpose, deterministically*: a
+seeded :class:`FaultPlan` names, by global job index and attempt number,
+which jobs are killed, which raise, which hang and which store appends are
+torn mid-line.  The plan threads through :class:`~repro.orchestration.pool.
+WorkerPool` and :func:`~repro.orchestration.jobs.execute_job` behind a
+no-op default (``fault_plan=None``), so production campaigns pay nothing;
+the chaos property suite (``tests/test_fault_tolerance.py``) uses it to
+assert the layer's contract: a faulty run produces byte-identical tables,
+reductions, buckets and reports to a fault-free serial run, modulo
+deterministically-recorded quarantine records.
+
+Fault kinds
+-----------
+
+Three *injected* kinds fire inside a worker at the start of a job attempt:
+
+* ``worker-kill`` — ``SIGKILL`` the worker process mid-job (a segfaulting
+  compiler or interpreter);
+* ``exception`` — raise :class:`InjectedFault` from inside
+  ``execute_job`` (a stray Python fault in job interpretation);
+* ``hang`` — sleep past any reasonable lease deadline (a wedged driver).
+
+``worker-kill`` and ``hang`` only make sense in a disposable worker
+process; on the serial backend (and the in-parent degradation fallback)
+they are skipped, since killing or hanging the campaign process is the
+exact outcome the runtime exists to prevent.  ``exception`` fires on every
+backend.
+
+A fourth kind lives on the store side: ``torn-write`` makes
+:meth:`~repro.triage.store.CampaignStore.record_once` write only a prefix
+of the chosen record's line and then raise :class:`TornStoreWrite` — the
+observable state of a host that died mid-append, which the store's
+repair-on-open must recover from.
+
+The *observed* fault kinds recorded on quarantined jobs
+(:class:`WorkerFault.kind`) are what the supervisor could actually see:
+``exception`` (the worker reported a raise), ``worker-death`` (the worker
+process vanished mid-job) and ``deadline`` (the lease's wall-clock budget
+expired and the worker was reaped).  An injected ``worker-kill`` is
+observed as ``worker-death``; an injected ``hang`` as ``deadline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# -- injected fault kinds (what a FaultPlan asks for) -----------------------
+FAULT_KILL = "worker-kill"
+FAULT_EXCEPTION = "exception"
+FAULT_HANG = "hang"
+
+# -- observed fault kinds (what the supervisor records) ---------------------
+OBSERVED_EXCEPTION = "exception"
+OBSERVED_WORKER_DEATH = "worker-death"
+OBSERVED_DEADLINE = "deadline"
+
+#: Injected kinds a FaultPlan may carry.
+INJECTED_KINDS = (FAULT_KILL, FAULT_EXCEPTION, FAULT_HANG)
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an ``exception``-kind injected fault."""
+
+
+class TornStoreWrite(RuntimeError):
+    """Raised after a ``torn-write`` fault left a half-written store line.
+
+    Deliberately *not* caught by campaign code: a torn write models the
+    host dying mid-append, so the campaign dies with it and the next run
+    resumes from the store (whose repair-on-open drops the damaged tail).
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: which job, which kind, how many attempts it hits.
+
+    ``attempts`` is the number of *leading* attempts of the job that fault
+    (``1`` = only the first attempt, so a single retry succeeds);
+    ``None`` means every attempt faults — the job is poison and will be
+    quarantined once the supervisor's retry budget is exhausted.
+    """
+
+    kind: str
+    job_index: int
+    attempts: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTED_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {INJECTED_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Keyed on the pool's *global job index* — the number of jobs submitted
+    to the :class:`~repro.orchestration.pool.WorkerPool` before this one,
+    across all of its ``run()`` calls — which is a deterministic property
+    of the campaign, independent of worker scheduling.  ``hang_seconds``
+    is how long a ``hang`` fault sleeps (choose it well past the
+    supervision lease deadline).  ``torn_writes`` holds store write
+    indices (the n-th ``record_once`` append) to tear.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    hang_seconds: float = 3600.0
+    torn_writes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        by_index: Dict[int, FaultSpec] = {}
+        for spec in self.specs:
+            if spec.job_index in by_index:
+                raise ValueError(
+                    f"duplicate fault spec for job index {spec.job_index}"
+                )
+            by_index[spec.job_index] = spec
+
+    def fault_for(self, job_index: int, attempt: int) -> Optional[str]:
+        """The fault kind attempt number ``attempt`` (1-based) of job
+        ``job_index`` must suffer, or ``None``."""
+        for spec in self.specs:
+            if spec.job_index != job_index:
+                continue
+            if spec.attempts is None or attempt <= spec.attempts:
+                return spec.kind
+            return None
+        return None
+
+    def tears_write(self, write_index: int) -> bool:
+        return write_index in self.torn_writes
+
+    @classmethod
+    def scattered(
+        cls,
+        seed: int,
+        n_jobs: int,
+        kinds: Tuple[str, ...] = (FAULT_EXCEPTION,),
+        period: int = 3,
+        attempts: Optional[int] = 1,
+        hang_seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """A pseudo-random but fully deterministic plan over ``n_jobs``.
+
+        Roughly one in ``period`` jobs faults; the choice of job and kind
+        is a pure function of ``seed`` (SHA-256, no global RNG state), so
+        two runs with the same plan inject byte-identical fault schedules.
+        """
+        specs = []
+        for job_index in range(n_jobs):
+            digest = int.from_bytes(
+                hashlib.sha256(f"faultplan:{seed}:{job_index}".encode()).digest()[:8],
+                "big",
+            )
+            if digest % period == 0:
+                kind = kinds[(digest // period) % len(kinds)]
+                specs.append(FaultSpec(kind=kind, job_index=job_index,
+                                       attempts=attempts))
+        return cls(specs=tuple(specs), hang_seconds=hang_seconds)
+
+
+def fire_fault(
+    plan: Optional[FaultPlan],
+    job_index: int,
+    attempt: int,
+    in_worker_process: bool,
+) -> None:
+    """Apply the planned fault for (job, attempt), if any.
+
+    Called from inside :func:`~repro.orchestration.jobs.execute_job` via
+    the ``fault`` hook, so an injected fault is indistinguishable from a
+    genuine one at the point the supervisor observes it.  ``worker-kill``
+    and ``hang`` are skipped unless ``in_worker_process`` (see the module
+    docstring).
+    """
+    if plan is None:
+        return
+    kind = plan.fault_for(job_index, attempt)
+    if kind is None:
+        return
+    if kind == FAULT_EXCEPTION:
+        raise InjectedFault(
+            f"injected exception (job {job_index}, attempt {attempt})"
+        )
+    if not in_worker_process:
+        return
+    if kind == FAULT_KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == FAULT_HANG:
+        time.sleep(plan.hang_seconds)
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """What the supervisor observed about one quarantined job.
+
+    Every field is deterministic for a given campaign + fault plan +
+    supervision config: the kind and attempt count come from the bounded
+    retry loop, and ``detail`` strings are built only from plan/config
+    values and exception messages — never timestamps, pids or hosts — so
+    two identical runs quarantine byte-identically.
+    """
+
+    kind: str
+    attempts: int
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "attempts": self.attempts, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkerFault":
+        return cls(kind=str(data["kind"]), attempts=int(data["attempts"]),
+                   detail=str(data.get("detail", "")))
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined job as surfaced on campaign results.
+
+    ``identity`` is the job's content hash (:func:`repro.triage.store.
+    job_identity`) — the same key the ``worker-fault`` store record uses,
+    so a result-side record and its store line always correlate.
+    """
+
+    job_kind: str
+    seed: int
+    mode: str
+    fault: WorkerFault
+    identity: str = ""
+
+    def render_line(self) -> str:
+        detail = f" — {self.fault.detail}" if self.fault.detail else ""
+        return (
+            f"{self.job_kind} {self.mode} seed={self.seed}: "
+            f"{self.fault.kind} ×{self.fault.attempts}{detail}"
+        )
+
+
+__all__ = [
+    "FAULT_KILL",
+    "FAULT_EXCEPTION",
+    "FAULT_HANG",
+    "OBSERVED_EXCEPTION",
+    "OBSERVED_WORKER_DEATH",
+    "OBSERVED_DEADLINE",
+    "INJECTED_KINDS",
+    "InjectedFault",
+    "TornStoreWrite",
+    "FaultSpec",
+    "FaultPlan",
+    "fire_fault",
+    "WorkerFault",
+    "QuarantineRecord",
+]

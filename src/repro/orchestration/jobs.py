@@ -57,13 +57,14 @@ produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.emi.variants import generate_variants, invert_dead_array, mark_base_fingerprint
 from repro.generator import generate_kernel
 from repro.generator.options import GeneratorOptions, Mode
 from repro.kernel_lang import ast
 from repro.orchestration.cache import CacheStats, ResultCache
+from repro.orchestration.faults import WorkerFault
 from repro.platforms.config import DeviceConfig
 from repro.platforms.registry import get_configuration
 from repro.runtime.engine import DEFAULT_ENGINE
@@ -205,12 +206,18 @@ class JobResult:
     #: ``triage-bisect`` only: the culprit attribution (a
     #: :class:`repro.triage.bisection.BisectionResult`).
     bisection: Optional[object] = None
+    #: Set only on quarantined jobs: what the supervised dispatch loop
+    #: observed when this job exhausted its execution leases (see
+    #: :mod:`repro.orchestration.faults` and ORCHESTRATION.md).  A result
+    #: with a fault carries no aggregates — the job's work never completed.
+    fault: Optional[WorkerFault] = None
 
 
 def execute_job(
     job: CampaignJob,
     cache: Optional[ResultCache] = None,
     prepared_cache: Optional[PreparedProgramCache] = None,
+    fault: Optional[Callable[[], None]] = None,
 ) -> JobResult:
     """Run one job (in whatever process this is called from).
 
@@ -220,6 +227,12 @@ def execute_job(
     the per-launch bind.  Both are per-worker: the serial backend shares one
     pair across all jobs of a pool, the process backend keeps one pair per
     worker process.
+
+    ``fault`` is the fault-injection hook (no-op default): the worker loop
+    passes a closure over its :class:`~repro.orchestration.faults.FaultPlan`
+    which may raise, hang or kill the process here — *inside* the job — so
+    an injected fault is indistinguishable from a genuine one to the
+    supervisor watching this job's lease.
     """
     if cache is None:
         cache = ResultCache()
@@ -227,6 +240,8 @@ def execute_job(
         prepared_cache = PreparedProgramCache()
     before = cache.snapshot()
     prepared_before = prepared_cache.snapshot()
+    if fault is not None:
+        fault()
     if job.kind == CLSMITH_DIFFERENTIAL:
         result = _execute_clsmith_differential(job, cache, prepared_cache)
     elif job.kind == CLSMITH_CURATE:

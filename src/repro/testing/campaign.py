@@ -30,6 +30,7 @@ from repro.generator import generate_kernel
 from repro.generator.options import ALL_MODES, GeneratorOptions, Mode
 from repro.kernel_lang import ast
 from repro.orchestration.cache import CacheStats
+from repro.orchestration.faults import FaultPlan, QuarantineRecord
 from repro.orchestration.jobs import (
     CLSMITH_CURATE,
     CLSMITH_DIFFERENTIAL,
@@ -41,7 +42,7 @@ from repro.orchestration.jobs import (
     JobResult,
     serialise_configs,
 )
-from repro.orchestration.pool import WorkerPool
+from repro.orchestration.pool import SupervisionConfig, WorkerPool
 from repro.platforms.calibration import program_fingerprint
 from repro.platforms.config import DeviceConfig
 from repro.reduction.interestingness import (
@@ -97,6 +98,10 @@ class ClsmithCampaignResult:
     #: ``auto_triage=True`` only: deduplicated bug buckets with culprit
     #: attributions and a Markdown report (see TRIAGE.md).
     triage: Optional[TriageResult] = None
+    #: Jobs the fault-tolerant runtime quarantined (retries exhausted), in
+    #: submission order; empty on a fault-free run (see ORCHESTRATION.md
+    #: "Fault tolerance").
+    worker_faults: List[QuarantineRecord] = field(default_factory=list)
 
     def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
         return self.counts.setdefault(
@@ -126,6 +131,9 @@ class ClsmithCampaignResult:
                 f"{row['mode']:<18}{row['configuration']:<16}{row['w']:>5}{row['bf']:>5}"
                 f"{row['c']:>5}{row['to']:>5}{row['ok']:>6}{row['w%']:>7}"
             )
+        # Only on faulty runs, so a fault-free table is byte-identical to
+        # the quarantine-unaware renderer.
+        lines.extend(_render_worker_faults(self.worker_faults))
         return "\n".join(lines)
 
 
@@ -144,6 +152,8 @@ def run_clsmith_campaign(
     auto_triage: bool = False,
     resume=None,
     batch: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    supervision: Optional[SupervisionConfig] = None,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -193,11 +203,19 @@ def run_clsmith_campaign(
     cache counters are byte-identical either way (ENGINE.md), so ``batch``
     is not part of the campaign's store identity and a stored campaign
     resumes cleanly across the switch.
+
+    The campaign runs on the fault-tolerant pool (ORCHESTRATION.md "Fault
+    tolerance"): worker crashes, hangs and job exceptions are retried under
+    ``supervision`` (default :class:`~repro.orchestration.pool.
+    SupervisionConfig`), and jobs that exhaust retries land in
+    ``result.worker_faults`` instead of killing the campaign.
+    ``fault_plan`` injects deterministic faults for chaos testing; leave it
+    ``None`` in production.
     """
     auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
     result = ClsmithCampaignResult(kernels_per_mode)
-    store = open_store(resume)
+    store = open_store(resume, fault_plan=fault_plan)
     store_key = ""
     if store is not None:
         store_key = campaign_key(
@@ -214,7 +232,9 @@ def run_clsmith_campaign(
         store.begin_campaign(
             store_key, {"entry": "run_clsmith_campaign", "seed": seed}
         )
-    with _campaign_resources(parallelism, store, resume) as worker_pool:
+    with _campaign_resources(
+        parallelism, store, resume, fault_plan=fault_plan, supervision=supervision
+    ) as worker_pool:
         pool = worker_pool if store is None else StoreBackedPool(
             worker_pool, store, campaign=store_key
         )
@@ -291,26 +311,79 @@ def run_clsmith_campaign(
                 store=store,
                 campaign=store_key,
             )
+        _attach_worker_faults(result, pool)
     return result
 
 
 @contextmanager
-def _campaign_resources(parallelism: Optional[int], store, resume):
+def _campaign_resources(
+    parallelism: Optional[int], store, resume,
+    fault_plan: Optional[FaultPlan] = None,
+    supervision: Optional[SupervisionConfig] = None,
+):
     """One worker pool, plus store-close on every exit path.
 
     A campaign-opened store must release its append handle even when the
     campaign body raises (the kill-mid-run scenario ``resume=`` exists
     for); caller-owned stores stay open, since the caller may keep
-    appending campaigns to them.
+    appending campaigns to them.  The pool's context manager guarantees
+    worker teardown on every exit path too: a graceful ``close()`` on
+    success, a hard ``terminate()`` when the body raises (including
+    :exc:`KeyboardInterrupt` — an interrupted campaign must not leak
+    worker processes).
+
+    Campaign stores on the process backend default to durable appends
+    (fsync per record): those are the long overnight runs where a *host*
+    crash must lose at most the in-flight record.  An explicit
+    ``durable=`` choice on a caller-owned store is never overridden.
     """
     from repro.triage.store import CampaignStore
 
     try:
-        with WorkerPool(parallelism) as pool:
+        with WorkerPool(
+            parallelism, fault_plan=fault_plan, supervision=supervision
+        ) as pool:
+            if store is not None and store.durable is None:
+                store.durable = pool.backend == "process"
             yield pool
     finally:
         if store is not None and not isinstance(resume, CampaignStore):
             store.close()
+
+
+def _attach_worker_faults(result, pool) -> None:
+    """Surface the pool's quarantine log on the campaign result.
+
+    Quarantined jobs become :class:`~repro.orchestration.faults.
+    QuarantineRecord` entries (submission order) on
+    ``result.worker_faults``, and a triage report (when present) lists
+    them alongside the buckets.  The store side is already covered:
+    :class:`~repro.triage.store.StoreBackedPool` records each quarantine
+    as a ``worker-fault`` record the moment it happens.  A fault-free
+    campaign leaves everything untouched — results stay byte-identical to
+    the quarantine-unaware renderer.
+    """
+    records = [
+        QuarantineRecord(
+            job_kind=job.kind, seed=job.seed, mode=job.mode, fault=fault,
+            identity=job_identity(job),
+        )
+        for job, fault in pool.quarantined
+    ]
+    if not records:
+        return
+    result.worker_faults = records
+    if result.triage is not None:
+        result.triage.worker_faults = list(records)
+
+
+def _render_worker_faults(records: List[QuarantineRecord]) -> List[str]:
+    """Extra render() lines for quarantined jobs ([] on fault-free runs)."""
+    if not records:
+        return []
+    lines = ["", f"quarantined jobs ({len(records)}):"]
+    lines.extend(f"  {record.render_line()}" for record in records)
+    return lines
 
 
 def _reduce_in_parent(
@@ -670,6 +743,10 @@ class EmiCampaignResult:
     #: ``auto_triage=True`` only: deduplicated bug buckets with culprit
     #: attributions and a Markdown report (see TRIAGE.md).
     triage: Optional[TriageResult] = None
+    #: Jobs the fault-tolerant runtime quarantined (retries exhausted), in
+    #: submission order; empty on a fault-free run (see ORCHESTRATION.md
+    #: "Fault tolerance").
+    worker_faults: List[QuarantineRecord] = field(default_factory=list)
 
     def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
         return self.rows.setdefault(
@@ -688,6 +765,7 @@ class EmiCampaignResult:
                 f"{label:<16}{row['base_fails']:>11}{row['w']:>5}{row['bf']:>5}"
                 f"{row['c']:>5}{row['to']:>5}{row['stable']:>8}"
             )
+        lines.extend(_render_worker_faults(self.worker_faults))
         return "\n".join(lines)
 
 
@@ -770,6 +848,8 @@ def run_emi_campaign(
     auto_triage: bool = False,
     resume=None,
     batch: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    supervision: Optional[SupervisionConfig] = None,
 ) -> EmiCampaignResult:
     """Reproduce the Table 5 experiment at a configurable scale.
 
@@ -793,6 +873,10 @@ def run_emi_campaign(
     on the jit engine one exec'd module per family -- with byte-identical
     results and counters either way (ENGINE.md); like the CLsmith entry
     point, ``batch`` is not part of the campaign's store identity.
+
+    ``fault_plan``/``supervision`` configure the fault-tolerant pool
+    exactly as on :func:`run_clsmith_campaign`; quarantined jobs land in
+    ``result.worker_faults``.
     """
     auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
@@ -811,7 +895,7 @@ def run_emi_campaign(
     )
     filter_stats = CacheStats()
     filter_prepared = PreparedCacheStats()
-    store = open_store(resume)
+    store = open_store(resume, fault_plan=fault_plan)
     store_key = ""
     if store is not None:
         store_key = campaign_key(
@@ -834,7 +918,9 @@ def run_emi_campaign(
             ),
         )
         store.begin_campaign(store_key, {"entry": "run_emi_campaign", "seed": seed})
-    with _campaign_resources(parallelism, store, resume) as worker_pool:
+    with _campaign_resources(
+        parallelism, store, resume, fault_plan=fault_plan, supervision=supervision
+    ) as worker_pool:
         pool = worker_pool if store is None else StoreBackedPool(
             worker_pool, store, campaign=store_key
         )
@@ -912,6 +998,7 @@ def run_emi_campaign(
                 store=store,
                 campaign=store_key,
             )
+        _attach_worker_faults(result, pool)
     return result
 
 
@@ -921,8 +1008,10 @@ def _merge_emi_job_results(result: EmiCampaignResult, job_results: Sequence[JobR
     Every base must expand to the same number of variants (the pruning grid
     is fixed per campaign); heterogeneous families would make ``n_variants``
     and cross-row comparisons meaningless, so they are rejected.
+    Quarantined results (``fault`` set) never expanded a family at all —
+    they contribute no cells and are excluded from the homogeneity check.
     """
-    variant_counts = {jr.n_variants for jr in job_results}
+    variant_counts = {jr.n_variants for jr in job_results if jr.fault is None}
     if len(variant_counts) > 1:
         raise ValueError(
             "heterogeneous EMI families: per-base variant counts "

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.orchestration.faults import QuarantineRecord
 from repro.triage.bucketing import BugBucket
 
 #: Spelling of an unattributed bucket's culprit cell in reports.
@@ -33,6 +34,11 @@ class TriageResult:
     """Everything one triage run produced, attachable to campaign results."""
 
     buckets: List[BugBucket] = field(default_factory=list)
+    #: Jobs the fault-tolerant runtime quarantined during the campaign
+    #: (ORCHESTRATION.md "Fault tolerance"); empty on fault-free runs, so
+    #: fault-free reports stay byte-identical to the quarantine-unaware
+    #: renderer.
+    worker_faults: List[QuarantineRecord] = field(default_factory=list)
 
     @property
     def n_buckets(self) -> int:
@@ -43,7 +49,9 @@ class TriageResult:
         return sum(bucket.occurrences for bucket in self.buckets)
 
     def render_markdown(self, title: str = "Bug triage report") -> str:
-        return render_markdown(self.buckets, title=title)
+        return render_markdown(
+            self.buckets, title=title, worker_faults=self.worker_faults
+        )
 
 
 def _culprit_cell(bucket: BugBucket) -> str:
@@ -93,9 +101,15 @@ def render_bucket_markdown(bucket: BugBucket, index: int) -> str:
 
 
 def render_markdown(
-    buckets: Sequence[BugBucket], title: str = "Bug triage report"
+    buckets: Sequence[BugBucket],
+    title: str = "Bug triage report",
+    worker_faults: Sequence[QuarantineRecord] = (),
 ) -> str:
-    """The full report: summary table plus one section per bucket."""
+    """The full report: summary table plus one section per bucket.
+
+    ``worker_faults`` (quarantined jobs, if the campaign had any) are
+    appended as a final section — a poison kernel is a triageable finding,
+    so it belongs in the report next to the buckets it could not join."""
     occurrences = sum(bucket.occurrences for bucket in buckets)
     lines = [
         f"# {title}",
@@ -118,6 +132,20 @@ def render_markdown(
     for index, bucket in enumerate(buckets, start=1):
         lines.append("")
         lines.append(render_bucket_markdown(bucket, index))
+    if worker_faults:
+        lines.extend([
+            "",
+            f"## Quarantined jobs ({len(worker_faults)})",
+            "",
+            "Jobs that exhausted their retry budget under the supervised "
+            "runtime; each is a candidate bug in the *harness substrate* "
+            "(or a poison kernel) rather than a reduced compiler bug.",
+            "",
+        ])
+        lines.extend(
+            f"- `{record.identity[:12] or '-'}` {record.render_line()}"
+            for record in worker_faults
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -35,12 +35,27 @@ needs (sources, sizes, signatures, attributions) is plain.
 Durability and appends
 ----------------------
 
-Writes are line-buffered appends (``flush`` after every record).  A crash
-can leave at most one truncated final line; :class:`CampaignStore` repairs
-the file on open by truncating back to the last complete, decodable line --
-an append-only log is always a valid prefix of itself, so nothing else can
-be damaged.  All record writes are idempotent (keyed ``record_once``), so
-resuming never duplicates lines.
+Writes are line-buffered appends (``flush`` after every record), and with
+``durable=True`` every append is additionally ``fsync``'d, so a host crash
+(not just a process crash) loses at most the in-flight record.  Campaigns
+running on the process pool backend enable durability automatically when
+the knob was left unset -- they are the long-running, worth-protecting
+runs -- while short-lived serial/test stores keep the cheap default.  A
+crash can leave at most one truncated final line; :class:`CampaignStore`
+repairs the file on open by truncating back to the last complete,
+decodable line -- an append-only log is always a valid prefix of itself,
+so nothing else can be damaged.  All record writes are idempotent (keyed
+``record_once``), so resuming never duplicates lines.
+
+A quarantined job (see ORCHESTRATION.md "Fault tolerance") is recorded as
+a ``worker-fault`` record rather than a ``job`` record::
+
+    {"v": 1, "kind": "worker-fault", "key": "<campaign>:<job identity>", "campaign": ..., "job_kind": ..., "seed": ..., "mode": ..., "fault": {"kind": ..., "attempts": ..., "detail": ...}}
+
+so resuming the campaign *re-runs* the poison job (its identity has no
+``job`` record) instead of replaying the failure -- a transiently-faulty
+job heals on resume, and a genuinely poisonous one deterministically
+re-quarantines.
 
 Versioning
 ----------
@@ -63,6 +78,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.kernel_lang import ast
 from repro.orchestration.cache import CacheStats
+from repro.orchestration.faults import FaultPlan, TornStoreWrite, WorkerFault
 from repro.orchestration.jobs import CampaignJob, JobResult
 from repro.platforms.calibration import program_fingerprint
 from repro.reduction.interestingness import PredicateStats
@@ -264,6 +280,10 @@ def encode_job_result(result: JobResult) -> Dict:
             else None
         ),
     }
+    # Only present on quarantined results, so every pre-existing record
+    # (and every fault-free record) keeps its exact byte encoding.
+    if result.fault is not None:
+        record["fault"] = result.fault.as_dict()
     return record
 
 
@@ -295,6 +315,11 @@ def decode_job_result(data: Dict) -> JobResult:
         bisection=(
             BisectionResult(**data["bisection"])
             if data["bisection"] is not None
+            else None
+        ),
+        fault=(
+            WorkerFault.from_dict(data["fault"])
+            if data.get("fault") is not None
             else None
         ),
     )
@@ -347,8 +372,21 @@ class CampaignStore:
     of an append-only log is untouched by definition).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        durable: Optional[bool] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.path = os.fspath(path)
+        #: ``True``: fsync every append (host-crash durability).  ``None``
+        #: means "unset": campaigns resolve it from their pool backend
+        #: (process -> durable) without clobbering an explicit choice.
+        self.durable = durable
+        #: Chaos-testing hook: tears the n-th append mid-line (see
+        #: :class:`~repro.orchestration.faults.FaultPlan.torn_writes`).
+        self.fault_plan = fault_plan
+        self._write_count = 0
         self._index: Dict[Tuple[str, str], Dict] = {}
         self._records: List[Dict] = []
         self._load()
@@ -401,16 +439,34 @@ class CampaignStore:
         self.close()
 
     def record_once(self, kind: str, key: str, payload: Dict) -> bool:
-        """Append one record unless (kind, key) is already stored."""
+        """Append one record unless (kind, key) is already stored.
+
+        With ``durable=True`` the append is fsync'd before returning.  A
+        planned torn write (chaos testing) writes only a prefix of the
+        line, flushes it to disk, and raises
+        :class:`~repro.orchestration.faults.TornStoreWrite` -- the
+        on-disk state of a host that died mid-append, which ``_load``'s
+        repair must truncate away on the next open."""
         if (kind, key) in self._index:
             return False
         if self._file is None:
             self._file = open(self.path, "a", encoding="utf-8")
         record = {"v": SCHEMA_VERSION, "kind": kind, "key": key, **payload}
-        self._file.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        write_index = self._write_count
+        self._write_count += 1
+        if self.fault_plan is not None and self.fault_plan.tears_write(write_index):
+            self._file.write(line[: max(1, len(line) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.close()
+            raise TornStoreWrite(
+                f"store append {write_index} ({kind}, {key!r}) torn mid-line"
+            )
+        self._file.write(line)
         self._file.flush()
+        if self.durable:
+            os.fsync(self._file.fileno())
         self._remember(record)
         return True
 
@@ -431,6 +487,35 @@ class CampaignStore:
         if record is None:
             return None
         return decode_job_result(record["result"])
+
+    def record_worker_fault(
+        self, key: str, job: CampaignJob, fault: WorkerFault, campaign: str = ""
+    ) -> None:
+        """Record one quarantined job (idempotent per campaign).
+
+        Deliberately *not* a ``job`` record: the job's identity stays
+        unrecorded, so a resumed campaign re-runs it -- transient faults
+        heal on resume, poison jobs re-quarantine deterministically."""
+        self.record_once(
+            "worker-fault", f"{campaign}:{key}",
+            {
+                "campaign": campaign,
+                "job_kind": job.kind,
+                "seed": job.seed,
+                "mode": job.mode,
+                "fault": fault.as_dict(),
+            },
+        )
+
+    def worker_faults(self, campaign: Optional[str] = None) -> List[Dict]:
+        """All stored worker-fault records, file order; optionally
+        filtered to one campaign."""
+        out = []
+        for record in self.records("worker-fault"):
+            if campaign is not None and record.get("campaign") != campaign:
+                continue
+            out.append(record)
+        return out
 
     def record_reduction(
         self, key: str, summary: ReductionSummary, job: CampaignJob,
@@ -570,13 +655,16 @@ class CampaignStore:
         return dropped
 
 
-def open_store(resume) -> Optional[CampaignStore]:
-    """Normalise a campaign's ``resume=`` argument (path | store | None)."""
+def open_store(resume, fault_plan: Optional[FaultPlan] = None) -> Optional[CampaignStore]:
+    """Normalise a campaign's ``resume=`` argument (path | store | None).
+
+    ``fault_plan`` (chaos testing) is attached to a store opened from a
+    path; a store passed in ready-made keeps whatever plan it carries."""
     if resume is None:
         return None
     if isinstance(resume, CampaignStore):
         return resume
-    return CampaignStore(resume)
+    return CampaignStore(resume, fault_plan=fault_plan)
 
 
 # ---------------------------------------------------------------------------
@@ -609,6 +697,11 @@ class StoreBackedPool:
     def parallelism(self) -> int:
         return self._pool.parallelism
 
+    @property
+    def quarantined(self):
+        """The inner pool's quarantine log (see WorkerPool.quarantined)."""
+        return self._pool.quarantined
+
     def run(self, jobs: Iterable[CampaignJob]) -> List[JobResult]:
         job_list = list(jobs)
         keys = [job_identity(job) for job in job_list]
@@ -617,7 +710,14 @@ class StoreBackedPool:
         ]
         pending = [i for i, result in enumerate(results) if result is None]
         for i, fresh in zip(pending, self._pool.run([job_list[i] for i in pending])):
-            self.store.record_job(keys[i], fresh, campaign=self.campaign)
+            if fresh.fault is not None:
+                # Quarantined: record the fault, not a job result, so a
+                # resume re-runs this job instead of replaying the failure.
+                self.store.record_worker_fault(
+                    keys[i], job_list[i], fresh.fault, campaign=self.campaign
+                )
+            else:
+                self.store.record_job(keys[i], fresh, campaign=self.campaign)
             results[i] = fresh
         return results  # type: ignore[return-value]
 

@@ -1,0 +1,456 @@
+"""Chaos property suite for the fault-tolerant campaign runtime.
+
+These tests pin the contract documented in ORCHESTRATION.md "Fault
+tolerance", using the deterministic fault-injection layer
+(:mod:`repro.orchestration.faults`) so every "crash" is reproducible:
+
+* **transparency**: a campaign whose workers are killed, raise, or hang
+  mid-job (transient faults) completes with byte-identical tables,
+  reductions, buckets and reports to a fault-free serial run;
+* **quarantine**: a poison job (faults on every attempt) exhausts its
+  bounded retries and is quarantined deterministically — same records, in
+  submission order, on every backend and every run — while the rest of the
+  campaign is unaffected;
+* **durability**: torn store writes (host died mid-append) are repaired on
+  reopen and the campaign resumes byte-identically; ``durable=True``
+  fsyncs every append; a crash mid-``compact()`` never leaves the store
+  unrecoverable;
+* **shutdown**: an exception (or KeyboardInterrupt) mid-campaign
+  hard-terminates the workers instead of leaking or hanging on join;
+* **degradation**: a pool that cannot host workers at all falls back to
+  in-parent execution and still completes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.generator.options import GeneratorOptions, Mode
+from repro.orchestration import (
+    FAULT_EXCEPTION,
+    FAULT_HANG,
+    FAULT_KILL,
+    FaultPlan,
+    FaultSpec,
+    SupervisionConfig,
+    WorkerPool,
+)
+from repro.orchestration.faults import TornStoreWrite, WorkerFault
+from repro.orchestration.jobs import CLSMITH_DIFFERENTIAL, CampaignJob
+from repro.reduction.corpus import clean_config, wrong_code_config
+from repro.testing.campaign import run_clsmith_campaign
+from repro.triage.store import (
+    CampaignStore,
+    decode_job_result,
+    encode_job_result,
+    job_identity,
+)
+
+_FAST = GeneratorOptions(min_total_threads=4, max_total_threads=12,
+                         max_group_size=4, max_statements=5)
+
+#: Campaign-level options, matching tests/test_triage_store.py: rich enough
+#: that the wrong-code corpus config produces anomalies to reduce + triage.
+_CAMPAIGN_OPTIONS = GeneratorOptions(
+    min_total_threads=4, max_total_threads=12, max_group_size=4,
+    max_statements=8, max_expr_depth=2,
+)
+
+#: Fast supervision for tests: no backoff sleeps, generous deadline.
+_SUP = SupervisionConfig(max_attempts=3, lease_timeout=60.0, backoff=0.0)
+
+
+def _diff_job(seed: int) -> CampaignJob:
+    return CampaignJob(
+        kind=CLSMITH_DIFFERENTIAL, seed=seed, mode=Mode.BASIC.value,
+        config_ids=(1, None), optimisation_levels=(False,),
+        options=_FAST, max_steps=300_000,
+    )
+
+
+_CAMPAIGN = dict(
+    kernels_per_mode=2, modes=(Mode.BASIC,), options=_CAMPAIGN_OPTIONS,
+    auto_triage=True, reduce_budget=200,
+)
+
+
+def _configs():
+    return [clean_config(911), clean_config(912), wrong_code_config()]
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan semantics
+# ---------------------------------------------------------------------------
+
+
+def test_fault_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor-strike", job_index=0)
+
+
+def test_fault_plan_rejects_duplicate_job_indices():
+    with pytest.raises(ValueError, match="duplicate fault spec"):
+        FaultPlan(specs=(
+            FaultSpec(kind=FAULT_EXCEPTION, job_index=1),
+            FaultSpec(kind=FAULT_KILL, job_index=1),
+        ))
+
+
+def test_fault_plan_attempt_windows():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=0, attempts=2),
+        FaultSpec(kind=FAULT_KILL, job_index=1, attempts=None),  # poison
+    ))
+    assert plan.fault_for(0, 1) == FAULT_EXCEPTION
+    assert plan.fault_for(0, 2) == FAULT_EXCEPTION
+    assert plan.fault_for(0, 3) is None        # transient: heals on retry 3
+    assert plan.fault_for(1, 99) == FAULT_KILL  # persistent: never heals
+    assert plan.fault_for(2, 1) is None
+
+
+def test_scattered_plan_is_deterministic():
+    a = FaultPlan.scattered(seed=7, n_jobs=50, kinds=(FAULT_EXCEPTION, FAULT_KILL))
+    b = FaultPlan.scattered(seed=7, n_jobs=50, kinds=(FAULT_EXCEPTION, FAULT_KILL))
+    assert a == b
+    assert a.specs  # a 50-job window at period 3 hits something
+    assert a != FaultPlan.scattered(seed=8, n_jobs=50,
+                                    kinds=(FAULT_EXCEPTION, FAULT_KILL))
+
+
+# ---------------------------------------------------------------------------
+# Supervised pool: transient faults are transparent
+# ---------------------------------------------------------------------------
+
+
+def test_transient_faults_heal_with_identical_results():
+    """Kill, exception and hang faults on first attempts: every job still
+    completes, results match a fault-free serial run, nothing quarantined."""
+    jobs = [_diff_job(seed) for seed in range(5)]
+    with WorkerPool(1) as pool:
+        reference = pool.run(jobs)
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_KILL, job_index=0),
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=2),
+        FaultSpec(kind=FAULT_HANG, job_index=3),
+    ), hang_seconds=30.0)
+    chaos_sup = SupervisionConfig(max_attempts=3, lease_timeout=1.5, backoff=0.0)
+    with WorkerPool(2, fault_plan=plan, supervision=chaos_sup) as pool:
+        survived = pool.run(jobs)
+        assert pool.quarantined == []
+    assert [r.counts for r in survived] == [r.counts for r in reference]
+    assert all(r.fault is None for r in survived)
+
+
+def test_poison_job_is_quarantined_identically_on_both_backends():
+    jobs = [_diff_job(seed) for seed in range(4)]
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=2, attempts=None),
+    ))
+    outcomes = []
+    for parallelism in (1, 2):
+        with WorkerPool(parallelism, fault_plan=plan, supervision=_SUP) as pool:
+            results = pool.run(jobs)
+            outcomes.append((results, list(pool.quarantined)))
+    for results, quarantined in outcomes:
+        [(job, fault)] = quarantined
+        assert job.seed == jobs[2].seed
+        assert fault.kind == "exception"
+        assert fault.attempts == _SUP.max_attempts
+        assert results[2].fault == fault
+        assert results[2].accepted is False and results[2].counts == {}
+        # The healthy jobs are untouched.
+        assert all(results[i].fault is None for i in (0, 1, 3))
+    # Byte-for-byte the same observation, serial and supervised.
+    assert outcomes[0][1] == outcomes[1][1]
+
+
+def test_persistent_kill_is_observed_as_worker_death():
+    jobs = [_diff_job(seed) for seed in range(3)]
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_KILL, job_index=1, attempts=None),
+    ))
+    with WorkerPool(2, fault_plan=plan, supervision=_SUP) as pool:
+        results = pool.run(jobs)
+        [(job, fault)] = pool.quarantined
+    assert fault.kind == "worker-death"
+    assert fault.attempts == _SUP.max_attempts
+    assert results[1].fault == fault
+    # A second identical run observes the identical fault record.
+    with WorkerPool(2, fault_plan=plan, supervision=_SUP) as pool:
+        pool.run(jobs)
+        assert pool.quarantined == [(job, fault)]
+
+
+def test_job_indices_are_global_across_run_calls():
+    """The fault plan keys on jobs-submitted-so-far, so a fault aimed at
+    index 3 hits the second run() call's second job."""
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=3, attempts=None),
+    ))
+    with WorkerPool(1, fault_plan=plan, supervision=_SUP) as pool:
+        first = pool.run([_diff_job(0), _diff_job(1)])   # indices 0, 1
+        second = pool.run([_diff_job(2), _diff_job(3)])  # indices 2, 3
+        assert all(r.fault is None for r in first)
+        assert second[0].fault is None
+        assert second[1].fault is not None
+        [(job, _)] = pool.quarantined
+        assert job.seed == 3
+
+
+# ---------------------------------------------------------------------------
+# Campaign level: the acceptance property
+# ---------------------------------------------------------------------------
+
+
+def test_chaotic_process_campaign_matches_fault_free_serial():
+    """The headline property: an auto-triage campaign on the process
+    backend, with workers killed and jobs raising mid-run, produces
+    byte-identical tables, reductions, buckets and reports to a fault-free
+    serial run — and a fault-free run surfaces no quarantine section."""
+    reference = run_clsmith_campaign(_configs(), **_CAMPAIGN)
+    assert reference.worker_faults == []
+    assert "quarantined" not in reference.render()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_KILL, job_index=0),
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=1),
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=3),
+    ))
+    chaotic = run_clsmith_campaign(
+        _configs(), parallelism=2, fault_plan=plan, supervision=_SUP,
+        **_CAMPAIGN,
+    )
+    assert chaotic.worker_faults == []
+    assert chaotic.table_rows() == reference.table_rows()
+    assert chaotic.render() == reference.render()
+    assert [s.reduced_source for s in chaotic.reductions] == [
+        s.reduced_source for s in reference.reductions
+    ]
+    assert [b.key for b in chaotic.triage.buckets] == [
+        b.key for b in reference.triage.buckets
+    ]
+    assert chaotic.triage.render_markdown() == reference.triage.render_markdown()
+
+
+def test_campaign_quarantine_is_deterministic_and_reported():
+    """A poison differential job quarantines instead of killing the
+    campaign; two identical runs quarantine byte-identically, and the
+    quarantine surfaces in render() and the triage report."""
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=1, attempts=None),
+    ))
+    runs = [
+        run_clsmith_campaign(
+            _configs(), parallelism=parallelism, fault_plan=plan,
+            supervision=_SUP, **_CAMPAIGN,
+        )
+        for parallelism in (2, 2, None)
+    ]
+    for result in runs:
+        [record] = result.worker_faults
+        assert record.job_kind == CLSMITH_DIFFERENTIAL
+        assert record.fault.kind == "exception"
+        assert record.fault.attempts == _SUP.max_attempts
+        assert record.identity  # correlates with the worker-fault store key
+        assert "quarantined jobs (1):" in result.render()
+        assert "## Quarantined jobs (1)" in result.triage.render_markdown()
+    assert runs[0].worker_faults == runs[1].worker_faults == runs[2].worker_faults
+    assert runs[0].render() == runs[1].render() == runs[2].render()
+    assert (runs[0].triage.render_markdown()
+            == runs[1].triage.render_markdown()
+            == runs[2].triage.render_markdown())
+
+
+def test_quarantine_recorded_as_worker_fault_and_heals_on_resume(tmp_path):
+    """With a store, a quarantined job writes a ``worker-fault`` record and
+    *no* ``job`` record, so resuming re-runs it — a transient environment
+    fault heals into the byte-identical fault-free campaign."""
+    path = str(tmp_path / "store.jsonl")
+    reference = run_clsmith_campaign(_configs(), **_CAMPAIGN)
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=1, attempts=None),
+    ))
+    faulty = run_clsmith_campaign(
+        _configs(), parallelism=2, resume=path, fault_plan=plan,
+        supervision=_SUP, **_CAMPAIGN,
+    )
+    [quarantined] = faulty.worker_faults
+    with CampaignStore(path) as store:
+        [record] = store.worker_faults()
+        assert record["fault"]["kind"] == "exception"
+        assert record["fault"]["attempts"] == _SUP.max_attempts
+        assert record["key"].endswith(quarantined.identity)
+        assert record["seed"] == quarantined.seed
+        # The poison job's identity was NOT recorded as a job result.
+        assert store.lookup_job(quarantined.identity) is None
+    healed = run_clsmith_campaign(_configs(), resume=path, **_CAMPAIGN)
+    assert healed.worker_faults == []
+    assert healed.render() == reference.render()
+    assert healed.triage.render_markdown() == reference.triage.render_markdown()
+
+
+# ---------------------------------------------------------------------------
+# Store durability: torn writes, fsync, compaction crash
+# ---------------------------------------------------------------------------
+
+
+def test_torn_write_crashes_campaign_and_resume_is_byte_identical(tmp_path):
+    full_path = str(tmp_path / "full.jsonl")
+    torn_path = str(tmp_path / "torn.jsonl")
+    full = run_clsmith_campaign(_configs(), resume=full_path, **_CAMPAIGN)
+    with pytest.raises(TornStoreWrite):
+        run_clsmith_campaign(
+            _configs(), resume=torn_path,
+            fault_plan=FaultPlan(torn_writes=(3,)), **_CAMPAIGN,
+        )
+    # The torn file really is damaged: its last line is half a record.
+    raw = open(torn_path, "rb").read()
+    assert raw and not raw.endswith(b"\n")
+    resumed = run_clsmith_campaign(_configs(), resume=torn_path, **_CAMPAIGN)
+    assert resumed.render() == full.render()
+    assert resumed.table_rows() == full.table_rows()
+    assert resumed.triage.render_markdown() == full.triage.render_markdown()
+    # The repaired, resumed store replays to the same records as the
+    # uninterrupted one.
+    with CampaignStore(torn_path) as store, CampaignStore(full_path) as ref:
+        assert (
+            sorted((r["kind"], r["key"]) for r in store.records())
+            == sorted((r["kind"], r["key"]) for r in ref.records())
+        )
+
+
+def test_durable_store_fsyncs_every_append(tmp_path, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1])
+    with CampaignStore(str(tmp_path / "lazy.jsonl")) as store:
+        store.record_once("campaign", "k1", {"meta": {}})
+    assert synced == []
+    with CampaignStore(str(tmp_path / "durable.jsonl"), durable=True) as store:
+        store.record_once("campaign", "k1", {"meta": {}})
+        store.record_once("campaign", "k2", {"meta": {}})
+    assert len(synced) == 2
+
+
+def test_process_campaign_defaults_store_to_durable(tmp_path):
+    small = dict(kernels_per_mode=1, modes=(Mode.BASIC,), options=_FAST)
+    store = CampaignStore(str(tmp_path / "store.jsonl"))
+    assert store.durable is None
+    run_clsmith_campaign(_configs(), parallelism=2, resume=store, **small)
+    assert store.durable is True
+    store.close()
+
+    explicit = CampaignStore(str(tmp_path / "explicit.jsonl"), durable=False)
+    run_clsmith_campaign(_configs(), parallelism=2, resume=explicit, **small)
+    assert explicit.durable is False  # an explicit choice is never overridden
+    explicit.close()
+
+    serial = CampaignStore(str(tmp_path / "serial.jsonl"))
+    run_clsmith_campaign(_configs(), resume=serial, **small)
+    assert serial.durable is False  # serial backend keeps the cheap default
+    serial.close()
+
+
+def test_crash_mid_compact_never_loses_the_store(tmp_path, monkeypatch):
+    """compact() goes through a temp file + atomic rename: dying on the
+    rename leaves the original store intact and fully loadable."""
+    path = str(tmp_path / "store.jsonl")
+    with CampaignStore(path) as store:
+        for i in range(4):
+            store.record_once("campaign", f"k{i}", {"meta": {"i": i}})
+    before = open(path, "rb").read()
+
+    def exploding_replace(src, dst):
+        raise OSError("host died mid-rename")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    store = CampaignStore(path)
+    with pytest.raises(OSError, match="mid-rename"):
+        store.compact()
+    monkeypatch.undo()
+    assert open(path, "rb").read() == before
+    with CampaignStore(path) as reopened:
+        assert [r["key"] for r in reopened.records("campaign")] == [
+            "k0", "k1", "k2", "k3"
+        ]
+        # And a compaction that survives its rename still works.
+        assert reopened.compact() == 0
+        assert [r["key"] for r in reopened.records("campaign")] == [
+            "k0", "k1", "k2", "k3"
+        ]
+
+
+def test_job_result_fault_round_trips_and_stays_absent_when_clean():
+    import dataclasses
+
+    with WorkerPool(1) as pool:
+        [clean] = pool.run([_diff_job(0)])
+    encoded = encode_job_result(clean)
+    assert "fault" not in encoded  # fault-free records keep their pre-PR bytes
+    assert decode_job_result(encoded).counts == clean.counts
+
+    fault = WorkerFault(kind="deadline", attempts=3, detail="lease blown")
+    poisoned = dataclasses.replace(clean, fault=fault)
+    decoded = decode_job_result(encode_job_result(poisoned))
+    assert decoded.fault == fault
+
+
+# ---------------------------------------------------------------------------
+# Shutdown and degradation
+# ---------------------------------------------------------------------------
+
+
+def test_exit_terminates_workers_on_exception():
+    with pytest.raises(RuntimeError, match="boom"):
+        with WorkerPool(2) as pool:
+            pool.run([_diff_job(0)])
+            procs = [handle.process for handle in pool._workers]
+            assert procs and all(p.is_alive() for p in procs)
+            raise RuntimeError("boom")
+    assert pool._workers == []
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_close_shuts_workers_down_gracefully():
+    with WorkerPool(2) as pool:
+        pool.run([_diff_job(0), _diff_job(1)])
+        procs = [handle.process for handle in pool._workers]
+        assert procs
+    assert pool._workers == []
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_pool_degrades_to_in_parent_execution(monkeypatch):
+    """A host that cannot spawn any worker still completes the run: the
+    supervisor shrinks the pool to nothing and executes leases in-parent,
+    with identical results."""
+    jobs = [_diff_job(seed) for seed in range(3)]
+    with WorkerPool(1) as pool:
+        reference = pool.run(jobs)
+
+    def no_spawn(self):
+        raise OSError("fork: resource temporarily unavailable")
+
+    monkeypatch.setattr(WorkerPool, "_spawn_worker", no_spawn)
+    with WorkerPool(2, supervision=_SUP) as pool:
+        degraded = pool.run(jobs)
+        assert pool._workers == []
+    assert [r.counts for r in degraded] == [r.counts for r in reference]
+    assert pool.quarantined == []
+
+
+def test_degraded_pool_still_quarantines_poison_jobs(monkeypatch):
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=1, attempts=None),
+    ))
+    monkeypatch.setattr(
+        WorkerPool, "_spawn_worker",
+        lambda self: (_ for _ in ()).throw(OSError("no processes")),
+    )
+    with WorkerPool(2, fault_plan=plan, supervision=_SUP) as pool:
+        results = pool.run([_diff_job(seed) for seed in range(3)])
+        [(job, fault)] = pool.quarantined
+    assert job.seed == 1
+    assert fault.kind == "exception" and fault.attempts == _SUP.max_attempts
+    assert results[1].fault == fault
+    assert results[0].fault is None and results[2].fault is None

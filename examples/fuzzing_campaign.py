@@ -21,12 +21,20 @@ buckets, bisects each bucket to its culprit bug model or optimisation pass,
 and prints the Markdown triage report (see TRIAGE.md).  ``--store FILE``
 makes the campaign persistent: killed runs resume from the store with
 byte-identical tables and reports.
+
+``--trace FILE`` streams campaign telemetry (spans, per-job timings,
+supervisor events) to a JSONL trace next to the store; read it back with
+``repro-stats FILE``.  ``--progress`` / ``--no-progress`` control the live
+single-line progress renderer (default: on when stderr is a TTY, off
+otherwise so piped output stays stable).  Neither affects results — see
+OBSERVABILITY.md.
 """
 
 import argparse
 import sys
 
 from repro.generator.options import GeneratorOptions, Mode
+from repro.observability import ProgressLine, TelemetryCollector, TraceSink
 from repro.platforms import all_configurations, get_configuration
 from repro.runtime.engine import available_engines
 from repro.testing.campaign import run_clsmith_campaign
@@ -57,6 +65,18 @@ def main() -> None:
     parser.add_argument("--store", default=None,
                         help="persist the campaign to this JSONL store; "
                              "re-running resumes it (see TRIAGE.md)")
+    parser.add_argument("--trace", default=None,
+                        help="stream campaign telemetry to this JSONL trace "
+                             "file (read it with repro-stats; see "
+                             "OBSERVABILITY.md)")
+    progress = parser.add_mutually_exclusive_group()
+    progress.add_argument("--progress", dest="progress", action="store_true",
+                          default=sys.stderr.isatty(),
+                          help="live single-line progress on stderr "
+                               "(default: on for a TTY)")
+    progress.add_argument("--no-progress", dest="progress",
+                          action="store_false",
+                          help="disable the live progress line")
     args = parser.parse_args()
 
     options = GeneratorOptions(min_total_threads=4, max_total_threads=24,
@@ -82,6 +102,14 @@ def main() -> None:
 
     # --- Phase 2: intensive CLsmith testing (Table 4) ----------------------
     print("\nPhase 2: CLsmith differential testing on the reliable configurations")
+    telemetry = None
+    progress_line = None
+    if args.trace or args.progress:
+        sink = TraceSink(args.trace, meta={"campaign": "clsmith",
+                                           "seed": args.seed}) if args.trace else None
+        telemetry = TelemetryCollector(sink=sink)
+        if args.progress:
+            progress_line = ProgressLine().attach(telemetry)
     try:
         result = run_clsmith_campaign(
             above,
@@ -96,17 +124,27 @@ def main() -> None:
             reduce_budget=args.reduce_budget,
             auto_triage=args.auto_triage,
             resume=args.store,
+            telemetry=telemetry,
         )
     except KeyboardInterrupt:
         # The campaign's pool tears its workers down on the way out (hard
         # terminate; nothing leaks).  With --store the partial progress is
         # already on disk: re-running the same command resumes it.
+        if telemetry is not None:
+            telemetry.close()  # flush whatever the trace captured so far
         print("\ninterrupted", end="", file=sys.stderr)
         if args.store:
             print(f"; progress saved — re-run with --store {args.store} "
                   "to resume", end="", file=sys.stderr)
         print(file=sys.stderr)
         sys.exit(130)
+    if progress_line is not None:
+        progress_line.close()
+    if telemetry is not None:
+        telemetry.close()
+        if args.trace:
+            print(f"telemetry trace written to {args.trace} "
+                  "(summarise with: repro-stats " + args.trace + ")")
     print(result.render())
 
     total_wrong = sum(c.wrong_code for c in result.counts.values())

@@ -26,6 +26,10 @@ setup(
             # Bug triage: bucket + bisect reduced reproducers out of a
             # persistent campaign store into a Markdown report (TRIAGE.md).
             "repro-triage=repro.triage.cli:main",
+            # Campaign telemetry: read a JSONL trace and print per-stage
+            # throughput, latency percentiles, worker utilization and
+            # supervisor health (OBSERVABILITY.md).
+            "repro-stats=repro.observability.cli:main",
         ],
     },
 )

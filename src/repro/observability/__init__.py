@@ -1,0 +1,65 @@
+"""Structured telemetry for campaigns: spans, metrics, traces, progress.
+
+This package is the observability substrate described in
+``OBSERVABILITY.md``: a :class:`TelemetryCollector` accumulates monotonic
+spans and events into a :class:`MetricsRegistry`, optionally streaming
+them to a JSONL :class:`TraceSink` that lives *next to* (never inside)
+the campaign store.  Wall-clock data stays entirely off the byte-identity
+determinism surface — a campaign run with telemetry enabled produces
+byte-identical tables, reductions, buckets and reports to one without.
+
+The no-telemetry default costs nothing: instrumented sites read one
+module-global (``current_collector()``) and take the plain path when it
+is ``None``, exactly like ``fault_plan=None`` in the fault layer.
+"""
+
+from repro.observability.core import (
+    DEFAULT_SINK_KINDS,
+    SPAN_BIND,
+    SPAN_BISECT_PROBE,
+    SPAN_CAMPAIGN,
+    SPAN_JOB,
+    SPAN_KINDS,
+    SPAN_LOWER,
+    SPAN_PHASE,
+    SPAN_REDUCE_ROUND,
+    SPAN_RUN,
+    SPAN_SHARD,
+    CampaignTelemetry,
+    JobTiming,
+    MetricsRegistry,
+    TelemetryCollector,
+    current_collector,
+    maybe_span,
+    use_collector,
+)
+from repro.observability.progress import ProgressLine
+from repro.observability.sink import TRACE_SCHEMA_VERSION, TraceSink, read_trace
+from repro.observability.stats import compute_stats, render_stats
+
+__all__ = [
+    "CampaignTelemetry",
+    "DEFAULT_SINK_KINDS",
+    "JobTiming",
+    "MetricsRegistry",
+    "ProgressLine",
+    "SPAN_BIND",
+    "SPAN_BISECT_PROBE",
+    "SPAN_CAMPAIGN",
+    "SPAN_JOB",
+    "SPAN_KINDS",
+    "SPAN_LOWER",
+    "SPAN_PHASE",
+    "SPAN_REDUCE_ROUND",
+    "SPAN_RUN",
+    "SPAN_SHARD",
+    "TRACE_SCHEMA_VERSION",
+    "TelemetryCollector",
+    "TraceSink",
+    "compute_stats",
+    "current_collector",
+    "maybe_span",
+    "read_trace",
+    "render_stats",
+    "use_collector",
+]

@@ -1,0 +1,68 @@
+"""``repro-stats`` — read a campaign trace, print throughput and health.
+
+Usage::
+
+    repro-stats CAMPAIGN.trace.jsonl          # human-readable report
+    repro-stats CAMPAIGN.trace.jsonl --json   # machine-readable stats
+
+The trace file is the JSONL stream a ``TraceSink`` wrote next to the
+campaign store (see ``OBSERVABILITY.md``).  The report covers per-stage
+throughput (one stage per job kind), per-engine latency percentiles over
+job spans, worker utilization, and supervisor health counters — the same
+counters surfaced as ``result.health`` on the campaign, so the two can
+be reconciled exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.observability.stats import compute_stats, load_trace, render_stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Summarise a campaign telemetry trace (JSONL).",
+    )
+    parser.add_argument("trace", help="path to a trace file written by a TraceSink")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the computed stats as JSON instead of a report",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"repro-stats: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"repro-stats: {args.trace} holds no readable trace records",
+              file=sys.stderr)
+        return 2
+    stats = compute_stats(records)
+    try:
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(render_stats(stats), end="")
+    except BrokenPipeError:
+        # e.g. `repro-stats trace | head`; exit quietly like the other CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Live single-line campaign progress, driven by the telemetry stream.
+
+:class:`ProgressLine` subscribes to a :class:`TelemetryCollector` and
+repaints one carriage-returned line on stderr as jobs finish::
+
+    [campaign] jobs 12/40 · 84.2 cells/s · anomalies 3 · faults 0
+
+It is a pure listener: it reads events, it never feeds anything back
+into the campaign, so enabling it cannot perturb results.  Rendering is
+throttled (default 10 Hz) so tight job streams don't turn into terminal
+spam; ``close()`` paints the final state and moves to a fresh line.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional
+
+
+class ProgressLine:
+    """Single-line progress renderer fed by collector events."""
+
+    def __init__(
+        self,
+        stream=None,
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._clock = clock
+        self._started: Optional[float] = None
+        self._last_render = 0.0
+        self._last_width = 0
+        self.total = 0
+        self.done = 0
+        self.cells = 0
+        self.anomalies = 0
+        self.faults = 0
+
+    def attach(self, collector) -> "ProgressLine":
+        collector.subscribe(self.handle)
+        return self
+
+    # -- listener -----------------------------------------------------------
+
+    def handle(self, record_type: str, kind: str, attrs: dict) -> None:
+        if record_type != "event":
+            return
+        if kind == "pool-run":
+            self.total += int(attrs.get("jobs", 0))
+            if self._started is None:
+                self._started = self._clock()
+            self._render()
+        elif kind == "job-finished":
+            self.done += 1
+            self.cells += int(attrs.get("cells", 0))
+            if attrs.get("anomalous"):
+                self.anomalies += 1
+            self._render()
+        elif kind == "quarantine":
+            self.faults += 1
+            self._render(force=True)
+
+    # -- rendering ----------------------------------------------------------
+
+    def _line(self) -> str:
+        elapsed = 0.0
+        if self._started is not None:
+            elapsed = max(self._clock() - self._started, 1e-9)
+        rate = self.cells / elapsed if elapsed > 0 else 0.0
+        return (
+            f"[campaign] jobs {self.done}/{self.total} · "
+            f"{rate:.1f} cells/s · anomalies {self.anomalies} · "
+            f"faults {self.faults}"
+        )
+
+    def _render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        line = self._line()
+        # Pad over any longer previous paint, then carriage-return.
+        pad = max(self._last_width - len(line), 0)
+        self._last_width = len(line)
+        try:
+            self.stream.write("\r" + line + " " * pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass  # closed/broken stream must never kill the campaign
+
+    def close(self) -> None:
+        """Paint the final state and terminate the line."""
+        self._render(force=True)
+        try:
+            self.stream.write("\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass

@@ -1,0 +1,93 @@
+"""JSONL trace sink: the durable form of a campaign's telemetry stream.
+
+A trace file lives *next to* the campaign store, never inside it — the
+store holds only deterministic, content-addressed records while the
+trace holds wall-clock data that differs on every run.  Keeping them
+apart is what lets telemetry-on and telemetry-off campaigns produce
+byte-identical stores, tables and reports.
+
+Record shapes (one JSON object per line, schema-versioned like the
+store; see ``OBSERVABILITY.md`` for the full schema):
+
+* ``{"type": "meta", "v": 1, "meta": {...}}`` — first line; campaign
+  name, backend, parallelism.
+* ``{"type": "span", "kind": ..., "name": ..., "t": ..., "dur": ...,
+  "attrs": {...}}`` — a completed span; ``t`` is seconds since the
+  collector epoch (monotonic, relative — never absolute wall time).
+* ``{"type": "event", "kind": ..., "t": ..., "attrs": {...}}``.
+* ``{"type": "counters", "counters": {...}, "durations": {...}}`` —
+  final aggregates, written once on ``TelemetryCollector.close()``.
+
+Readers (:func:`read_trace`, the ``repro-stats`` CLI) skip records from
+a newer major schema and tolerate a torn final line, mirroring the
+store's crash-repair stance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+#: Bump on incompatible record-shape changes; readers skip newer majors.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSink:
+    """Append-only JSONL writer for telemetry records."""
+
+    def __init__(self, path, meta: Optional[dict] = None) -> None:
+        self.path = os.fspath(path)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self.write({"type": "meta", "meta": dict(meta or {})})
+
+    def write(self, record: dict) -> None:
+        if self._file is None:
+            return
+        line = json.dumps(
+            {"v": TRACE_SCHEMA_VERSION, **record},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._file.write(line + "\n")
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path) -> List[dict]:
+    """Load a trace file, skipping unreadable lines and newer schemas.
+
+    A torn final line (host died mid-append) is dropped silently; a
+    record whose ``v`` is newer than :data:`TRACE_SCHEMA_VERSION` is
+    skipped rather than misinterpreted.
+    """
+    records: List[dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail
+            if not isinstance(record, dict):
+                continue
+            if record.get("v", 0) > TRACE_SCHEMA_VERSION:
+                continue
+            records.append(record)
+    return records

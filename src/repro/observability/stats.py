@@ -1,0 +1,206 @@
+"""Trace analysis behind the ``repro-stats`` CLI.
+
+Split ``load → compute → render`` so tests can golden the rendered
+output from a synthetic trace without touching the CLI, and the future
+``repro-serve`` dashboard can reuse :func:`compute_stats` directly.
+
+All figures come from the trace alone: per-stage throughput and
+per-engine latency percentiles from ``job`` spans, worker utilization
+from the ``worker`` attribute on those spans, supervisor health from the
+final ``counters`` record (falling back to counting ``event`` records
+when the trace was torn before close).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.observability.sink import read_trace
+
+#: counters-record key -> health-counter name, matching ``PoolHealth``.
+_HEALTH_EVENTS = {
+    "event:job-retry": "retries",
+    "event:worker-respawn": "respawns",
+    "event:deadline-kill": "deadline_kills",
+    "event:in-parent-job": "in_parent_jobs",
+    "event:pool-shrink": "pool_shrinks",
+    "event:quarantine": "quarantines",
+}
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(int(round(q / 100.0 * len(ordered) + 0.5)), 1)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def load_trace(path) -> List[dict]:
+    return read_trace(path)
+
+
+def compute_stats(records: List[dict]) -> dict:
+    """Aggregate a trace into the figures ``repro-stats`` prints."""
+    meta: dict = {}
+    stages: Dict[str, dict] = {}
+    engines: Dict[str, dict] = {}
+    workers: Dict[str, dict] = {}
+    health = {name: 0 for name in _HEALTH_EVENTS.values()}
+    counters_record = None
+    t_min = None
+    t_max = None
+
+    def observe_window(t: float, duration: float = 0.0) -> None:
+        nonlocal t_min, t_max
+        if t_min is None or t < t_min:
+            t_min = t
+        end = t + duration
+        if t_max is None or end > t_max:
+            t_max = end
+
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "meta":
+            meta = record.get("meta", {})
+        elif rtype == "counters":
+            counters_record = record
+        elif rtype == "span":
+            observe_window(record.get("t", 0.0), record.get("dur", 0.0))
+            if record.get("kind") != "job":
+                continue
+            attrs = record.get("attrs", {})
+            duration = float(record.get("dur", 0.0))
+            cells = int(attrs.get("cells", 0))
+
+            stage = stages.setdefault(
+                record.get("name") or "unknown",
+                {"jobs": 0, "busy_s": 0.0, "cells": 0,
+                 "start": None, "end": None},
+            )
+            stage["jobs"] += 1
+            stage["busy_s"] += duration
+            stage["cells"] += cells
+            start = float(record.get("t", 0.0))
+            if stage["start"] is None or start < stage["start"]:
+                stage["start"] = start
+            if stage["end"] is None or start + duration > stage["end"]:
+                stage["end"] = start + duration
+
+            engine = engines.setdefault(
+                attrs.get("engine") or "unknown",
+                {"jobs": 0, "busy_s": 0.0, "cells": 0, "durations": []},
+            )
+            engine["jobs"] += 1
+            engine["busy_s"] += duration
+            engine["cells"] += cells
+            engine["durations"].append(duration)
+
+            worker = workers.setdefault(
+                attrs.get("worker") or "unknown",
+                {"jobs": 0, "busy_s": 0.0},
+            )
+            worker["jobs"] += 1
+            worker["busy_s"] += duration
+        elif rtype == "event":
+            observe_window(record.get("t", 0.0))
+            kind = "event:" + record.get("kind", "")
+            if counters_record is None and kind in _HEALTH_EVENTS:
+                health[_HEALTH_EVENTS[kind]] += 1
+
+    if counters_record is not None:
+        counters = counters_record.get("counters", {})
+        for key, name in _HEALTH_EVENTS.items():
+            health[name] = int(counters.get(key, 0))
+
+    wall = (t_max - t_min) if (t_min is not None and t_max is not None) else 0.0
+
+    for stage in stages.values():
+        window = (stage["end"] or 0.0) - (stage["start"] or 0.0)
+        stage["window_s"] = window
+        stage["jobs_per_s"] = stage["jobs"] / window if window > 0 else 0.0
+        stage["cells_per_s"] = stage["cells"] / window if window > 0 else 0.0
+        del stage["start"], stage["end"]
+
+    for engine in engines.values():
+        durations = engine.pop("durations")
+        engine["p50_ms"] = percentile(durations, 50) * 1e3
+        engine["p90_ms"] = percentile(durations, 90) * 1e3
+        engine["p99_ms"] = percentile(durations, 99) * 1e3
+        busy = engine["busy_s"]
+        engine["cells_per_s"] = engine["cells"] / busy if busy > 0 else 0.0
+
+    for worker in workers.values():
+        worker["utilization"] = worker["busy_s"] / wall if wall > 0 else 0.0
+
+    total_jobs = sum(s["jobs"] for s in stages.values())
+    total_cells = sum(s["cells"] for s in stages.values())
+    return {
+        "meta": meta,
+        "wall_s": wall,
+        "jobs": total_jobs,
+        "cells": total_cells,
+        "stages": dict(sorted(stages.items())),
+        "engines": dict(sorted(engines.items())),
+        "workers": dict(sorted(workers.items())),
+        "health": health,
+    }
+
+
+def render_stats(stats: dict) -> str:
+    """Human-readable report over :func:`compute_stats` output."""
+    lines: List[str] = []
+    meta = stats.get("meta", {})
+    title = meta.get("campaign", "campaign")
+    lines.append(f"# repro-stats — {title} trace")
+    lines.append("")
+    lines.append(
+        f"{stats['jobs']} jobs · {stats['cells']} cells · "
+        f"wall {stats['wall_s']:.3f} s"
+    )
+    lines.append("")
+
+    lines.append("## Per-stage throughput")
+    lines.append(
+        f"{'stage':<24} {'jobs':>6} {'busy s':>9} {'jobs/s':>9} {'cells/s':>9}"
+    )
+    for name, stage in stats["stages"].items():
+        lines.append(
+            f"{name:<24} {stage['jobs']:>6} {stage['busy_s']:>9.3f} "
+            f"{stage['jobs_per_s']:>9.2f} {stage['cells_per_s']:>9.1f}"
+        )
+    lines.append("")
+
+    lines.append("## Per-engine latency (job spans)")
+    lines.append(
+        f"{'engine':<12} {'jobs':>6} {'p50 ms':>9} {'p90 ms':>9} "
+        f"{'p99 ms':>9} {'cells/s':>9}"
+    )
+    for name, engine in stats["engines"].items():
+        lines.append(
+            f"{name:<12} {engine['jobs']:>6} {engine['p50_ms']:>9.2f} "
+            f"{engine['p90_ms']:>9.2f} {engine['p99_ms']:>9.2f} "
+            f"{engine['cells_per_s']:>9.1f}"
+        )
+    lines.append("")
+
+    lines.append("## Worker utilization")
+    lines.append(f"{'worker':<12} {'jobs':>6} {'busy s':>9} {'util':>8}")
+    for name, worker in stats["workers"].items():
+        lines.append(
+            f"{name:<12} {worker['jobs']:>6} {worker['busy_s']:>9.3f} "
+            f"{worker['utilization'] * 100:>7.1f}%"
+        )
+    lines.append("")
+
+    health = stats["health"]
+    lines.append("## Supervisor health")
+    lines.append(
+        " · ".join(
+            f"{name.replace('_', ' ')} {health[name]}"
+            for name in sorted(health)
+        )
+    )
+    lines.append("")
+    return "\n".join(lines)

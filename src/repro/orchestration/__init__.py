@@ -46,7 +46,12 @@ from repro.orchestration.jobs import (
     JobResult,
     execute_job,
 )
-from repro.orchestration.pool import BACKENDS, SupervisionConfig, WorkerPool
+from repro.orchestration.pool import (
+    BACKENDS,
+    PoolHealth,
+    SupervisionConfig,
+    WorkerPool,
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
@@ -72,6 +77,7 @@ __all__ = [
     "JobResult",
     "execute_job",
     "BACKENDS",
+    "PoolHealth",
     "SupervisionConfig",
     "WorkerPool",
 ]

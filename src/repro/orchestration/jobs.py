@@ -56,8 +56,9 @@ produced.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.emi.variants import generate_variants, invert_dead_array, mark_base_fingerprint
 from repro.generator import generate_kernel
@@ -72,6 +73,9 @@ from repro.runtime.prepared import PreparedCacheStats, PreparedProgramCache
 from repro.testing.differential import DifferentialHarness
 from repro.testing.emi_harness import EmiBaseResult, EmiHarness
 from repro.testing.outcomes import Outcome, OutcomeCounts
+
+if TYPE_CHECKING:  # telemetry is imported lazily on the timed path only
+    from repro.observability import JobTiming
 
 def serialise_configs(
     configs,
@@ -211,6 +215,30 @@ class JobResult:
     #: :mod:`repro.orchestration.faults` and ORCHESTRATION.md).  A result
     #: with a fault carries no aggregates — the job's work never completed.
     fault: Optional[WorkerFault] = None
+    #: Wall-clock record for this execution, populated only when the pool
+    #: runs with telemetry (see :mod:`repro.observability` and
+    #: OBSERVABILITY.md).  Deliberately excluded from ``job_identity``
+    #: *and* from ``encode_job_result``: timing differs on every run, so
+    #: it must never reach the byte-identity determinism surface.
+    timing: Optional[JobTiming] = None
+
+    @property
+    def anomalous(self) -> bool:
+        """True when any cell of this job surfaced an anomaly.
+
+        Used by the live progress line; quarantine faults are counted
+        separately (as faults, not anomalies).
+        """
+        for counts in self.counts.values():
+            if (counts.wrong_code or counts.build_failure
+                    or counts.runtime_crash or counts.timeout):
+                return True
+        for cell in self.emi_cells:
+            if (cell.wrong_code or cell.induced_build_failure
+                    or cell.induced_crash or cell.induced_timeout
+                    or cell.bad_base):
+                return True
+        return False
 
 
 def execute_job(
@@ -218,6 +246,7 @@ def execute_job(
     cache: Optional[ResultCache] = None,
     prepared_cache: Optional[PreparedProgramCache] = None,
     fault: Optional[Callable[[], None]] = None,
+    timing: bool = False,
 ) -> JobResult:
     """Run one job (in whatever process this is called from).
 
@@ -233,15 +262,35 @@ def execute_job(
     which may raise, hang or kill the process here — *inside* the job — so
     an injected fault is indistinguishable from a genuine one to the
     supervisor watching this job's lease.
+
+    With ``timing=True`` the call is measured and ``result.timing`` is
+    populated with a :class:`~repro.observability.JobTiming` (duration,
+    cells, fine-grained span aggregates).  When an ambient collector is
+    installed (serial backend) the nested run/lower/bind spans land in it
+    directly and the timing carries the delta; in a worker process a
+    throwaway local collector is used instead and the pool merges the
+    shipped deltas into the campaign registry.  Timing never steers
+    execution, so results are byte-identical either way.
     """
     if cache is None:
         cache = ResultCache()
     if prepared_cache is None:
         prepared_cache = PreparedProgramCache()
+    if timing:
+        return _execute_job_timed(job, cache, prepared_cache, fault)
     before = cache.snapshot()
     prepared_before = prepared_cache.snapshot()
     if fault is not None:
         fault()
+    result = _dispatch_job(job, cache, prepared_cache)
+    result.cache = cache.snapshot().since(before)
+    result.prepared = prepared_cache.snapshot().since(prepared_before)
+    return result
+
+
+def _dispatch_job(
+    job: CampaignJob, cache: ResultCache, prepared_cache: PreparedProgramCache
+) -> JobResult:
     if job.kind == CLSMITH_DIFFERENTIAL:
         result = _execute_clsmith_differential(job, cache, prepared_cache)
     elif job.kind == CLSMITH_CURATE:
@@ -258,8 +307,48 @@ def execute_job(
         result = _execute_triage_bisect(job, cache, prepared_cache)
     else:
         raise ValueError(f"unknown campaign job kind: {job.kind!r}")
+    return result
+
+
+def _execute_job_timed(
+    job: CampaignJob,
+    cache: ResultCache,
+    prepared_cache: PreparedProgramCache,
+    fault: Optional[Callable[[], None]],
+) -> JobResult:
+    """The ``timing=True`` body of :func:`execute_job`."""
+    from repro.observability import (
+        JobTiming,
+        TelemetryCollector,
+        current_collector,
+        use_collector,
+    )
+
+    collector = current_collector()
+    owns_collector = collector is None
+    if owns_collector:
+        # Worker process: no ambient collector; record fine-grained spans
+        # into a throwaway registry whose deltas ship back with the result.
+        collector = TelemetryCollector(sink=None)
+    spans_before = collector.registry.snapshot_durations()
+    before = cache.snapshot()
+    prepared_before = prepared_cache.snapshot()
+    start = time.perf_counter()
+    if fault is not None:
+        fault()
+    if owns_collector:
+        with use_collector(collector):
+            result = _dispatch_job(job, cache, prepared_cache)
+    else:
+        result = _dispatch_job(job, cache, prepared_cache)
+    duration = time.perf_counter() - start
     result.cache = cache.snapshot().since(before)
     result.prepared = prepared_cache.snapshot().since(prepared_before)
+    result.timing = JobTiming(
+        duration_s=duration,
+        cells=result.cache.lookups,
+        spans=collector.registry.durations_since(spans_before),
+    )
     return result
 
 

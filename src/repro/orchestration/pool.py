@@ -75,6 +75,45 @@ from repro.runtime.prepared import DEFAULT_PREPARED_CACHE_SIZE, PreparedProgramC
 BACKENDS = ("serial", "process")
 
 
+@dataclass
+class PoolHealth:
+    """Supervisor health counters, accumulated whether or not telemetry
+    is enabled (see OBSERVABILITY.md "Supervisor health").
+
+    These are the numbers a long-running campaign owner actually watches:
+    how often jobs needed retrying, how many workers had to be respawned
+    or deadline-killed, whether the pool degraded to in-parent execution,
+    and how much work was quarantined.  Surfaced as ``pool.health`` and
+    ``result.health`` on campaign results.
+    """
+
+    #: Job attempts that failed and were re-leased (excludes quarantines).
+    retries: int = 0
+    #: Workers spawned beyond the initial set (i.e. replacements).
+    respawns: int = 0
+    #: Leases killed because their wall-clock deadline expired.
+    deadline_kills: int = 0
+    #: Jobs executed in-parent because the pool degraded to zero workers.
+    in_parent_jobs: int = 0
+    #: Times the pool shrank its worker target because spawning failed.
+    pool_shrinks: int = 0
+    #: Jobs quarantined after exhausting their retry budget.
+    quarantines: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "deadline_kills": self.deadline_kills,
+            "in_parent_jobs": self.in_parent_jobs,
+            "pool_shrinks": self.pool_shrinks,
+            "quarantines": self.quarantines,
+        }
+
+    def copy(self) -> "PoolHealth":
+        return PoolHealth(**self.as_dict())
+
+
 @dataclass(frozen=True)
 class SupervisionConfig:
     """Retry/lease policy for supervised job dispatch.
@@ -108,22 +147,28 @@ class _Lease:
     job: CampaignJob
     attempts: int = 0
     not_before: float = 0.0
+    #: When the lease (re)entered the pending queue (telemetry only:
+    #: dispatch latency is observed as the "lease-wait" duration).
+    enqueued: float = 0.0
 
 
 class _WorkerHandle:
     """A supervised worker process and its duplex message pipe."""
 
-    __slots__ = ("process", "conn", "lease", "deadline")
+    __slots__ = ("process", "conn", "lease", "deadline", "label")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, conn, label: str = "") -> None:
         self.process = process
         self.conn = conn
         self.lease: Optional[_Lease] = None
         self.deadline: Optional[float] = None
+        #: Stable telemetry label ("w0", "w1", ...; respawns get fresh
+        #: labels so a trace distinguishes a replacement from its victim).
+        self.label = label
 
 
 def _worker_main(conn, cache_size: int, prepared_cache_size: int,
-                 fault_plan: Optional[FaultPlan]) -> None:
+                 fault_plan: Optional[FaultPlan], timing: bool = False) -> None:
     """Worker loop: one job per message, results (or errors) sent back.
 
     The worker never dies of a job exception — it reports the error and
@@ -147,7 +192,7 @@ def _worker_main(conn, cache_size: int, prepared_cache_size: int,
                 fire_fault(fault_plan, job_index, attempt, in_worker_process=True)
         try:
             result = execute_job(job, cache=cache, prepared_cache=prepared,
-                                 fault=hook)
+                                 fault=hook, timing=timing)
         except Exception as exc:  # noqa: BLE001 — reported, never fatal here
             payload = (job_index, "error", f"{type(exc).__name__}: {exc}")
         else:
@@ -188,6 +233,15 @@ class WorkerPool:
     faults for chaos testing (``None`` — the default — injects nothing).
     Jobs that exhaust their retries land in :attr:`quarantined` as
     ``(job, fault)`` pairs in submission order.
+
+    ``telemetry`` (a :class:`repro.observability.TelemetryCollector`, or
+    ``None``) turns on span/event collection: per-job timings are
+    measured inside the workers and shipped back alongside results, and
+    supervisor events (retries, respawns, deadline kills, quarantines)
+    stream to the collector.  Telemetry observes but never steers —
+    results are byte-identical with it on or off — and the ``None``
+    default costs nothing, like ``fault_plan=None``.  :attr:`health`
+    counters accumulate regardless.
     """
 
     def __init__(
@@ -198,6 +252,7 @@ class WorkerPool:
         prepared_cache_size: int = DEFAULT_PREPARED_CACHE_SIZE,
         fault_plan: Optional[FaultPlan] = None,
         supervision: Optional[SupervisionConfig] = None,
+        telemetry=None,
     ) -> None:
         if backend is None:
             backend = "process" if parallelism is not None and parallelism > 1 else "serial"
@@ -209,6 +264,10 @@ class WorkerPool:
         self.prepared_cache_size = prepared_cache_size
         self.fault_plan = fault_plan
         self.supervision = supervision or SupervisionConfig()
+        self.telemetry = telemetry
+        #: Supervisor health counters, always accumulated (telemetry or
+        #: not) — see :class:`PoolHealth`.
+        self.health = PoolHealth()
         self._cache = ResultCache(cache_size)
         self._prepared = PreparedProgramCache(prepared_cache_size)
         #: (job, fault) pairs of every job this pool quarantined, in
@@ -222,6 +281,9 @@ class WorkerPool:
         #: Global submission counter: the fault plan and lease bookkeeping
         #: key on it, and it is deterministic across backends.
         self._next_job_index = 0
+        #: Lifetime worker spawns; spawns beyond ``parallelism`` are
+        #: respawns (replacements for reaped workers).
+        self._spawn_count = 0
 
     @property
     def cache(self) -> ResultCache:
@@ -245,16 +307,88 @@ class WorkerPool:
         job_list = list(jobs)
         if not job_list:
             return []
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._run(job_list)
+        from repro.observability import SPAN_SHARD, use_collector
+
+        with use_collector(telemetry):
+            telemetry.event("pool-run", jobs=len(job_list),
+                            backend=self.backend)
+            with telemetry.span(SPAN_SHARD, name=self.backend,
+                                jobs=len(job_list)):
+                return self._run(job_list)
+
+    def _run(self, job_list: List[CampaignJob]) -> List[JobResult]:
         base_index = self._next_job_index
         self._next_job_index += len(job_list)
         if self.backend == "serial" or self.parallelism <= 1:
-            return [
-                self._attempts_in_parent(
+            results = []
+            for i, job in enumerate(job_list):
+                result = self._attempts_in_parent(
                     _Lease(index=i, job_index=base_index + i, job=job)
                 )
-                for i, job in enumerate(job_list)
-            ]
+                self._note_result(job, result, worker="parent",
+                                  merge_spans=False)
+                results.append(result)
+            return results
         return self._run_supervised(job_list, base_index)
+
+    def _note_result(self, job: CampaignJob, result: JobResult,
+                     worker: str, merge_spans: bool) -> None:
+        """Telemetry bookkeeping for one finished lease (any backend).
+
+        Job-level accounting lives here — not in ``execute_job`` — so the
+        span carries attributes only the supervisor knows (worker label)
+        and both backends account identically.  ``merge_spans`` is True
+        only for process workers, whose fine-grained span aggregates were
+        recorded in a worker-local registry the parent never saw; serial
+        and in-parent jobs recorded into the ambient registry directly.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        if result.fault is not None:
+            return  # quarantines are accounted by _record_quarantine
+        timing = result.timing
+        if timing is None:
+            return
+        from repro.observability import SPAN_JOB
+
+        if merge_spans and timing.spans:
+            telemetry.registry.merge_spans(timing.spans)
+        telemetry.registry.observe(SPAN_JOB, timing.duration_s)
+        telemetry.count("cells", timing.cells)
+        telemetry.emit_span(
+            SPAN_JOB, job.kind,
+            telemetry.now_rel() - timing.duration_s, timing.duration_s,
+            {
+                "engine": job.engine, "seed": job.seed, "mode": job.mode,
+                "worker": worker, "cells": timing.cells,
+                "spans": {k: [c, round(total, 6)]
+                          for k, (c, total) in sorted(timing.spans.items())},
+            },
+        )
+        telemetry.event("job-finished", job=job.kind, seed=job.seed,
+                        engine=job.engine, worker=worker,
+                        cells=timing.cells, anomalous=result.anomalous)
+
+    def _record_quarantine(self, job: CampaignJob, fault: WorkerFault) -> None:
+        """Health/telemetry accounting for one quarantine (the record
+        itself is appended by the caller, whose ordering rules differ
+        between backends)."""
+        self.health.quarantines += 1
+        if self.telemetry is not None:
+            self.telemetry.event("quarantine", job=job.kind, seed=job.seed,
+                                 fault_kind=fault.kind,
+                                 attempts=fault.attempts)
+
+    def _record_retry(self, lease: _Lease, kind: str) -> None:
+        self.health.retries += 1
+        if self.telemetry is not None:
+            self.telemetry.event("job-retry", job=kind,
+                                 job_index=lease.job_index,
+                                 attempt=lease.attempts)
 
     def close(self) -> None:
         """Gracefully shut down idle workers (no-op for the serial backend).
@@ -322,6 +456,7 @@ class WorkerPool:
         """
         sup = self.supervision
         plan = self.fault_plan
+        timing = self.telemetry is not None
         while True:
             lease.attempts += 1
             hook: Optional[Callable[[], None]] = None
@@ -330,7 +465,8 @@ class WorkerPool:
                     fire_fault(plan, ji, at, in_worker_process=False)
             try:
                 return execute_job(lease.job, cache=self._cache,
-                                   prepared_cache=self._prepared, fault=hook)
+                                   prepared_cache=self._prepared, fault=hook,
+                                   timing=timing)
             except Exception as exc:  # noqa: BLE001 — supervised, bounded
                 detail = f"{type(exc).__name__}: {exc}"
                 if lease.attempts >= sup.max_attempts:
@@ -340,7 +476,9 @@ class WorkerPool:
                         self.quarantined.append((lease.job, fault))
                     else:
                         quarantine_sink(lease.job, fault)
+                    self._record_quarantine(lease.job, fault)
                     return _quarantine_result(lease.job, fault)
+                self._record_retry(lease, OBSERVED_EXCEPTION)
                 delay = sup.retry_delay(lease.attempts)
                 if delay:
                     time.sleep(delay)
@@ -349,8 +487,10 @@ class WorkerPool:
 
     def _run_supervised(self, jobs: List[CampaignJob], base_index: int) -> List[JobResult]:
         sup = self.supervision
+        telemetry = self.telemetry
+        start = time.monotonic()
         leases = [
-            _Lease(index=i, job_index=base_index + i, job=job)
+            _Lease(index=i, job_index=base_index + i, job=job, enqueued=start)
             for i, job in enumerate(jobs)
         ]
         results: List[Optional[JobResult]] = [None] * len(jobs)
@@ -358,10 +498,15 @@ class WorkerPool:
         pending = deque(leases)
         completed = 0
 
-        def finish(lease: _Lease, result: JobResult) -> None:
+        def finish(lease: _Lease, result: JobResult,
+                   worker: Optional[str] = None,
+                   merge_spans: bool = False) -> None:
             nonlocal completed
             results[lease.index] = result
             completed += 1
+            if worker is not None:
+                self._note_result(lease.job, result, worker=worker,
+                                  merge_spans=merge_spans)
 
         def observe_fault(lease: _Lease, kind: str, detail: str) -> None:
             """Retry the lease with backoff, or quarantine it."""
@@ -369,9 +514,16 @@ class WorkerPool:
                 fault = WorkerFault(kind=kind, attempts=lease.attempts,
                                     detail=detail)
                 run_quarantines[lease.index] = (lease.job, fault)
+                self._record_quarantine(lease.job, fault)
                 finish(lease, _quarantine_result(lease.job, fault))
             else:
-                lease.not_before = time.monotonic() + sup.retry_delay(lease.attempts)
+                self._record_retry(lease, kind)
+                delay = sup.retry_delay(lease.attempts)
+                now = time.monotonic()
+                lease.not_before = now + delay
+                lease.enqueued = now
+                if telemetry is not None and delay:
+                    telemetry.registry.observe("retry-backoff", delay)
                 pending.append(lease)
 
         while completed < len(jobs):
@@ -382,6 +534,10 @@ class WorkerPool:
                 # when it was reaped), so everything left runs in-parent.
                 while pending:
                     lease = pending.popleft()
+                    self.health.in_parent_jobs += 1
+                    if telemetry is not None:
+                        telemetry.event("in-parent-job",
+                                        job_index=lease.job_index)
                     finish(
                         lease,
                         self._attempts_in_parent(
@@ -391,6 +547,8 @@ class WorkerPool:
                                     lease.index, (job, fault)
                                 ),
                         ),
+                        worker="parent",
+                        merge_spans=False,
                     )
                 continue
             now = time.monotonic()
@@ -401,6 +559,9 @@ class WorkerPool:
                 if lease is None:
                     break
                 lease.attempts += 1
+                if telemetry is not None:
+                    telemetry.registry.observe(
+                        "lease-wait", max(now - lease.enqueued, 0.0))
                 handle.lease = lease
                 handle.deadline = (
                     now + sup.lease_timeout if sup.lease_timeout else None
@@ -439,7 +600,8 @@ class WorkerPool:
                 handle.lease = None
                 handle.deadline = None
                 if status == "ok":
-                    finish(lease, payload)
+                    finish(lease, payload, worker=handle.label,
+                           merge_spans=True)
                 else:
                     observe_fault(lease, OBSERVED_EXCEPTION, payload)
             now = time.monotonic()
@@ -455,6 +617,11 @@ class WorkerPool:
                     # gentler signals' grace) and retry the lease.
                     handle.lease = None
                     self._reap(handle)
+                    self.health.deadline_kills += 1
+                    if telemetry is not None:
+                        telemetry.event("deadline-kill",
+                                        job_index=lease.job_index,
+                                        worker=handle.label)
                     observe_fault(
                         lease, OBSERVED_DEADLINE,
                         f"lease deadline of {sup.lease_timeout:g}s exceeded",
@@ -484,10 +651,20 @@ class WorkerPool:
         (graceful degradation) when the host refuses to spawn more."""
         while len(self._workers) < self._target_workers:
             try:
-                self._workers.append(self._spawn_worker())
+                handle = self._spawn_worker()
             except OSError:
                 self._target_workers = len(self._workers)
+                self.health.pool_shrinks += 1
+                if self.telemetry is not None:
+                    self.telemetry.event("pool-shrink",
+                                         target=self._target_workers)
                 break
+            self._workers.append(handle)
+            if self._spawn_count > self.parallelism:
+                # Beyond the initial set: this spawn replaced a reaped worker.
+                self.health.respawns += 1
+                if self.telemetry is not None:
+                    self.telemetry.event("worker-respawn", worker=handle.label)
 
     def _spawn_worker(self) -> _WorkerHandle:
         ctx = self._context()
@@ -495,14 +672,16 @@ class WorkerPool:
         process = ctx.Process(
             target=_worker_main,
             args=(child_conn, self.cache_size, self.prepared_cache_size,
-                  self.fault_plan),
+                  self.fault_plan, self.telemetry is not None),
             daemon=True,
         )
         process.start()
         # The parent's copy of the child end must close so a dead worker
         # reads as EOF on the parent's end.
         child_conn.close()
-        return _WorkerHandle(process, parent_conn)
+        label = f"w{self._spawn_count}"
+        self._spawn_count += 1
+        return _WorkerHandle(process, parent_conn, label=label)
 
     def _reap(self, handle: _WorkerHandle) -> None:
         """Remove a dead or wedged worker: kill, join, close, forget.  The
@@ -539,4 +718,4 @@ def _pop_eligible(pending: "deque[_Lease]", now: float) -> Optional[_Lease]:
     return None
 
 
-__all__ = ["BACKENDS", "SupervisionConfig", "WorkerPool"]
+__all__ = ["BACKENDS", "PoolHealth", "SupervisionConfig", "WorkerPool"]

@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.kernel_lang import ast
 from repro.kernel_lang.printer import print_program
+from repro.observability import SPAN_REDUCE_ROUND, maybe_span
 from repro.reduction.interestingness import (
     InterestingnessPredicate,
     PredicateSpec,
@@ -468,44 +469,48 @@ class Reducer:
         while progress and not budget_exhausted:
             progress = False
             tail_unreached = False
-            for pass_ in config.passes:
-                iteration = 0
-                while True:
-                    remaining = config.max_evaluations - evaluations
-                    if remaining <= 0:
-                        budget_exhausted = True
-                        break
-                    budget = min(config.max_pass_evaluations, remaining)
-                    rng = _pass_rng(config.seed, round_index, pass_.name, iteration)
-                    hit, used, exhausted = evaluator.first_accepted(
-                        pass_.candidates(current, rng), budget
-                    )
-                    evaluations += used
-                    stats = pass_stats[pass_.name]
-                    stats.attempts += used
-                    if hit is None:
-                        if not exhausted:
-                            tail_unreached = True
-                        break
-                    index, candidate = hit
-                    stats.accepted += 1
-                    stats.nodes_removed += ast.count_nodes(current) - ast.count_nodes(
-                        candidate
-                    )
-                    trace.append(
-                        TraceStep(
-                            round=round_index,
-                            pass_name=pass_.name,
-                            iteration=iteration,
-                            candidate_index=index,
-                            size_after=size_key(candidate),
+            # One outer round = one full sweep of every pass; a span per
+            # round (no-op without an ambient collector) is how telemetry
+            # sees reduction cost without touching what gets reduced.
+            with maybe_span(SPAN_REDUCE_ROUND, name=str(round_index)):
+                for pass_ in config.passes:
+                    iteration = 0
+                    while True:
+                        remaining = config.max_evaluations - evaluations
+                        if remaining <= 0:
+                            budget_exhausted = True
+                            break
+                        budget = min(config.max_pass_evaluations, remaining)
+                        rng = _pass_rng(config.seed, round_index, pass_.name, iteration)
+                        hit, used, exhausted = evaluator.first_accepted(
+                            pass_.candidates(current, rng), budget
                         )
-                    )
-                    current = candidate
-                    progress = True
-                    iteration += 1
-                if budget_exhausted:
-                    break
+                        evaluations += used
+                        stats = pass_stats[pass_.name]
+                        stats.attempts += used
+                        if hit is None:
+                            if not exhausted:
+                                tail_unreached = True
+                            break
+                        index, candidate = hit
+                        stats.accepted += 1
+                        stats.nodes_removed += ast.count_nodes(current) - ast.count_nodes(
+                            candidate
+                        )
+                        trace.append(
+                            TraceStep(
+                                round=round_index,
+                                pass_name=pass_.name,
+                                iteration=iteration,
+                                candidate_index=index,
+                                size_after=size_key(candidate),
+                            )
+                        )
+                        current = candidate
+                        progress = True
+                        iteration += 1
+                    if budget_exhausted:
+                        break
             round_index += 1
 
         return ReductionResult(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.kernel_lang import ast, types as ty
+from repro.observability import SPAN_BIND, SPAN_LOWER, SPAN_RUN, current_collector
 from repro.runtime import memory
 from repro.runtime.engine import (
     DEFAULT_ENGINE,
@@ -129,7 +130,28 @@ class Device:
         this device's ``comma_yields_zero``/``max_steps``, and neither the
         engine's ``lower`` nor the prepared cache is consulted (no stats
         traffic); only the per-launch bind runs.
+
+        Telemetry: when an ambient collector is installed (see
+        :mod:`repro.observability`) each execution records a ``run`` span
+        plus nested ``lower``/``bind`` spans; with no collector the only
+        cost is one module-global read.
         """
+        collector = current_collector()
+        if collector is None:
+            return self._run_impl(program, prepared, None)
+        engine_name = (
+            self.engine if isinstance(self.engine, str)
+            else getattr(self.engine, "name", "engine")
+        )
+        with collector.span(SPAN_RUN, name=engine_name):
+            return self._run_impl(program, prepared, collector)
+
+    def _run_impl(
+        self,
+        program: ast.Program,
+        prepared: Optional[PreparedProgram],
+        collector,
+    ) -> KernelResult:
         launch = program.launch
         global_memory = memory.GlobalMemory()
         for spec in program.buffers:
@@ -153,13 +175,24 @@ class Device:
                 comma_yields_zero=self.comma_yields_zero,
                 max_steps=self.max_steps,
             )
-        else:
+        elif collector is None:
             lowered = get_engine(self.engine).lower(
                 program,
                 comma_yields_zero=self.comma_yields_zero,
                 max_steps=self.max_steps,
             )
-        prepared = lowered.bind(global_memory)
+        else:
+            with collector.span(SPAN_LOWER):
+                lowered = get_engine(self.engine).lower(
+                    program,
+                    comma_yields_zero=self.comma_yields_zero,
+                    max_steps=self.max_steps,
+                )
+        if collector is None:
+            prepared = lowered.bind(global_memory)
+        else:
+            with collector.span(SPAN_BIND):
+                prepared = lowered.bind(global_memory)
 
         ngx, ngy, ngz = launch.num_groups
         for gz in range(ngz):

@@ -44,6 +44,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
+from repro.observability import SPAN_LOWER, current_collector
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel_lang import ast
     from repro.runtime.engine import ExecutionEngine, PreparedBatch, PreparedProgram
@@ -240,9 +242,19 @@ class PreparedProgramCache:
             self._stats.hits += 1
             return entry
         self._stats.misses += 1
-        prepared = engine.lower(
-            program, comma_yields_zero=comma_yields_zero, max_steps=max_steps
-        )
+        collector = current_collector()
+        if collector is None:
+            prepared = engine.lower(
+                program, comma_yields_zero=comma_yields_zero, max_steps=max_steps
+            )
+        else:
+            # Only genuine lowering work is a "lower" span: cache hits
+            # cost a dict lookup and are visible in the stats instead.
+            with collector.span(SPAN_LOWER, name=engine.name):
+                prepared = engine.lower(
+                    program, comma_yields_zero=comma_yields_zero,
+                    max_steps=max_steps,
+                )
         if self.maxsize > 0:
             self._entries[key] = prepared
             while len(self._entries) > self.maxsize:
@@ -317,11 +329,21 @@ class PreparedProgramCache:
                 missing_programs.append(program)
                 missing_fps.append(fp)
         if missing_programs:
-            lowered = engine.lower_batch(
-                missing_programs,
-                comma_yields_zero=comma_yields_zero,
-                max_steps=max_steps,
-            )
+            collector = current_collector()
+            if collector is None:
+                lowered = engine.lower_batch(
+                    missing_programs,
+                    comma_yields_zero=comma_yields_zero,
+                    max_steps=max_steps,
+                )
+            else:
+                with collector.span(SPAN_LOWER, name=engine.name,
+                                    members=len(missing_programs)):
+                    lowered = engine.lower_batch(
+                        missing_programs,
+                        comma_yields_zero=comma_yields_zero,
+                        max_steps=max_steps,
+                    )
             for fp, prepared in zip(missing_fps, lowered.prepared):
                 mapping[fp] = prepared
         if self.maxsize > 0:

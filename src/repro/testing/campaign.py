@@ -21,11 +21,20 @@ the same seed (see ORCHESTRATION.md and ``tests/test_orchestration.py``).
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.emi.variants import mark_base_fingerprint
+from repro.observability import (
+    SPAN_CAMPAIGN,
+    SPAN_PHASE,
+    CampaignTelemetry,
+    TelemetryCollector,
+    maybe_span,
+    use_collector,
+)
 from repro.generator import generate_kernel
 from repro.generator.options import ALL_MODES, GeneratorOptions, Mode
 from repro.kernel_lang import ast
@@ -42,7 +51,7 @@ from repro.orchestration.jobs import (
     JobResult,
     serialise_configs,
 )
-from repro.orchestration.pool import SupervisionConfig, WorkerPool
+from repro.orchestration.pool import PoolHealth, SupervisionConfig, WorkerPool
 from repro.platforms.calibration import program_fingerprint
 from repro.platforms.config import DeviceConfig
 from repro.reduction.interestingness import (
@@ -102,6 +111,14 @@ class ClsmithCampaignResult:
     #: submission order; empty on a fault-free run (see ORCHESTRATION.md
     #: "Fault tolerance").
     worker_faults: List[QuarantineRecord] = field(default_factory=list)
+    #: Supervisor health counters (retries, respawns, deadline kills,
+    #: in-parent jobs, pool shrinks, quarantines), always populated —
+    #: telemetry on or off (see OBSERVABILITY.md).
+    health: PoolHealth = field(default_factory=PoolHealth)
+    #: Aggregated timing + health summary, populated only when the
+    #: campaign ran with a ``telemetry=`` collector; never rendered by
+    #: default (wall-clock data stays off the determinism surface).
+    telemetry: Optional[CampaignTelemetry] = None
 
     def cell(self, mode: Mode, config_name: str, optimisations: bool) -> OutcomeCounts:
         return self.counts.setdefault(
@@ -154,6 +171,7 @@ def run_clsmith_campaign(
     batch: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     supervision: Optional[SupervisionConfig] = None,
+    telemetry: Optional[TelemetryCollector] = None,
 ) -> ClsmithCampaignResult:
     """Reproduce the Table 4 experiment at a configurable scale.
 
@@ -211,6 +229,15 @@ def run_clsmith_campaign(
     ``result.worker_faults`` instead of killing the campaign.
     ``fault_plan`` injects deterministic faults for chaos testing; leave it
     ``None`` in production.
+
+    ``telemetry=`` (a :class:`~repro.observability.TelemetryCollector`)
+    records spans, per-job timings and supervisor events while the
+    campaign runs, optionally streaming them to a JSONL trace sink, and
+    attaches the aggregate as ``result.telemetry``.  Telemetry observes
+    but never steers: tables, reductions, buckets and reports are
+    byte-identical with it on or off (see OBSERVABILITY.md), and the
+    ``None`` default costs nothing.  ``result.health`` (supervisor
+    counters) is populated either way.
     """
     auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
@@ -232,87 +259,128 @@ def run_clsmith_campaign(
         store.begin_campaign(
             store_key, {"entry": "run_clsmith_campaign", "seed": seed}
         )
-    with _campaign_resources(
-        parallelism, store, resume, fault_plan=fault_plan, supervision=supervision
+    started = time.perf_counter()
+    with _telemetry_scope(telemetry, "clsmith"), _campaign_resources(
+        parallelism, store, resume, fault_plan=fault_plan,
+        supervision=supervision, telemetry=telemetry,
     ) as worker_pool:
         pool = worker_pool if store is None else StoreBackedPool(
             worker_pool, store, campaign=store_key
         )
         jobs: List[CampaignJob] = []
-        for mode_index, mode in enumerate(modes):
-            kernel_seeds, curation_stats, curation_prepared = _curated_seeds(
-                pool, mode, kernels_per_mode, seed + mode_index * 10_000, options,
-                curate_on, max_steps, engine, batch=batch,
-            )
-            result.cache_stats = result.cache_stats.merge(curation_stats)
-            result.prepared_stats = result.prepared_stats.merge(curation_prepared)
-            jobs.extend(
-                CampaignJob(
-                    kind=CLSMITH_DIFFERENTIAL,
-                    seed=kernel_seed,
-                    mode=mode.value,
-                    config_ids=config_ids,
-                    config_overrides=config_overrides,
-                    optimisation_levels=(False, True),
-                    options=options,
-                    max_steps=max_steps,
-                    engine=engine,
-                    batch=batch,
+        with maybe_span(SPAN_PHASE, "curate"):
+            for mode_index, mode in enumerate(modes):
+                kernel_seeds, curation_stats, curation_prepared = _curated_seeds(
+                    pool, mode, kernels_per_mode, seed + mode_index * 10_000,
+                    options, curate_on, max_steps, engine, batch=batch,
                 )
-                for kernel_seed in kernel_seeds
-            )
-        job_results = pool.run(jobs)
-        for job_result in job_results:
-            for key, cell_counts in job_result.counts.items():
-                result.counts[key] = result.counts.get(key, OutcomeCounts()).merge(cell_counts)
-            result.cache_stats = result.cache_stats.merge(job_result.cache)
-            result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
-        if auto_reduce:
-            reduce_jobs = []
-            for job, job_result in zip(jobs, job_results):
-                signature = _clsmith_failure_signature(job_result)
-                if not signature:
-                    continue
-                reduce_jobs.append(
+                result.cache_stats = result.cache_stats.merge(curation_stats)
+                result.prepared_stats = result.prepared_stats.merge(
+                    curation_prepared
+                )
+                jobs.extend(
                     CampaignJob(
-                        kind=REDUCE_KERNEL,
-                        seed=job.seed,
-                        mode=job.mode,
+                        kind=CLSMITH_DIFFERENTIAL,
+                        seed=kernel_seed,
+                        mode=mode.value,
                         config_ids=config_ids,
                         config_overrides=config_overrides,
                         optimisation_levels=(False, True),
                         options=options,
                         max_steps=max_steps,
                         engine=engine,
-                        predicate_spec=PredicateSpec(
-                            kind="differential", signature=signature
-                        ),
-                        reduce_max_evaluations=reduce_budget,
+                        batch=batch,
                     )
+                    for kernel_seed in kernel_seeds
                 )
-            _run_reduce_jobs(
-                pool, reduce_jobs, result, store=store, campaign=store_key,
-                known_anomalies=_stored_anomaly_summaries(
-                    store, store_key, enabled=auto_triage
-                ),
-            )
+        with maybe_span(SPAN_PHASE, "execute"):
+            job_results = pool.run(jobs)
+        for job_result in job_results:
+            for key, cell_counts in job_result.counts.items():
+                result.counts[key] = result.counts.get(key, OutcomeCounts()).merge(cell_counts)
+            result.cache_stats = result.cache_stats.merge(job_result.cache)
+            result.prepared_stats = result.prepared_stats.merge(job_result.prepared)
+        if auto_reduce:
+            with maybe_span(SPAN_PHASE, "reduce"):
+                reduce_jobs = []
+                for job, job_result in zip(jobs, job_results):
+                    signature = _clsmith_failure_signature(job_result)
+                    if not signature:
+                        continue
+                    reduce_jobs.append(
+                        CampaignJob(
+                            kind=REDUCE_KERNEL,
+                            seed=job.seed,
+                            mode=job.mode,
+                            config_ids=config_ids,
+                            config_overrides=config_overrides,
+                            optimisation_levels=(False, True),
+                            options=options,
+                            max_steps=max_steps,
+                            engine=engine,
+                            predicate_spec=PredicateSpec(
+                                kind="differential", signature=signature
+                            ),
+                            reduce_max_evaluations=reduce_budget,
+                        )
+                    )
+                _run_reduce_jobs(
+                    pool, reduce_jobs, result, store=store, campaign=store_key,
+                    known_anomalies=_stored_anomaly_summaries(
+                        store, store_key, enabled=auto_triage
+                    ),
+                )
         if auto_triage:
-            result.triage = _run_triage(
-                pool,
-                result,
-                dict(
-                    config_ids=config_ids,
-                    config_overrides=config_overrides,
-                    optimisation_levels=(False, True),
-                    options=options,
-                    max_steps=max_steps,
-                    engine=engine,
-                ),
-                store=store,
-                campaign=store_key,
-            )
+            with maybe_span(SPAN_PHASE, "triage"):
+                result.triage = _run_triage(
+                    pool,
+                    result,
+                    dict(
+                        config_ids=config_ids,
+                        config_overrides=config_overrides,
+                        optimisation_levels=(False, True),
+                        options=options,
+                        max_steps=max_steps,
+                        engine=engine,
+                    ),
+                    store=store,
+                    campaign=store_key,
+                )
         _attach_worker_faults(result, pool)
+    _finish_telemetry(telemetry, result, started)
     return result
+
+
+@contextmanager
+def _telemetry_scope(telemetry: Optional[TelemetryCollector], name: str):
+    """Install the campaign's collector as ambient and open its span.
+
+    A no-op (and no cost beyond the ``None`` check) when the campaign
+    runs without telemetry.
+    """
+    if telemetry is None:
+        yield
+        return
+    with use_collector(telemetry):
+        with telemetry.span(SPAN_CAMPAIGN, name=name):
+            yield
+
+
+def _finish_telemetry(
+    telemetry: Optional[TelemetryCollector], result, started: float
+) -> None:
+    """Attach the aggregated :class:`CampaignTelemetry` to the result."""
+    if telemetry is None:
+        return
+    registry = telemetry.registry
+    result.telemetry = CampaignTelemetry(
+        wall_s=time.perf_counter() - started,
+        jobs=registry.counters.get("event:job-finished", 0),
+        cells=registry.counters.get("cells", 0),
+        counters=dict(registry.counters),
+        durations=registry.durations(),
+        health=result.health.as_dict(),
+    )
 
 
 @contextmanager
@@ -320,6 +388,7 @@ def _campaign_resources(
     parallelism: Optional[int], store, resume,
     fault_plan: Optional[FaultPlan] = None,
     supervision: Optional[SupervisionConfig] = None,
+    telemetry: Optional[TelemetryCollector] = None,
 ):
     """One worker pool, plus store-close on every exit path.
 
@@ -341,7 +410,8 @@ def _campaign_resources(
 
     try:
         with WorkerPool(
-            parallelism, fault_plan=fault_plan, supervision=supervision
+            parallelism, fault_plan=fault_plan, supervision=supervision,
+            telemetry=telemetry,
         ) as pool:
             if store is not None and store.durable is None:
                 store.durable = pool.backend == "process"
@@ -352,7 +422,7 @@ def _campaign_resources(
 
 
 def _attach_worker_faults(result, pool) -> None:
-    """Surface the pool's quarantine log on the campaign result.
+    """Surface the pool's quarantine log and health on the campaign result.
 
     Quarantined jobs become :class:`~repro.orchestration.faults.
     QuarantineRecord` entries (submission order) on
@@ -360,9 +430,12 @@ def _attach_worker_faults(result, pool) -> None:
     them alongside the buckets.  The store side is already covered:
     :class:`~repro.triage.store.StoreBackedPool` records each quarantine
     as a ``worker-fault`` record the moment it happens.  A fault-free
-    campaign leaves everything untouched — results stay byte-identical to
-    the quarantine-unaware renderer.
+    campaign leaves the rendered output byte-identical to the
+    quarantine-unaware renderer; ``result.health`` (supervisor counters,
+    see OBSERVABILITY.md) is attached unconditionally — it never renders
+    by default.
     """
+    result.health = pool.health.copy()
     records = [
         QuarantineRecord(
             job_kind=job.kind, seed=job.seed, mode=job.mode, fault=fault,
@@ -747,6 +820,10 @@ class EmiCampaignResult:
     #: submission order; empty on a fault-free run (see ORCHESTRATION.md
     #: "Fault tolerance").
     worker_faults: List[QuarantineRecord] = field(default_factory=list)
+    #: Supervisor health counters, always populated (see OBSERVABILITY.md).
+    health: PoolHealth = field(default_factory=PoolHealth)
+    #: Aggregated timing + health summary; only with ``telemetry=``.
+    telemetry: Optional[CampaignTelemetry] = None
 
     def row(self, config_name: str, optimisations: bool) -> Dict[str, int]:
         return self.rows.setdefault(
@@ -850,6 +927,7 @@ def run_emi_campaign(
     batch: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     supervision: Optional[SupervisionConfig] = None,
+    telemetry: Optional[TelemetryCollector] = None,
 ) -> EmiCampaignResult:
     """Reproduce the Table 5 experiment at a configurable scale.
 
@@ -876,7 +954,10 @@ def run_emi_campaign(
 
     ``fault_plan``/``supervision`` configure the fault-tolerant pool
     exactly as on :func:`run_clsmith_campaign`; quarantined jobs land in
-    ``result.worker_faults``.
+    ``result.worker_faults``.  ``telemetry=`` records spans/timings and
+    attaches ``result.telemetry``, byte-identical output either way, and
+    ``result.health`` is populated unconditionally — all exactly as on
+    :func:`run_clsmith_campaign` (see OBSERVABILITY.md).
     """
     auto_reduce = auto_reduce or auto_triage
     config_ids, config_overrides = _serialise_configs(configs)
@@ -918,49 +999,84 @@ def run_emi_campaign(
             ),
         )
         store.begin_campaign(store_key, {"entry": "run_emi_campaign", "seed": seed})
-    with _campaign_resources(
-        parallelism, store, resume, fault_plan=fault_plan, supervision=supervision
+    started = time.perf_counter()
+    with _telemetry_scope(telemetry, "emi"), _campaign_resources(
+        parallelism, store, resume, fault_plan=fault_plan,
+        supervision=supervision, telemetry=telemetry,
     ) as worker_pool:
         pool = worker_pool if store is None else StoreBackedPool(
             worker_pool, store, campaign=store_key
         )
-        if bases is not None:
-            jobs = [CampaignJob(seed=seed, program=base, **family_job) for base in bases]
-        else:
-            specs, filter_stats, filter_prepared = _emi_base_specs(
-                pool, n_bases, seed, options, max_steps,
-                filter_dead_placement=True, engine=engine,
-            )
-            jobs = [
-                CampaignJob(seed=base_seed, emi_blocks=emi_blocks, **family_job)
-                for base_seed, emi_blocks in specs
-            ]
+        with maybe_span(SPAN_PHASE, "filter"):
+            if bases is not None:
+                jobs = [
+                    CampaignJob(seed=seed, program=base, **family_job)
+                    for base in bases
+                ]
+            else:
+                specs, filter_stats, filter_prepared = _emi_base_specs(
+                    pool, n_bases, seed, options, max_steps,
+                    filter_dead_placement=True, engine=engine,
+                )
+                jobs = [
+                    CampaignJob(seed=base_seed, emi_blocks=emi_blocks, **family_job)
+                    for base_seed, emi_blocks in specs
+                ]
         result = EmiCampaignResult(len(jobs), 0)
         result.cache_stats = result.cache_stats.merge(filter_stats)
         result.prepared_stats = result.prepared_stats.merge(filter_prepared)
-        job_results = pool.run(jobs)
+        with maybe_span(SPAN_PHASE, "execute"):
+            job_results = pool.run(jobs)
         _merge_emi_job_results(result, job_results)
         if auto_reduce:
-            reduce_jobs = []
-            for job, job_result in zip(jobs, job_results):
-                signature = emi_family_signature(job_result.emi_cells)
-                if not any(code in FAILURE_CODES for _, code in signature):
-                    continue
-                # Mirror the CLsmith path's UB skip: the predicate's hard UB
-                # guard would veto the original anyway, so don't ship a
-                # doomed reduce job (UB tests are discarded, never triaged).
-                if any(
-                    Outcome.UNDEFINED_BEHAVIOUR in cell.variant_outcomes
-                    for cell in job_result.emi_cells
-                ):
-                    continue
-                reduce_jobs.append(
-                    CampaignJob(
-                        kind=REDUCE_KERNEL,
-                        seed=job.seed,
-                        mode=job.mode,
-                        emi_blocks=job.emi_blocks,
-                        program=job.program,
+            with maybe_span(SPAN_PHASE, "reduce"):
+                reduce_jobs = []
+                for job, job_result in zip(jobs, job_results):
+                    signature = emi_family_signature(job_result.emi_cells)
+                    if not any(code in FAILURE_CODES for _, code in signature):
+                        continue
+                    # Mirror the CLsmith path's UB skip: the predicate's hard
+                    # UB guard would veto the original anyway, so don't ship a
+                    # doomed reduce job (UB tests are discarded, never
+                    # triaged).
+                    if any(
+                        Outcome.UNDEFINED_BEHAVIOUR in cell.variant_outcomes
+                        for cell in job_result.emi_cells
+                    ):
+                        continue
+                    reduce_jobs.append(
+                        CampaignJob(
+                            kind=REDUCE_KERNEL,
+                            seed=job.seed,
+                            mode=job.mode,
+                            emi_blocks=job.emi_blocks,
+                            program=job.program,
+                            config_ids=config_ids,
+                            config_overrides=config_overrides,
+                            optimisation_levels=tuple(optimisation_levels),
+                            options=options,
+                            max_steps=max_steps,
+                            engine=engine,
+                            variant_seed=seed,
+                            variants_per_base=variants_per_base,
+                            predicate_spec=PredicateSpec(
+                                kind="emi-family", signature=signature
+                            ),
+                            reduce_max_evaluations=reduce_budget,
+                        )
+                    )
+                _run_reduce_jobs(
+                    pool, reduce_jobs, result, store=store, campaign=store_key,
+                    known_anomalies=_stored_anomaly_summaries(
+                        store, store_key, enabled=auto_triage
+                    ),
+                )
+        if auto_triage:
+            with maybe_span(SPAN_PHASE, "triage"):
+                result.triage = _run_triage(
+                    pool,
+                    result,
+                    dict(
                         config_ids=config_ids,
                         config_overrides=config_overrides,
                         optimisation_levels=tuple(optimisation_levels),
@@ -969,36 +1085,12 @@ def run_emi_campaign(
                         engine=engine,
                         variant_seed=seed,
                         variants_per_base=variants_per_base,
-                        predicate_spec=PredicateSpec(
-                            kind="emi-family", signature=signature
-                        ),
-                        reduce_max_evaluations=reduce_budget,
-                    )
+                    ),
+                    store=store,
+                    campaign=store_key,
                 )
-            _run_reduce_jobs(
-                pool, reduce_jobs, result, store=store, campaign=store_key,
-                known_anomalies=_stored_anomaly_summaries(
-                    store, store_key, enabled=auto_triage
-                ),
-            )
-        if auto_triage:
-            result.triage = _run_triage(
-                pool,
-                result,
-                dict(
-                    config_ids=config_ids,
-                    config_overrides=config_overrides,
-                    optimisation_levels=tuple(optimisation_levels),
-                    options=options,
-                    max_steps=max_steps,
-                    engine=engine,
-                    variant_seed=seed,
-                    variants_per_base=variants_per_base,
-                ),
-                store=store,
-                campaign=store_key,
-            )
         _attach_worker_faults(result, pool)
+    _finish_telemetry(telemetry, result, started)
     return result
 
 

@@ -47,6 +47,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.compiler.driver import CompilerDriver
 from repro.compiler.pipeline import Pipeline, default_pipeline
 from repro.kernel_lang import ast
+from repro.observability import SPAN_BISECT_PROBE, current_collector, maybe_span
 from repro.orchestration.cache import ResultCache, cached_run
 from repro.platforms.config import DeviceConfig
 from repro.reduction.interestingness import (
@@ -145,6 +146,13 @@ def _make_probe(
 
     def probe(target_index: int, models: List[object]) -> bool:
         counter.steps += 1
+        collector = current_collector()
+        if collector is not None:
+            with collector.span(SPAN_BISECT_PROBE, name="bug-model"):
+                return _probe(target_index, models)
+        return _probe(target_index, models)
+
+    def _probe(target_index: int, models: List[object]) -> bool:
         probed = list(configs)
         target = probed[target_index]
         if target is not None:
@@ -295,10 +303,11 @@ def bisect_passes(
 
     def reproduces(k: int) -> bool:
         counter.steps += 1
-        code, value = _observed_class(
-            program, config, Pipeline(schedule[:k]), True, max_steps, engine,
-            cache, prepared_cache,
-        )
+        with maybe_span(SPAN_BISECT_PROBE, name="pass-schedule"):
+            code, value = _observed_class(
+                program, config, Pipeline(schedule[:k]), True, max_steps,
+                engine, cache, prepared_cache,
+            )
         if expected_class == "w":
             return code == Outcome.PASS.value and value != baseline_hash
         return code == expected_class

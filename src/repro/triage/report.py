@@ -48,9 +48,16 @@ class TriageResult:
     def occurrences(self) -> int:
         return sum(bucket.occurrences for bucket in self.buckets)
 
-    def render_markdown(self, title: str = "Bug triage report") -> str:
+    def render_markdown(self, title: str = "Bug triage report",
+                        telemetry=None) -> str:
+        """The Markdown report; ``telemetry`` (a
+        :class:`~repro.observability.CampaignTelemetry`) appends the
+        timing/health appendix.  It is strictly opt-in: the default
+        rendering is byte-identical whether or not the campaign ran with
+        a collector (OBSERVABILITY.md "Determinism rules")."""
         return render_markdown(
-            self.buckets, title=title, worker_faults=self.worker_faults
+            self.buckets, title=title, worker_faults=self.worker_faults,
+            telemetry=telemetry,
         )
 
 
@@ -104,12 +111,17 @@ def render_markdown(
     buckets: Sequence[BugBucket],
     title: str = "Bug triage report",
     worker_faults: Sequence[QuarantineRecord] = (),
+    telemetry=None,
 ) -> str:
     """The full report: summary table plus one section per bucket.
 
     ``worker_faults`` (quarantined jobs, if the campaign had any) are
     appended as a final section — a poison kernel is a triageable finding,
-    so it belongs in the report next to the buckets it could not join."""
+    so it belongs in the report next to the buckets it could not join.
+
+    ``telemetry`` (opt-in only) appends the campaign's timing/health
+    appendix; omitted by default so reports stay byte-identical with
+    telemetry on or off."""
     occurrences = sum(bucket.occurrences for bucket in buckets)
     lines = [
         f"# {title}",
@@ -146,6 +158,8 @@ def render_markdown(
             f"- `{record.identity[:12] or '-'}` {record.render_line()}"
             for record in worker_faults
         )
+    if telemetry is not None:
+        lines.extend(["", telemetry.render_markdown().rstrip("\n")])
     return "\n".join(lines) + "\n"
 
 

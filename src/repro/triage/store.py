@@ -284,6 +284,10 @@ def encode_job_result(result: JobResult) -> Dict:
     # (and every fault-free record) keeps its exact byte encoding.
     if result.fault is not None:
         record["fault"] = result.fault.as_dict()
+    # ``result.timing`` (telemetry) is deliberately never encoded: timing
+    # differs on every run, and store bytes must be identical with
+    # telemetry on or off (OBSERVABILITY.md).  Replayed results decode
+    # with ``timing=None``.
     return record
 
 
@@ -702,6 +706,16 @@ class StoreBackedPool:
         """The inner pool's quarantine log (see WorkerPool.quarantined)."""
         return self._pool.quarantined
 
+    @property
+    def health(self):
+        """The inner pool's supervisor health counters (PoolHealth)."""
+        return self._pool.health
+
+    @property
+    def telemetry(self):
+        """The inner pool's telemetry collector, or ``None``."""
+        return self._pool.telemetry
+
     def run(self, jobs: Iterable[CampaignJob]) -> List[JobResult]:
         job_list = list(jobs)
         keys = [job_identity(job) for job in job_list]
@@ -709,6 +723,22 @@ class StoreBackedPool:
             self.store.lookup_job(key) for key in keys
         ]
         pending = [i for i, result in enumerate(results) if result is None]
+        telemetry = getattr(self._pool, "telemetry", None)
+        if telemetry is not None and len(pending) < len(job_list):
+            # Replayed jobs still count toward live progress (a matching
+            # pool-run event keeps done/total consistent; cells=0 and
+            # replayed=True keep throughput figures honest); their timing
+            # is not re-synthesised — no work ran.
+            telemetry.event("pool-run", jobs=len(job_list) - len(pending),
+                            backend="store")
+            for i, replayed in enumerate(results):
+                if replayed is not None:
+                    telemetry.event(
+                        "job-finished", job=job_list[i].kind,
+                        seed=job_list[i].seed, engine=job_list[i].engine,
+                        worker="store", cells=0, replayed=True,
+                        anomalous=replayed.anomalous,
+                    )
         for i, fresh in zip(pending, self._pool.run([job_list[i] for i in pending])):
             if fresh.fault is not None:
                 # Quarantined: record the fault, not a job result, so a

@@ -1,0 +1,376 @@
+"""Property suite for the campaign telemetry substrate (OBSERVABILITY.md).
+
+The contract under test:
+
+* **determinism**: a campaign run with a :class:`TelemetryCollector` (with
+  or without a trace sink) produces byte-identical tables, reductions,
+  buckets and reports to the same campaign run without one — on the serial
+  and the process backend, when resumed from a store, and under an injected
+  :class:`FaultPlan`;
+* **isolation**: per-job timing never leaks into the persistence layer —
+  ``encode_job_result`` omits it and ``job_identity`` ignores it, so store
+  bytes are identical with telemetry on or off;
+* **reconciliation**: ``repro-stats`` health figures computed from the
+  trace alone equal the campaign's supervisor health counters exactly;
+* **always-on health**: :class:`PoolHealth` is populated on campaign
+  results even with telemetry off;
+* **zero-cost default**: with no ambient collector installed,
+  ``current_collector()`` is ``None`` and ``maybe_span`` degrades to a
+  no-op.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.generator.options import GeneratorOptions, Mode
+from repro.observability import (
+    SPAN_JOB,
+    MetricsRegistry,
+    ProgressLine,
+    TelemetryCollector,
+    TraceSink,
+    compute_stats,
+    current_collector,
+    maybe_span,
+    read_trace,
+    render_stats,
+    use_collector,
+)
+from repro.observability.cli import main as stats_main
+from repro.orchestration import (
+    FAULT_EXCEPTION,
+    FAULT_KILL,
+    FaultPlan,
+    FaultSpec,
+    PoolHealth,
+    SupervisionConfig,
+    WorkerPool,
+)
+from repro.orchestration.jobs import (
+    CLSMITH_DIFFERENTIAL,
+    CampaignJob,
+    execute_job,
+)
+from repro.reduction.corpus import clean_config, wrong_code_config
+from repro.testing.campaign import run_clsmith_campaign, run_emi_campaign
+from repro.triage.store import encode_job_result, job_identity
+
+_CAMPAIGN_OPTIONS = GeneratorOptions(
+    min_total_threads=4, max_total_threads=12, max_group_size=4,
+    max_statements=8, max_expr_depth=2,
+)
+
+_SUP = SupervisionConfig(max_attempts=3, lease_timeout=60.0, backoff=0.0)
+
+_CAMPAIGN = dict(
+    kernels_per_mode=2, modes=(Mode.BASIC,), options=_CAMPAIGN_OPTIONS,
+    auto_triage=True, reduce_budget=200,
+)
+
+
+def _configs():
+    return [clean_config(911), clean_config(912), wrong_code_config()]
+
+
+def _diff_job(seed):
+    return CampaignJob(
+        kind=CLSMITH_DIFFERENTIAL, seed=seed, mode=Mode.BASIC.value,
+        options=_CAMPAIGN_OPTIONS,
+        config_ids=(1, None), optimisation_levels=(False,),
+        max_steps=300_000,
+    )
+
+
+def _campaign_fingerprint(result):
+    return (
+        result.render(),
+        [s.reduced_source for s in result.reductions],
+        [b.key for b in result.triage.buckets],
+        result.triage.render_markdown(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The zero-cost default and collector primitives
+# ---------------------------------------------------------------------------
+
+
+def test_no_ambient_collector_by_default():
+    assert current_collector() is None
+    # maybe_span degrades to a no-op context manager outside a collector.
+    with maybe_span(SPAN_JOB, name="nothing"):
+        pass
+    assert current_collector() is None
+
+
+def test_use_collector_installs_and_restores():
+    collector = TelemetryCollector()
+    with use_collector(collector):
+        assert current_collector() is collector
+        inner = TelemetryCollector()
+        with use_collector(inner):
+            assert current_collector() is inner
+        assert current_collector() is collector
+    assert current_collector() is None
+
+
+def test_registry_counts_and_durations():
+    registry = MetricsRegistry()
+    registry.count("cells", 3)
+    registry.count("cells", 2)
+    registry.observe("job", 0.5)
+    registry.observe("job", 1.5)
+    assert registry.counters["cells"] == 5
+    count, total = registry.durations()["job"]
+    assert count == 2 and total == pytest.approx(2.0)
+    before = registry.snapshot_durations()
+    registry.observe("job", 1.0)
+    assert registry.durations_since(before) == {"job": (1, pytest.approx(1.0))}
+
+
+def test_span_records_duration_and_event_counts():
+    collector = TelemetryCollector()
+    with collector.span(SPAN_JOB, name="demo"):
+        pass
+    count, total = collector.registry.durations()[SPAN_JOB]
+    assert count == 1 and total >= 0.0
+    collector.event("job-retry", job=CLSMITH_DIFFERENTIAL)
+    assert collector.registry.counters["event:job-retry"] == 1
+
+
+def test_trace_sink_roundtrip_and_torn_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TelemetryCollector(sink=TraceSink(str(path), meta={"campaign": "t"})) as col:
+        with col.span("campaign", name="t"):
+            col.event("job-finished", job="demo", cells=4)
+    records = read_trace(str(path))
+    types = [r["type"] for r in records]
+    assert types[0] == "meta" and "counters" in types and "event" in types
+    assert all(r["v"] == 1 for r in records)
+    # A torn tail (host died mid-write) is skipped, not fatal.
+    with open(path, "a") as handle:
+        handle.write('{"type": "event", "kind": "trunc')
+    assert read_trace(str(path)) == records
+
+
+# ---------------------------------------------------------------------------
+# Determinism: telemetry observes, never steers
+# ---------------------------------------------------------------------------
+
+
+def test_serial_campaign_byte_identical_with_telemetry(tmp_path):
+    reference = run_clsmith_campaign(_configs(), seed=3, **_CAMPAIGN)
+    collector = TelemetryCollector(
+        sink=TraceSink(str(tmp_path / "trace.jsonl"), meta={"campaign": "clsmith"}))
+    observed = run_clsmith_campaign(
+        _configs(), seed=3, telemetry=collector, **_CAMPAIGN)
+    collector.close()
+    assert _campaign_fingerprint(observed) == _campaign_fingerprint(reference)
+    assert observed.telemetry is not None
+    assert observed.telemetry.jobs > 0
+    assert reference.telemetry is None  # no collector, no synthesised figures
+
+
+def test_process_campaign_byte_identical_with_telemetry(tmp_path):
+    reference = run_clsmith_campaign(_configs(), seed=3, **_CAMPAIGN)
+    collector = TelemetryCollector(
+        sink=TraceSink(str(tmp_path / "trace.jsonl"), meta={"campaign": "clsmith"}))
+    observed = run_clsmith_campaign(
+        _configs(), seed=3, parallelism=2, telemetry=collector, **_CAMPAIGN)
+    collector.close()
+    assert _campaign_fingerprint(observed) == _campaign_fingerprint(reference)
+    stats = compute_stats(read_trace(str(tmp_path / "trace.jsonl")))
+    assert sorted(stats["workers"]) == ["w0", "w1"]
+
+
+def test_emi_campaign_byte_identical_with_telemetry():
+    kw = dict(n_bases=2, variants_per_base=3, options=_CAMPAIGN_OPTIONS,
+              seed=5, auto_triage=True, reduce_budget=200)
+    reference = run_emi_campaign(_configs(), **kw)
+    observed = run_emi_campaign(
+        _configs(), telemetry=TelemetryCollector(), **kw)
+    assert observed.render() == reference.render()
+    assert observed.triage.render_markdown() == reference.triage.render_markdown()
+    assert observed.telemetry is not None
+
+
+def test_telemetry_under_fault_plan_byte_identical():
+    reference = run_clsmith_campaign(_configs(), **_CAMPAIGN)
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_KILL, job_index=0),
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=1),
+    ))
+    observed = run_clsmith_campaign(
+        _configs(), parallelism=2, fault_plan=plan, supervision=_SUP,
+        telemetry=TelemetryCollector(), **_CAMPAIGN)
+    assert _campaign_fingerprint(observed) == _campaign_fingerprint(reference)
+    # The chaos shows up in health, not in results.
+    assert observed.health.retries >= 2
+    assert observed.telemetry.health["retries"] == observed.health.retries
+
+
+def test_resume_from_store_byte_identical_with_telemetry(tmp_path):
+    full = run_clsmith_campaign(
+        _configs(), resume=str(tmp_path / "full.jsonl"), **_CAMPAIGN)
+    # Crash the observed campaign mid-run via a torn store write, then
+    # resume it with telemetry: the replayed jobs must not perturb results.
+    torn = str(tmp_path / "torn.jsonl")
+    with pytest.raises(Exception):
+        run_clsmith_campaign(
+            _configs(), resume=torn,
+            fault_plan=FaultPlan(torn_writes=(3,)), **_CAMPAIGN)
+    resumed = run_clsmith_campaign(
+        _configs(), resume=torn, telemetry=TelemetryCollector(), **_CAMPAIGN)
+    assert _campaign_fingerprint(resumed) == _campaign_fingerprint(full)
+
+
+def test_store_bytes_identical_with_telemetry(tmp_path):
+    plain, traced = str(tmp_path / "plain.jsonl"), str(tmp_path / "traced.jsonl")
+    run_clsmith_campaign(_configs(), resume=plain, **_CAMPAIGN)
+    run_clsmith_campaign(
+        _configs(), resume=traced, telemetry=TelemetryCollector(), **_CAMPAIGN)
+    with open(plain, "rb") as a, open(traced, "rb") as b:
+        assert a.read() == b.read()
+
+
+# ---------------------------------------------------------------------------
+# Isolation: timing never reaches identity or persistence
+# ---------------------------------------------------------------------------
+
+
+def test_timing_excluded_from_identity_and_encoding():
+    job = _diff_job(7)
+    bare = execute_job(job)
+    timed = execute_job(job, timing=True)
+    assert bare.timing is None
+    assert timed.timing is not None and timed.timing.duration_s > 0.0
+    assert job_identity(job) == job_identity(_diff_job(7))
+    encoded_bare = encode_job_result(bare)
+    encoded_timed = encode_job_result(timed)
+    assert "timing" not in encoded_timed
+    assert json.dumps(encoded_bare, sort_keys=True) == json.dumps(
+        encoded_timed, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Health counters: always on, and reconciled with the trace
+# ---------------------------------------------------------------------------
+
+
+def test_health_populated_without_telemetry():
+    result = run_clsmith_campaign(_configs(), **_CAMPAIGN)
+    assert isinstance(result.health, PoolHealth)
+    assert result.health.as_dict() == {
+        "retries": 0, "respawns": 0, "deadline_kills": 0,
+        "in_parent_jobs": 0, "pool_shrinks": 0, "quarantines": 0,
+    }
+
+
+def test_pool_health_counts_retries_with_telemetry_off():
+    jobs = [_diff_job(seed) for seed in range(3)]
+    plan = FaultPlan(specs=(FaultSpec(kind=FAULT_EXCEPTION, job_index=1),))
+    with WorkerPool(2, fault_plan=plan, supervision=_SUP) as pool:
+        pool.run(jobs)
+        assert pool.telemetry is None
+        assert pool.health.retries == 1
+        assert pool.health.quarantines == 0
+
+
+def test_stats_health_reconciles_with_campaign_counters(tmp_path):
+    trace = str(tmp_path / "trace.jsonl")
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=FAULT_KILL, job_index=0),
+        FaultSpec(kind=FAULT_EXCEPTION, job_index=2),
+    ))
+    collector = TelemetryCollector(
+        sink=TraceSink(trace, meta={"campaign": "clsmith"}))
+    result = run_clsmith_campaign(
+        _configs(), parallelism=2, fault_plan=plan, supervision=_SUP,
+        telemetry=collector, **_CAMPAIGN)
+    collector.close()
+    stats = compute_stats(read_trace(trace))
+    assert stats["health"] == result.health.as_dict()
+    assert stats["jobs"] == result.telemetry.jobs
+    assert stats["cells"] == result.telemetry.cells
+
+
+# ---------------------------------------------------------------------------
+# repro-stats CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(tmp_path_factory):
+    trace = str(tmp_path_factory.mktemp("trace") / "campaign.jsonl")
+    collector = TelemetryCollector(
+        sink=TraceSink(trace, meta={"campaign": "clsmith"}))
+    run_clsmith_campaign(_configs(), seed=3, telemetry=collector, **_CAMPAIGN)
+    collector.close()
+    return trace
+
+
+def test_render_stats_golden_sections(recorded_trace):
+    stats = compute_stats(read_trace(recorded_trace))
+    text = render_stats(stats)
+    assert text.startswith("# repro-stats — clsmith trace")
+    for heading in ("## Per-stage throughput", "## Per-engine latency",
+                    "## Worker utilization", "## Supervisor health"):
+        assert heading in text
+    assert "clsmith-differential" in text
+    assert "parent" in text  # serial campaign runs in-parent
+
+
+def test_cli_text_and_json(recorded_trace, capsys):
+    assert stats_main([recorded_trace]) == 0
+    text = capsys.readouterr().out
+    assert "# repro-stats" in text
+    assert stats_main([recorded_trace, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["jobs"] > 0
+    assert set(payload["health"]) == {
+        "retries", "respawns", "deadline_kills", "in_parent_jobs",
+        "pool_shrinks", "quarantines"}
+
+
+def test_cli_missing_and_empty_trace(tmp_path, capsys):
+    assert stats_main([str(tmp_path / "absent.jsonl")]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert stats_main([str(empty)]) == 2
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Live progress line
+# ---------------------------------------------------------------------------
+
+
+def test_progress_line_tracks_campaign(tmp_path):
+    stream = io.StringIO()
+    collector = TelemetryCollector()
+    line = ProgressLine(stream=stream, min_interval=0.0).attach(collector)
+    run_clsmith_campaign(_configs(), seed=3, telemetry=collector, **_CAMPAIGN)
+    line.close()
+    output = stream.getvalue()
+    assert output.endswith("\n")
+    final = output.rstrip("\n").rsplit("\r", 1)[-1].rstrip()
+    assert final.startswith("[campaign] jobs ")
+    done_over_total = final.split("jobs ", 1)[1].split(" ", 1)[0]
+    done, total = done_over_total.split("/")
+    assert done == total  # every scheduled job finished
+
+
+def test_progress_line_counts_replayed_jobs_on_resume(tmp_path):
+    store = str(tmp_path / "store.jsonl")
+    run_clsmith_campaign(_configs(), resume=store, **_CAMPAIGN)
+    stream = io.StringIO()
+    collector = TelemetryCollector()
+    line = ProgressLine(stream=stream, min_interval=0.0).attach(collector)
+    run_clsmith_campaign(
+        _configs(), resume=store, telemetry=collector, **_CAMPAIGN)
+    line.close()
+    final = stream.getvalue().rstrip("\n").rsplit("\r", 1)[-1].rstrip()
+    done, total = final.split("jobs ", 1)[1].split(" ", 1)[0].split("/")
+    assert done == total  # replays count toward done AND total
